@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing.
+
+* ``REPRO_BENCH_SCALE`` selects the registry scale (default ``bench``;
+  set ``small`` for a quick pass).
+* Rendered experiment tables are collected by the ``report_sink``
+  fixture and printed in the terminal summary, so the paper-style
+  tables land in the benchmark log alongside pytest-benchmark's timing
+  columns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+_RENDERED: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Append rendered experiment tables here for the final summary."""
+    return _RENDERED
+
+
+def run_experiment(benchmark, fn):
+    """Benchmark one experiment regeneration (single round) and return it.
+
+    Used by every table/figure bench so the paper-style tables are
+    produced (and their shape assertions run) under ``--benchmark-only``.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.section("paper-vs-measured experiment tables")
+    for text in _RENDERED:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

@@ -1,0 +1,47 @@
+"""Ablation benches for the paper's two central design choices."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablations
+
+
+def test_sell_c_sigma_sweep(benchmark, bench_scale, report_sink):
+    result = run_experiment(
+        benchmark,
+        lambda: ablations.run_sell_c_sigma(scale=bench_scale))
+    report_sink.append(result.render())
+
+    grid = {row[0]: row[1:] for row in result.rows}
+    sigma_names = result.headers[1:]
+    warped_col = sigma_names.index("sigma=256")
+    unsorted_col = sigma_names.index("sigma=1")
+    global_col = sigma_names.index("sigma=n")
+
+    # The paper's choice: at C=32, sorting within 256 beats no sorting
+    # and beats the global pJDS-style sort.
+    assert grid[32][warped_col] >= grid[32][unsorted_col]
+    assert grid[32][warped_col] > grid[32][global_col]
+    # Finer chunks beat the coarse block-coupled chunk at equal sorting.
+    assert grid[32][warped_col] >= grid[256][warped_col]
+    # The global optimum sits at the paper's configuration (or ties).
+    best = result.summary["best_gflops"]
+    assert grid[32][warped_col] >= best * 0.995
+
+
+def test_dia_threshold_rule(benchmark, report_sink):
+    result = run_experiment(benchmark,
+                            lambda: ablations.run_dia_threshold(n=4096))
+    report_sink.append(result.render())
+
+    crossover = result.summary["observed_crossover_at"]
+    rule = result.summary["rule_threshold"]
+    # The observed footprint crossover brackets the 2/3 rule.
+    assert crossover is not None
+    assert abs(crossover - rule) < 0.15, (crossover, rule)
+
+    # Below the threshold ELL is smaller; at full density DIA is smaller.
+    first, last = result.rows[0], result.rows[-1]
+    assert first[3] == "no"
+    assert last[3] == "yes"
+    # And at full density the hybrid is also the faster kernel.
+    assert last[5] >= last[4]

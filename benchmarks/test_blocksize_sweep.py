@@ -1,0 +1,26 @@
+"""Section VII-C block-size sweep: b = 256 must come out on top."""
+
+from conftest import run_experiment
+
+from repro.experiments import blocksize
+from repro.gpusim import GTX580, calculate_occupancy
+
+
+def test_blocksize_sweep_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: blocksize.run(bench_scale))
+    report_sink.append(result.render())
+
+    assert result.summary["best_block_model"] == 256
+
+    rows = {row[0]: row for row in result.rows}
+    # 8-blocks cap -> 8 resident warps at b=32, starving latency hiding.
+    assert rows[32][1] == 8
+    assert rows[32][4] < rows[256][4] * 0.8
+    # 1024 cannot fill the SM; 512 pays block turnover.
+    assert rows[1024][2] < 1.0
+    assert rows[512][4] <= rows[256][4]
+
+
+def test_bench_occupancy_calculator(benchmark):
+    occ = benchmark(calculate_occupancy, GTX580, 256)
+    assert occ.ratio == 1.0

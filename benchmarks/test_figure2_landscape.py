@@ -1,0 +1,33 @@
+"""Figure 2 benchmark: toggle-switch steady-state landscape."""
+
+from conftest import run_experiment
+
+from repro import solve_steady_state, toggle_switch
+from repro.experiments import figure2
+
+
+def test_figure2_regeneration(benchmark, report_sink):
+    result = run_experiment(benchmark, lambda: figure2.run(max_protein=50))
+    report_sink.append(result.render())
+
+    assert result.summary["bimodal"], "Figure 2's landscape must be bimodal"
+
+    # Modes sit at opposite corners (on/off vs off/on).
+    modes_cell = dict((r[0], r[1]) for r in result.rows)["modes (nA, nB)"]
+    coords = [tuple(int(v) for v in part.strip(" ()").split(","))
+              for part in modes_cell.split(";")]
+    (a1, b1), (a2, b2) = coords[:2]
+    assert (a1 > b1) != (a2 > b2), "modes must be on opposite sides"
+
+    # The committed corners dominate; the center is a valley.
+    rows = dict((r[0], r[1]) for r in result.rows)
+    assert result.summary["corner_mass"] > 0.3
+    assert rows["P(center window)"] < result.summary["corner_mass"] / 3
+
+
+def test_bench_end_to_end_solve(benchmark):
+    def solve():
+        return solve_steady_state(toggle_switch(max_protein=25),
+                                  tol=1e-8)[1]
+    result = benchmark.pedantic(solve, rounds=2, iterations=1)
+    assert result.residual < 1e-6

@@ -1,0 +1,34 @@
+"""Figure 5 benchmark: sliced vs warp-grained ELL across UF domains."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure5
+from repro.matrixgen import generate_domain
+from repro.sparse import WarpedELLMatrix
+
+
+def test_figure5_regeneration(benchmark, report_sink):
+    result = run_experiment(benchmark, lambda: figure5.run(n=8000, seed=1))
+    report_sink.append(result.render())
+
+    # Positive average improvement (paper: +12.6%).
+    avg = result.summary["avg_improvement_model"]
+    assert avg > 5.0, f"avg improvement {avg}%"
+
+    # Quantum chemistry among the top gainers (paper's maximum, +48.1%).
+    gains = {row[0]: row[3] for row in result.rows[:-1]}
+    qchem = gains["quantum-chemistry"]
+    assert qchem >= 0.8 * max(gains.values()), gains
+    assert qchem > 25.0, f"qchem gain {qchem}%"
+
+    # Regular stencil domains gain the least.
+    assert gains["cfd"] < 10.0
+    assert gains["structural-fem"] < 15.0
+
+
+def test_bench_domain_generation_and_format(benchmark):
+    def build():
+        A = generate_domain("quantum-chemistry", n=4000, seed=2)
+        return WarpedELLMatrix(A, reorder="local")
+    fmt = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert fmt.nnz > 0

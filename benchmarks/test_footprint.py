@@ -1,0 +1,29 @@
+"""Section VII-C footprint experiment: warped < CSR-ish << ELL."""
+
+from conftest import run_experiment
+
+from repro.cme.models import load_benchmark_matrix
+from repro.experiments import footprint
+from repro.sparse import WarpedELLMatrix
+
+
+def test_footprint_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: footprint.run(bench_scale))
+    report_sink.append(result.render())
+
+    ratio_ell = result.summary["warped_over_ell_model"]
+    assert ratio_ell < 0.95, f"warped/ELL = {ratio_ell} (paper 0.73)"
+
+    ratio_csr = result.summary["warped_over_csr_model"]
+    assert ratio_csr < 1.15, f"warped/CSR = {ratio_csr} (paper ~1.0)"
+
+
+def test_footprints_byte_exact(benchmark, bench_scale):
+    """Recompute one footprint from first principles, timing the call."""
+    A = load_benchmark_matrix("toggle-switch-1", bench_scale)
+    fmt = WarpedELLMatrix(A, reorder="local")
+    total = benchmark(fmt.footprint)
+    expected = (int(fmt.slice_ptr[-1]) * 12      # values + col indices
+                + fmt.n_slices * 8               # slice k + offsets
+                + fmt.shape[0] * 4)              # row ids
+    assert total == expected

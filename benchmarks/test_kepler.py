@@ -1,0 +1,17 @@
+"""Section VII-D bench: the Kepler outlook is bandwidth, not flops."""
+
+from conftest import run_experiment
+
+from repro.experiments import kepler
+
+
+def test_kepler_outlook(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: kepler.run(bench_scale))
+    report_sink.append(result.render())
+
+    # Kepler helps (more bandwidth at each level)...
+    assert result.summary["kepler_gain_pct"] > 10.0
+    # ...and essentially none of the gain comes from the DP-peak jump.
+    assert result.summary["share_from_bandwidth_pct"] > 95.0
+    for row in result.rows[:-1]:
+        assert row[2] >= row[1], "K20X must not lose to the GTX580"

@@ -1,0 +1,18 @@
+"""Section VII-C L1 experiment: the 48 KB split must beat 16 KB."""
+
+from conftest import run_experiment
+
+from repro.experiments import l1cache
+
+
+def test_l1_cache_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: l1cache.run(bench_scale))
+    report_sink.append(result.render())
+
+    gain = result.summary["gain_model_pct"]
+    assert gain > 0.0, f"48KB should beat 16KB (model {gain}%, paper ~6%)"
+    assert gain < 15.0, f"L1 effect should stay moderate, got {gain}%"
+
+    # No benchmark regresses with the larger L1.
+    for row in result.rows[:-1]:
+        assert row[2] >= row[1] * 0.999, row

@@ -1,0 +1,30 @@
+"""Section VII-C reordering experiment: random << global < local."""
+
+from conftest import run_experiment
+
+from repro.cme.models import load_benchmark_matrix
+from repro.experiments import reordering
+from repro.sparse import WarpedELLMatrix
+
+
+def test_reordering_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: reordering.run(bench_scale))
+    report_sink.append(result.render())
+
+    # Random shuffling is catastrophic (paper: 16.278 / 2.783 = 5.8x).
+    slowdown = result.summary["random_slowdown_model"]
+    assert slowdown > 3.0, f"local/random = {slowdown}"
+
+    # Local rearrangement beats the global pJDS-style sort.
+    assert result.summary["local_over_global_model"] > 1.0
+
+    # Random average near the paper's 2.783 GFLOPS.
+    avgs = {row[0]: row[1] for row in result.rows}
+    assert 1.5 < avgs["random"] < 5.0, avgs["random"]
+
+
+def test_bench_local_rearrangement_build(benchmark, bench_scale):
+    A = load_benchmark_matrix("phage-lambda-1", bench_scale)
+    fmt = benchmark.pedantic(
+        lambda: WarpedELLMatrix(A, reorder="local"), rounds=3, iterations=1)
+    assert fmt.efficiency() > 0.9

@@ -1,0 +1,45 @@
+"""Table I benchmark: matrix construction + structure statistics.
+
+Times the Table I regeneration and checks the structural reproduction
+targets against the paper.
+"""
+
+from conftest import run_experiment
+
+from repro.cme.models import benchmark_names, load_benchmark_matrix
+from repro.experiments import paperdata, table1
+from repro.sparse.stats import matrix_stats
+
+
+def test_table1_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: table1.run(bench_scale))
+    report_sink.append(result.render())
+
+    by_name = {row[0]: row for row in result.rows}
+    for name in benchmark_names():
+        row = by_name[name]
+        paper = paperdata.TABLE1[name]
+        # d{0} = 1.00 for every CME generator.
+        assert row[10] == 1.0, f"{name}: main diagonal not dense"
+        # The 2-species models must hit the paper's exact max nnz/row
+        # (toggle-switch-2 used a richer variant at the paper's scale,
+        # max 11 — ours shares toggle-switch-1's structure, max 7).
+        if name in ("toggle-switch-1", "brusselator", "schnakenberg"):
+            assert row[6] == paper[5], (
+                f"{name}: max nnz/row {row[6]} != paper {paper[5]}")
+        else:
+            assert row[6] <= paper[5], name
+        # Band density within tolerance of the paper's.
+        assert abs(row[11] - paper[8]) < 0.35, name
+
+    # The seven instances preserve the paper's size ordering at the
+    # full bench scale (smaller scales only approximate the spacing).
+    if bench_scale == "bench":
+        ns = [row[1] for row in result.rows]
+        assert ns == sorted(ns), "sizes must increase as in Table I"
+
+
+def test_bench_stats_timing(benchmark, bench_scale):
+    A = load_benchmark_matrix("schnakenberg", bench_scale)
+    stats = benchmark(lambda: matrix_stats(A, disk_bytes=0))
+    assert stats.diag_density == 1.0

@@ -1,0 +1,46 @@
+"""Table II benchmark: ELL vs ELL+DIA.
+
+Times the Table II regeneration plus the two formats' functional SpMV,
+and checks the paper's shape: peeling the dense DFS band helps on every
+benchmark, most on the fully-banded Brusselator/Schnakenberg.
+"""
+
+import numpy as np
+from conftest import run_experiment
+
+from repro.cme.models import load_benchmark_matrix
+from repro.experiments import table2
+from repro.sparse import ELLDIAMatrix, ELLMatrix
+
+
+def test_table2_regeneration(benchmark, bench_scale, report_sink):
+    result = run_experiment(benchmark, lambda: table2.run(bench_scale))
+    report_sink.append(result.render())
+
+    # ELL+DIA must not lose on any benchmark.
+    for row in result.rows[:-1]:
+        assert row[2] >= row[1] * 0.999, (
+            f"{row[0]}: ELL+DIA ({row[2]}) should not lose to ELL ({row[1]})")
+
+    # Average speedup in the paper's range.
+    model = result.summary["avg_speedup_model"]
+    assert 1.0 <= model <= 1.25, model
+
+    # The fully-banded models gain the most (paper: +12-15%).
+    by_name = {row[0]: row[3] for row in result.rows[:-1]}
+    banded_gain = (by_name["brusselator"] + by_name["schnakenberg"]) / 2
+    lambda_gain = (by_name["phage-lambda-1"] + by_name["phage-lambda-3"]) / 2
+    assert banded_gain >= lambda_gain, (
+        "fully-banded models should benefit most from DIA peeling")
+
+
+def test_bench_spmv_ell(benchmark, bench_scale):
+    fmt = ELLMatrix(load_benchmark_matrix("schnakenberg", bench_scale))
+    x = np.random.default_rng(0).random(fmt.shape[1])
+    benchmark(fmt.spmv, x)
+
+
+def test_bench_spmv_ell_dia(benchmark, bench_scale):
+    fmt = ELLDIAMatrix(load_benchmark_matrix("schnakenberg", bench_scale))
+    x = np.random.default_rng(0).random(fmt.shape[1])
+    benchmark(fmt.spmv, x)

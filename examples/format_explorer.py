@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Format explorer: inspect how the GPU formats store a CME matrix.
+
+Builds one benchmark rate matrix, converts it to every device format,
+and reports the quantities the paper's Sections V-VI reason about:
+slot efficiency (zero padding), device footprint, coalesced-transaction
+statistics of the x-gather, and the modeled GTX580 SpMV throughput.
+
+Run:  python examples/format_explorer.py [benchmark-name]
+"""
+
+import sys
+
+from repro.cme.models import benchmark_names, load_benchmark_matrix
+from repro.gpusim import GTX580, spmv_performance
+from repro.gpusim.executor import spmv_traffic
+from repro.sparse import (
+    CSRMatrix,
+    ELLDIAMatrix,
+    ELLMatrix,
+    ELLRMatrix,
+    SlicedELLMatrix,
+    WarpedELLMatrix,
+)
+from repro.sparse.stats import matrix_stats
+from repro.utils.tables import Table, format_si_bytes
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "phage-lambda-1"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"choose from {benchmark_names()}")
+    A = load_benchmark_matrix(name, "small")
+    st = matrix_stats(A)
+    print(f"{name}: n={st.n}, nnz={st.nnz}, nnz/row "
+          f"[{st.min_nnz_row}, {st.mean_nnz_row:.2f}, {st.max_nnz_row}], "
+          f"variability {st.variability:.2f}, "
+          f"band density {st.band_density:.2f}")
+    print()
+
+    formats = [
+        ("CSR", CSRMatrix(A)),
+        ("ELL", ELLMatrix(A)),
+        ("ELLR-T", ELLRMatrix(A)),
+        ("ELL+DIA", ELLDIAMatrix(A)),
+        ("Sliced ELL (s=256)", SlicedELLMatrix(A, slice_size=256)),
+        ("Warped ELL (local)", WarpedELLMatrix(A, reorder="local")),
+    ]
+    table = Table(["format", "footprint", "efficiency",
+                   "gather tx", "lines/step", "modeled GFLOPS"],
+                  title=f"Device formats of {name} on a simulated GTX580")
+    for label, fmt in formats:
+        eff = fmt.efficiency() if hasattr(fmt, "efficiency") else float("nan")
+        report = spmv_traffic(fmt)
+        perf = spmv_performance(fmt, GTX580, x_scale=50.0)
+        table.add_row([
+            label,
+            format_si_bytes(fmt.footprint()),
+            f"{eff:.3f}" if eff == eff else "-",
+            report.gather.transactions,
+            f"{report.gather.lines_per_step:.2f}",
+            f"{perf.gflops:.2f} ({perf.limiting_resource}-bound)",
+        ])
+    print(table.render())
+    print()
+    print("Reading the table: ELL pads every row to the maximum length "
+          "(low efficiency on irregular matrices); ELL+DIA strips the "
+          "dense diagonal band; the warp-grained sliced ELL pads only "
+          "within each 32-row warp after sorting rows inside each "
+          "256-row block — the paper's Section VI contribution.")
+
+
+if __name__ == "__main__":
+    main()

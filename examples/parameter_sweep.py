@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Parameter sweep: the paper's motivating exploratory workload.
+
+Section I: "the exploratory nature of system biology research involves
+the study of the same reaction network under different conditions (e.g.
+varying the intrinsic rate of one of the involved reactions)" — every
+condition is another large linear system, which is why throughput per
+solve matters.
+
+This example sweeps the toggle switch's repression cooperativity (the
+Hill coefficient) and synthesis rate, solves each steady state, and
+reports how bistability emerges: without cooperativity the landscape is
+unimodal; with it, the two committed states appear and deepen.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import solve_steady_state, toggle_switch
+from repro.cme.landscape import ProbabilityLandscape
+
+
+def corner_mass(landscape: ProbabilityLandscape) -> float:
+    """Probability in the two committed (on/off) quadrants."""
+    grid = landscape.marginal2d("A", "B")
+    half = grid.shape[0] // 2
+    return float(grid[half:, :half].sum() + grid[:half, half:].sum())
+
+
+def main() -> None:
+    print(f"{'hill':>5} {'synthesis':>10} {'modes':>6} "
+          f"{'corner mass':>12} {'entropy':>8} {'iters':>7} {'time':>7}")
+    total = 0.0
+    for hill in (1.0, 2.0, 3.0):
+        for synthesis in (15.0, 30.0):
+            network = toggle_switch(max_protein=40, hill=hill,
+                                    synthesis_rate=synthesis)
+            t0 = time.perf_counter()
+            landscape, result = solve_steady_state(network, tol=1e-9)
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            modes = landscape.grid_modes("A", "B")
+            print(f"{hill:5.1f} {synthesis:10.1f} {len(modes):6d} "
+                  f"{corner_mass(landscape):12.3f} "
+                  f"{landscape.entropy():8.2f} "
+                  f"{result.iterations:7d} {elapsed:6.2f}s")
+    print(f"\nsix conditions solved in {total:.1f}s — the workload the "
+          f"paper accelerates 15.67x by moving the Jacobi iteration to "
+          f"the GPU.")
+
+    # The sweep's scientific content: cooperativity creates bistability.
+    uni = solve_steady_state(toggle_switch(max_protein=40, hill=1.0))[0]
+    bi = solve_steady_state(toggle_switch(max_protein=40, hill=2.5))[0]
+    assert len(bi.grid_modes("A", "B")) >= 2
+    print(f"hill=1.0 -> {len(uni.grid_modes('A', 'B'))} mode(s); "
+          f"hill=2.5 -> {len(bi.grid_modes('A', 'B'))} modes (bistable).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The phage lambda epigenetic switch: lysogeny vs lysis.
+
+The paper's largest benchmark family comes from the lambda phage
+decision circuit (Cao, Lu & Liang, PNAS 2010): the CI repressor
+maintains lysogeny, Cro pushes toward lysis, and the two compete for
+the shared OR operator.  This example solves the steady state, projects
+it onto the (CI, Cro) plane, and shows how tilting the synthesis rates
+flips the commitment — plus why this family is the *hard* one for the
+GPU formats (irregular rows, scattered transitions).
+
+Run:  python examples/phage_lambda_switch.py
+"""
+
+from repro import phage_lambda, solve_steady_state
+from repro.gpusim import GTX580, spmv_performance
+from repro.sparse import ELLMatrix, WarpedELLMatrix
+from repro.sparse.stats import matrix_stats
+from repro.cme.ratematrix import build_rate_matrix
+
+
+def commitment(landscape) -> tuple[float, float]:
+    """Probability mass with CI dominant vs Cro dominant."""
+    grid = landscape.marginal2d("CI", "Cro")
+    ci_side = float(sum(grid[i, j] for i in range(grid.shape[0])
+                        for j in range(grid.shape[1]) if i > j))
+    cro_side = float(sum(grid[i, j] for i in range(grid.shape[0])
+                         for j in range(grid.shape[1]) if j > i))
+    return ci_side, cro_side
+
+
+def main() -> None:
+    print("=== balanced circuit")
+    network = phage_lambda(max_monomer=10, max_dimer=4)
+    landscape, result = solve_steady_state(network, tol=1e-9)
+    ci, cro = commitment(landscape)
+    means = landscape.mean_counts()
+    print(f"{result.stop_reason.value} in {result.iterations} iterations; "
+          f"P(CI side) = {ci:.3f}, P(Cro side) = {cro:.3f}, "
+          f"<CI> = {means['CI']:.2f}, <Cro> = {means['Cro']:.2f}")
+
+    print("\n=== tilted toward lysogeny (stronger activated CI synthesis)")
+    lysogenic = phage_lambda(max_monomer=10, max_dimer=4,
+                             activated_ci_rate=24.0, cro_rate=5.0)
+    land_lys, _ = solve_steady_state(lysogenic, tol=1e-9)
+    ci_l, cro_l = commitment(land_lys)
+    print(f"P(CI side) = {ci_l:.3f}, P(Cro side) = {cro_l:.3f}")
+    assert ci_l > ci, "raising CI synthesis must shift mass toward lysogeny"
+
+    print("\n=== why this family is the hard one for ELL (Table I/III)")
+    A = build_rate_matrix(landscape.space)
+    st = matrix_stats(A)
+    print(f"nnz/row [{st.min_nnz_row}, {st.mean_nnz_row:.2f}, "
+          f"{st.max_nnz_row}], variability {st.variability:.2f} "
+          f"(toggle/Brusselator sit near 0.05-0.12)")
+    ell = spmv_performance(ELLMatrix(A), GTX580, x_scale=50.0).gflops
+    warped = spmv_performance(WarpedELLMatrix(A, reorder="local"),
+                              GTX580, x_scale=50.0).gflops
+    print(f"modeled GTX580 SpMV: ELL {ell:.2f} GFLOPS, warp-grained "
+          f"{warped:.2f} GFLOPS ({100 * (warped / ell - 1):+.1f}% — the "
+          f"irregular rows are exactly what the paper's format compacts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Transient dynamics: watch a landscape relax to its steady state.
+
+The paper's Section VIII outlook ("we plan to further develop our
+GPU-based CME stochastic framework by including transient dynamic
+calculation"), implemented via uniformization in
+:mod:`repro.transient`.
+
+Starting from a cell with no proteins, the toggle switch first climbs
+the synthesis ladder, then splits into the two committed states; the
+total variation distance to the steady state decays to zero.
+
+Run:  python examples/transient_relaxation.py
+"""
+
+import numpy as np
+
+from repro import enumerate_state_space, build_rate_matrix, toggle_switch
+from repro.cme.landscape import ProbabilityLandscape
+from repro.solvers import JacobiSolver
+from repro.transient import transient_solve
+
+
+def main() -> None:
+    network = toggle_switch(max_protein=30)
+    space = enumerate_state_space(network)
+    A = build_rate_matrix(space)
+    steady = JacobiSolver(A, tol=1e-10, max_iterations=200_000).solve().x
+
+    p0 = np.zeros(space.size)
+    p0[space.index_of(network.initial_state)] = 1.0
+
+    print(f"{'time':>8} {'SpMV terms':>11} {'TV distance':>12} "
+          f"{'mean A':>7} {'mean B':>7} {'modes':>6}")
+    for t in (0.0, 0.2, 1.0, 3.0, 10.0, 30.0, 100.0):
+        r = transient_solve(A, p0, t) if t > 0 else None
+        p = r.p if r else p0
+        land = ProbabilityLandscape(space, p)
+        tv = 0.5 * float(np.abs(p - steady).sum())
+        means = land.mean_counts()
+        modes = land.grid_modes("A", "B")
+        print(f"{t:8.1f} {r.terms if r else 0:11d} {tv:12.4f} "
+              f"{means['A']:7.2f} {means['B']:7.2f} {len(modes):6d}")
+
+    final = transient_solve(A, p0, 200.0)
+    tv = 0.5 * float(np.abs(final.p - steady).sum())
+    assert tv < 1e-3, f"transient did not relax (TV={tv})"
+    print("\nAt t=200 the transient distribution matches the Jacobi "
+          f"steady state to TV distance {tv:.2e} — two independent "
+          "computations of the same landscape.")
+
+
+if __name__ == "__main__":
+    main()

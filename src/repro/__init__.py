@@ -1,0 +1,109 @@
+"""repro — GPU-based steady-state solution of the Chemical Master Equation.
+
+A from-scratch reproduction of Maggioni, Berger-Wolf & Liang (IPPS
+2013): the CME stochastic framework (reaction networks, DFS state-space
+enumeration, rate-matrix assembly), the GPU-oriented sparse formats
+(ELL, ELL+DIA, sliced ELL and the paper's warp-grained sliced ELL), the
+Jacobi steady-state solver with the paper's stopping machinery, and — in
+place of the GTX580 the paper measures on — a calibrated functional +
+performance simulator of the Fermi architecture (see DESIGN.md).
+
+Quickstart::
+
+    from repro import toggle_switch, solve_steady_state
+
+    network = toggle_switch(max_protein=40)
+    landscape, result = solve_steady_state(network)
+    print(landscape.ascii_heatmap("A", "B"))
+"""
+
+from repro.cme import (
+    CMEOperator,
+    ProbabilityLandscape,
+    Reaction,
+    ReactionNetwork,
+    Species,
+    StateSpace,
+    build_rate_matrix,
+    enumerate_state_space,
+)
+from repro.cme.models import (
+    brusselator,
+    phage_lambda,
+    schnakenberg,
+    toggle_switch,
+)
+from repro.solvers import JacobiSolver, PowerIterationSolver, SolverResult
+from repro.sparse import (
+    CSRMatrix,
+    COOMatrix,
+    DIAMatrix,
+    ELLDIAMatrix,
+    ELLMatrix,
+    SlicedELLMatrix,
+    WarpedELLMatrix,
+)
+from repro.gpusim import GTX580, DeviceSpec, jacobi_performance, spmv_performance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Species",
+    "Reaction",
+    "ReactionNetwork",
+    "StateSpace",
+    "enumerate_state_space",
+    "build_rate_matrix",
+    "CMEOperator",
+    "ProbabilityLandscape",
+    "toggle_switch",
+    "brusselator",
+    "schnakenberg",
+    "phage_lambda",
+    "JacobiSolver",
+    "PowerIterationSolver",
+    "SolverResult",
+    "COOMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "ELLDIAMatrix",
+    "SlicedELLMatrix",
+    "WarpedELLMatrix",
+    "DeviceSpec",
+    "GTX580",
+    "spmv_performance",
+    "jacobi_performance",
+    "solve_steady_state",
+]
+
+
+def solve_steady_state(network, *, tol: float = 1e-8,
+                       max_iterations: int = 500_000,
+                       solver_kwargs: dict | None = None,
+                       max_states: int = 5_000_000):
+    """Enumerate, assemble and solve a network's steady state in one call.
+
+    Parameters
+    ----------
+    network:
+        A :class:`ReactionNetwork`.
+    tol, max_iterations:
+        Jacobi stopping parameters (paper defaults scaled to typical
+        reproduction sizes).
+    solver_kwargs:
+        Extra :class:`JacobiSolver` options (e.g. ``damping=0.7``).
+    max_states:
+        Enumeration safety cap.
+
+    Returns
+    -------
+    (ProbabilityLandscape, SolverResult)
+        The steady-state landscape and the solver diagnostics.
+    """
+    space = enumerate_state_space(network, max_states=max_states)
+    A = build_rate_matrix(space)
+    solver = JacobiSolver(A, tol=tol, max_iterations=max_iterations,
+                          **(solver_kwargs or {}))
+    result = solver.solve()
+    return ProbabilityLandscape(space, result.x), result

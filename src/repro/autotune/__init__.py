@@ -1,0 +1,17 @@
+"""The clSpMV-analog format autotuner (Table III's last column).
+
+clSpMV (Su & Keutzer 2012) is an OpenCL framework holding an ensemble of
+sparse formats and selecting a representation per matrix from an
+offline-calibrated analytic cost model; its public implementation is
+single-precision only, so the paper normalizes its results to
+double-precision equivalents (e.g. x 8/12 for ELL).
+
+:class:`ClSpMVSelector` reproduces that pipeline: a *naive* selection
+cost model (structure-size driven, cache-blind — the reason the paper
+observes "nonintuitive" choices), single-precision execution through the
+GPU performance model, and the paper's precision normalization.
+"""
+
+from repro.autotune.clspmv import ClSpMVSelector, SelectionResult
+
+__all__ = ["ClSpMVSelector", "SelectionResult"]

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``solve``
+    Enumerate a model and compute its steady-state landscape.
+``stats``
+    Table I-style structure statistics of a benchmark or ``.mtx`` file.
+``spmv``
+    Modeled GTX580 SpMV performance of a matrix in a chosen format.
+``export``
+    Write a benchmark rate matrix to a Matrix Market file.
+``sweep``
+    Grid-sweep reaction rates and solve each condition (the paper's
+    motivating exploratory workload).
+``experiments``
+    Run the full table/figure harness (see
+    :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+MODELS = ("toggle-switch", "brusselator", "schnakenberg", "phage-lambda")
+FORMATS = ("csr", "ell", "ellr", "ell+dia", "sell", "warped-ell")
+
+
+def build_model(args):
+    from repro.cme.models import (
+        brusselator,
+        phage_lambda,
+        schnakenberg,
+        toggle_switch,
+    )
+    if args.model == "toggle-switch":
+        return toggle_switch(max_protein=args.max_protein)
+    if args.model == "brusselator":
+        return brusselator(max_x=args.max_x, max_y=args.max_y)
+    if args.model == "schnakenberg":
+        return schnakenberg(max_x=args.max_x, max_y=args.max_y)
+    return phage_lambda(max_monomer=args.max_monomer,
+                        max_dimer=args.max_dimer)
+
+
+def load_matrix(args):
+    """Resolve --benchmark/--mtx arguments to a CSR matrix."""
+    if getattr(args, "mtx", None):
+        from repro.sparse.mmio import read_matrix_market
+        return read_matrix_market(args.mtx)
+    from repro.cme.models import load_benchmark_matrix
+    return load_benchmark_matrix(args.benchmark, args.scale)
+
+
+def cmd_solve(args) -> int:
+    from repro import solve_steady_state
+    network = build_model(args)
+    print(network.describe())
+    kwargs = {}
+    if args.damping is not None:
+        kwargs["damping"] = args.damping
+    landscape, result = solve_steady_state(
+        network, tol=args.tol, max_iterations=args.max_iterations,
+        solver_kwargs=kwargs)
+    print(f"\n{result.stop_reason.value} after {result.iterations} "
+          f"iterations (residual {result.residual:.3e}, "
+          f"{result.runtime_s:.2f}s)")
+    means = {k: round(v, 2) for k, v in landscape.mean_counts().items()}
+    print(f"mean copy numbers: {means}")
+    if network.n_species == 2:
+        a, b = (s.name for s in network.species)
+        print(f"modes: {landscape.grid_modes(a, b)}")
+        if not args.no_heatmap:
+            print(landscape.ascii_heatmap(a, b))
+    return 0 if result.residual < 1e-3 else 1
+
+
+def cmd_stats(args) -> int:
+    from repro.sparse.stats import matrix_stats
+    from repro.utils.tables import Table
+    A = load_matrix(args)
+    st = matrix_stats(A)
+    table = Table(["metric", "value"], title="Matrix structure (Table I)")
+    table.add_row(["n", st.n])
+    table.add_row(["nnz", st.nnz])
+    table.add_row(["Matrix Market size (MB)", round(st.disk_megabytes, 2)])
+    table.add_row(["nnz/row min / mean / max",
+                   f"{st.min_nnz_row} / {st.mean_nnz_row:.2f} / "
+                   f"{st.max_nnz_row}"])
+    table.add_row(["variability sigma/mu", round(st.variability, 3)])
+    table.add_row(["skew (max-mu)/mu", round(st.skew, 3)])
+    table.add_row(["d{0}", round(st.diag_density, 3)])
+    table.add_row(["d{-1,0,+1}", round(st.band_density, 3)])
+    table.add_row(["ELL efficiency", round(st.ell_efficiency, 3)])
+    print(table.render())
+    return 0
+
+
+def cmd_spmv(args) -> int:
+    from repro.gpusim import GTX580, spmv_performance
+    from repro.sparse.conversion import from_scipy
+    from repro.utils.tables import Table
+    A = load_matrix(args)
+    table = Table(["format", "GFLOPS", "limiting", "footprint MB"],
+                  title=f"Modeled {GTX580.name} SpMV")
+    formats = FORMATS if args.format == "all" else (args.format,)
+    for name in formats:
+        fmt = from_scipy(A, name)
+        perf = spmv_performance(fmt, GTX580, x_scale=args.x_scale)
+        table.add_row([name, round(perf.gflops, 3),
+                       perf.limiting_resource,
+                       round(fmt.footprint() / 1e6, 2)])
+    print(table.render())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.sparse.mmio import write_matrix_market
+    A = load_matrix(args)
+    n_bytes = write_matrix_market(A, args.out)
+    print(f"wrote {args.out}: {A.shape[0]}x{A.shape[1]}, "
+          f"{A.nnz} nonzeros, {n_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import ParameterSweep
+    network = build_model(args)
+    grid = {}
+    for spec in args.vary:
+        name, _, values = spec.partition("=")
+        if not values:
+            print(f"bad --vary spec {spec!r}; expected name=v1,v2,...",
+                  file=sys.stderr)
+            return 2
+        grid[name] = [float(v) for v in values.split(",")]
+    sweep = ParameterSweep(network, grid)
+    kwargs = {"damping": args.damping} if args.damping is not None else {}
+    sweep.run(tol=args.tol, max_iterations=args.max_iterations,
+              solver_kwargs=kwargs)
+    print(sweep.table().render())
+    print(f"{len(sweep.points)} conditions in "
+          f"{sweep.total_solve_seconds():.2f}s")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.runner import run_all, write_markdown
+    results = run_all(args.scale)
+    if args.out:
+        write_markdown(results, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _add_matrix_source(parser, benchmarks) -> None:
+    parser.add_argument("--benchmark", choices=benchmarks,
+                        default="toggle-switch-1")
+    parser.add_argument("--scale", choices=("tiny", "small", "bench"),
+                        default="small")
+    parser.add_argument("--mtx", help="read a Matrix Market file instead")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    from repro.cme.models import benchmark_names
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve a model's steady state")
+    p.add_argument("--model", choices=MODELS, default="toggle-switch")
+    p.add_argument("--max-protein", type=int, default=40)
+    p.add_argument("--max-x", type=int, default=60)
+    p.add_argument("--max-y", type=int, default=30)
+    p.add_argument("--max-monomer", type=int, default=8)
+    p.add_argument("--max-dimer", type=int, default=4)
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-iterations", type=int, default=200_000)
+    p.add_argument("--damping", type=float, default=None)
+    p.add_argument("--no-heatmap", action="store_true")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("sweep", help="grid-sweep reaction rates")
+    p.add_argument("--model", choices=MODELS, default="toggle-switch")
+    p.add_argument("--max-protein", type=int, default=20)
+    p.add_argument("--max-x", type=int, default=40)
+    p.add_argument("--max-y", type=int, default=20)
+    p.add_argument("--max-monomer", type=int, default=6)
+    p.add_argument("--max-dimer", type=int, default=3)
+    p.add_argument("--vary", action="append", required=True,
+                   metavar="REACTION=V1,V2,...",
+                   help="rate grid, repeatable")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-iterations", type=int, default=200_000)
+    p.add_argument("--damping", type=float, default=None)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("stats", help="matrix structure statistics")
+    _add_matrix_source(p, benchmark_names())
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("spmv", help="modeled GTX580 SpMV performance")
+    _add_matrix_source(p, benchmark_names())
+    p.add_argument("--format", choices=FORMATS + ("all",), default="all")
+    p.add_argument("--x-scale", type=float, default=1.0,
+                   help="problem-size normalization (paper_n / n)")
+    p.set_defaults(func=cmd_spmv)
+
+    p = sub.add_parser("export", help="write a benchmark to .mtx")
+    _add_matrix_source(p, benchmark_names())
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("experiments", help="run the table/figure harness")
+    p.add_argument("--scale", choices=("tiny", "small", "bench"),
+                   default="small")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

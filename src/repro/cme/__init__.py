@@ -1,0 +1,37 @@
+"""The Chemical Master Equation framework (Section II).
+
+This subpackage models stochastic biochemical reaction networks:
+
+* :class:`Species` / :class:`Reaction` / :class:`ReactionNetwork` — the
+  discrete-state model with combinatorial mass-action propensities
+  ``A_k(x) = r_k · Π_i C(x_i, c_i)``.
+* :func:`enumerate_state_space` — the DFS optimal enumeration of the
+  finitely-buffered reachable state space (Cao & Liang 2008), whose visit
+  order exposes the dense diagonal band the ELL+DIA format exploits.
+* :func:`build_rate_matrix` — assembly of the sparse reaction-rate matrix
+  ``A`` with ``dP/dt = A·P``.
+* :class:`ProbabilityLandscape` — analysis of steady-state landscapes
+  (marginals, modes, entropy; Figure 2).
+* :mod:`repro.cme.models` — the four biological models of the paper and
+  the seven-instance benchmark registry of Table I.
+* :func:`repro.cme.ssa.simulate` — a Gillespie SSA cross-validator.
+"""
+
+from repro.cme.species import Species
+from repro.cme.reaction import Reaction
+from repro.cme.network import ReactionNetwork
+from repro.cme.statespace import StateSpace, enumerate_state_space
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.master_equation import CMEOperator
+from repro.cme.landscape import ProbabilityLandscape
+
+__all__ = [
+    "Species",
+    "Reaction",
+    "ReactionNetwork",
+    "StateSpace",
+    "enumerate_state_space",
+    "build_rate_matrix",
+    "CMEOperator",
+    "ProbabilityLandscape",
+]

@@ -1,0 +1,158 @@
+"""Steady-state probability landscape analysis (Figure 2).
+
+The probability landscape is the steady-state distribution over
+microstates.  Biological insight comes from projecting it onto one or two
+species (marginals), locating its modes (the macrostates — e.g. the two
+"on/off" corners of the genetic toggle switch) and summarizing it with
+expectations and entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cme.statespace import StateSpace
+from repro.errors import ValidationError
+from repro.utils.validation import check_probability_vector
+
+
+class ProbabilityLandscape:
+    """A probability distribution over an enumerated state space.
+
+    Parameters
+    ----------
+    space:
+        The state space the probabilities live on.
+    p:
+        Probability vector in the space's DFS order.
+    """
+
+    def __init__(self, space: StateSpace, p) -> None:
+        self.space = space
+        self.p = check_probability_vector(np.asarray(p, dtype=np.float64),
+                                          "p", atol=1e-6)
+        if self.p.shape[0] != space.size:
+            raise ValidationError(
+                f"p has length {self.p.shape[0]}, state space has "
+                f"{space.size} states")
+        # Clean tiny negatives from iterative solvers and renormalize.
+        self.p = np.clip(self.p, 0.0, None)
+        self.p /= self.p.sum()
+
+    # -- projections ----------------------------------------------------------
+
+    def marginal(self, species: str) -> np.ndarray:
+        """1-D marginal over one species' copy number.
+
+        Returns an array of length ``max_count + 1`` summing to 1.
+        """
+        idx = self.space.network.species_index(species)
+        levels = int(self.space.network.max_counts[idx]) + 1
+        out = np.zeros(levels, dtype=np.float64)
+        np.add.at(out, self.space.states[:, idx], self.p)
+        return out
+
+    def marginal2d(self, species_a: str, species_b: str) -> np.ndarray:
+        """2-D joint marginal grid ``P[n_a, n_b]`` over two species.
+
+        This is the landscape surface of the paper's Figure 2.
+        """
+        ia = self.space.network.species_index(species_a)
+        ib = self.space.network.species_index(species_b)
+        if ia == ib:
+            raise ValidationError("species must be distinct")
+        la = int(self.space.network.max_counts[ia]) + 1
+        lb = int(self.space.network.max_counts[ib]) + 1
+        grid = np.zeros((la, lb), dtype=np.float64)
+        np.add.at(grid, (self.space.states[:, ia], self.space.states[:, ib]),
+                  self.p)
+        return grid
+
+    # -- summaries --------------------------------------------------------------
+
+    def mean_counts(self) -> dict[str, float]:
+        """Expected copy number of every species."""
+        out = {}
+        for i, s in enumerate(self.space.network.species):
+            out[s.name] = float(self.space.states[:, i] @ self.p)
+        return out
+
+    def mode_state(self) -> np.ndarray:
+        """The most probable microstate."""
+        return self.space.states[int(np.argmax(self.p))].copy()
+
+    def entropy(self) -> float:
+        """Shannon entropy of the landscape, in nats."""
+        nz = self.p[self.p > 0]
+        return float(-(nz * np.log(nz)).sum())
+
+    def top_states(self, count: int = 10) -> list[tuple[np.ndarray, float]]:
+        """The *count* most probable microstates with their probabilities."""
+        order = np.argsort(-self.p)[:count]
+        return [(self.space.states[i].copy(), float(self.p[i])) for i in order]
+
+    def grid_modes(self, species_a: str, species_b: str,
+                   *, min_probability: float = 1e-6) -> list[tuple[int, int]]:
+        """Local maxima of the 2-D marginal (the landscape's macrostates).
+
+        A grid cell is a mode when it beats its 8-neighborhood and carries
+        at least *min_probability* mass.  The toggle switch yields two:
+        the (high A, low B) and (low A, high B) corners.
+        """
+        grid = self.marginal2d(species_a, species_b)
+        padded = np.pad(grid, 1, mode="constant", constant_values=-np.inf)
+        neighborhood = np.full(grid.shape, -np.inf)
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                window = padded[1 + di: 1 + di + grid.shape[0],
+                                1 + dj: 1 + dj + grid.shape[1]]
+                neighborhood = np.maximum(neighborhood, window)
+        is_mode = (grid > neighborhood) & (grid >= min_probability)
+        coords = np.argwhere(is_mode)
+        # Strongest first.
+        coords = coords[np.argsort(-grid[coords[:, 0], coords[:, 1]])]
+        return [(int(i), int(j)) for i, j in coords]
+
+    def ascii_heatmap(self, species_a: str, species_b: str,
+                      *, width: int = 60, height: int = 24) -> str:
+        """A terminal rendering of the 2-D landscape (Figure 2 stand-in).
+
+        Rows = species_a (top = high count), columns = species_b; shading
+        follows log-probability through a 10-character ramp.
+        """
+        grid = self.marginal2d(species_a, species_b)
+        la, lb = grid.shape
+        # Downsample to the requested character cell budget by box sums.
+        rows = min(height, la)
+        cols = min(width, lb)
+        ri = np.minimum((np.arange(la) * rows) // la, rows - 1)
+        ci = np.minimum((np.arange(lb) * cols) // lb, cols - 1)
+        small = np.zeros((rows, cols))
+        np.add.at(small, (ri[:, None].repeat(lb, axis=1),
+                          ci[None, :].repeat(la, axis=0)), grid)
+        ramp = " .:-=+*#%@"
+        nz = small[small > 0]
+        if nz.size == 0:
+            return "\n".join(" " * cols for _ in range(rows))
+        hi = np.log10(small.max())
+        # Clamp to 8 decades: landscapes span hundreds of orders of
+        # magnitude and an unclamped ramp washes out the modes.
+        lo = max(np.log10(nz.min()), hi - 8.0)
+        span = max(hi - lo, 1e-12)
+        lines = []
+        for r in range(rows - 1, -1, -1):
+            chars = []
+            for c in range(cols):
+                v = small[r, c]
+                if v <= 0:
+                    chars.append(" ")
+                else:
+                    t = max(0.0, (np.log10(v) - lo) / span)
+                    chars.append(ramp[min(int(t * (len(ramp) - 1) + 0.5),
+                                          len(ramp) - 1)])
+            lines.append("".join(chars))
+        header = (f"{species_a} (up) vs {species_b} (right), "
+                  f"log10 P in [{lo:.1f}, {hi:.1f}]")
+        return header + "\n" + "\n".join(lines)

@@ -1,0 +1,32 @@
+"""The paper's four biological models and the Table I benchmark registry.
+
+Each model module exposes a builder returning a
+:class:`~repro.cme.network.ReactionNetwork` with tunable copy-number
+buffers and rate constants; :mod:`repro.cme.models.registry` instantiates
+the seven benchmark matrices of Table I (at reduced buffer sizes — see
+DESIGN.md's substitution table).
+"""
+
+from repro.cme.models.toggle_switch import toggle_switch
+from repro.cme.models.brusselator import brusselator
+from repro.cme.models.schnakenberg import schnakenberg
+from repro.cme.models.phage_lambda import phage_lambda
+from repro.cme.models.registry import (
+    BENCHMARKS,
+    BenchmarkInstance,
+    benchmark_names,
+    load_benchmark,
+    load_benchmark_matrix,
+)
+
+__all__ = [
+    "toggle_switch",
+    "brusselator",
+    "schnakenberg",
+    "phage_lambda",
+    "BENCHMARKS",
+    "BenchmarkInstance",
+    "benchmark_names",
+    "load_benchmark",
+    "load_benchmark_matrix",
+]

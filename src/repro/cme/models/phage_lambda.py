@@ -1,0 +1,100 @@
+"""The phage lambda lysogeny switch (after Cao, Lu & Liang, PNAS 2010).
+
+The epigenetic switch between lysogeny (CI dominant) and lysis (Cro
+dominant).  This reproduction keeps the mechanistically essential parts
+of the PNAS model — dimerization of both repressors and their mutually
+exclusive binding to the shared OR operator — with the operator reduced
+to three states (free, CI2-bound, Cro2-bound):
+
+=======  ==================================  ===========================
+name     reaction                            role
+=======  ==================================  ===========================
+synCIb   ORfree → ORfree + CI                basal CI synthesis (PRM)
+synCIa   ORci → ORci + CI                    activated CI synthesis
+synCro   ORfree → ORfree + Cro               Cro synthesis (PR)
+degCI    CI → ∅                              CI monomer degradation
+degCro   Cro → ∅                             Cro monomer degradation
+dimCI    2CI → CI2                           CI dimerization
+udimCI   CI2 → 2CI                           CI2 dissociation
+dimCro   2Cro → Cro2                         Cro dimerization
+udimCro  Cro2 → 2Cro                         Cro2 dissociation
+bindCI   ORfree + CI2 → ORci                 CI2 binds OR (represses PR)
+ubindCI  ORci → ORfree + CI2                 CI2 unbinds
+bindCro  ORfree + Cro2 → ORcro               Cro2 binds OR (represses PRM)
+ubindCro ORcro → ORfree + Cro2               Cro2 unbinds
+degCI2   CI2 → ∅                             dimer degradation
+=======  ==================================  ===========================
+
+Fourteen reactions give at most fifteen nonzeros per row, matching the
+paper's phage-lambda rows of Table I (max 15).  Because most states lack
+some reactant (zero monomers, operator occupied, dimer buffer full), the
+row-length distribution is broad — variability ≈ 0.3 in the paper — which
+is exactly the irregularity the warp-grained ELL format profits from.
+"""
+
+from __future__ import annotations
+
+from repro.cme.network import ReactionNetwork
+from repro.cme.reaction import Reaction
+from repro.cme.species import Species
+
+
+def phage_lambda(*, max_monomer: int = 15, max_dimer: int = 7,
+                 basal_ci_rate: float = 2.0,
+                 activated_ci_rate: float = 12.0,
+                 cro_rate: float = 8.0,
+                 deg_ci: float = 1.0,
+                 deg_cro: float = 1.0,
+                 dimerization: float = 0.2,
+                 dissociation: float = 1.0,
+                 binding: float = 1.0,
+                 unbinding: float = 0.5,
+                 deg_ci2: float = 0.2,
+                 name: str = "phage-lambda") -> ReactionNetwork:
+    """Build a phage lambda switch network.
+
+    Parameters
+    ----------
+    max_monomer, max_dimer:
+        Copy-number buffers for the monomers (CI, Cro) and dimers
+        (CI2, Cro2).  State space
+        ``n ≈ 3 · (max_monomer + 1)² · (max_dimer + 1)²`` up to
+        reachability.
+    basal_ci_rate, activated_ci_rate, cro_rate:
+        Synthesis rates; ``activated_ci_rate > basal_ci_rate`` expresses
+        the positive PRM feedback that stabilizes lysogeny.
+    deg_ci, deg_cro, deg_ci2:
+        Degradation rates.
+    dimerization, dissociation, binding, unbinding:
+        Dimer and operator kinetics.
+    """
+    species = [
+        Species("CI", max_count=max_monomer, initial_count=0),
+        Species("Cro", max_count=max_monomer, initial_count=0),
+        Species("CI2", max_count=max_dimer, initial_count=0),
+        Species("Cro2", max_count=max_dimer, initial_count=0),
+        Species("ORfree", max_count=1, initial_count=1),
+        Species("ORci", max_count=1, initial_count=0),
+        Species("ORcro", max_count=1, initial_count=0),
+    ]
+    reactions = [
+        Reaction("synCIb", {"ORfree": 1}, {"ORfree": 1, "CI": 1},
+                 basal_ci_rate),
+        Reaction("degCI", {"CI": 1}, {}, deg_ci),
+        Reaction("synCro", {"ORfree": 1}, {"ORfree": 1, "Cro": 1},
+                 cro_rate),
+        Reaction("degCro", {"Cro": 1}, {}, deg_cro),
+        Reaction("synCIa", {"ORci": 1}, {"ORci": 1, "CI": 1},
+                 activated_ci_rate),
+        Reaction("dimCI", {"CI": 2}, {"CI2": 1}, dimerization),
+        Reaction("udimCI", {"CI2": 1}, {"CI": 2}, dissociation),
+        Reaction("dimCro", {"Cro": 2}, {"Cro2": 1}, dimerization),
+        Reaction("udimCro", {"Cro2": 1}, {"Cro": 2}, dissociation),
+        Reaction("bindCI", {"ORfree": 1, "CI2": 1}, {"ORci": 1}, binding),
+        Reaction("ubindCI", {"ORci": 1}, {"ORfree": 1, "CI2": 1}, unbinding),
+        Reaction("bindCro", {"ORfree": 1, "Cro2": 1}, {"ORcro": 1}, binding),
+        Reaction("ubindCro", {"ORcro": 1}, {"ORfree": 1, "Cro2": 1},
+                 unbinding),
+        Reaction("degCI2", {"CI2": 1}, {}, deg_ci2),
+    ]
+    return ReactionNetwork(species, reactions, name=name)

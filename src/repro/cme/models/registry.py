@@ -1,0 +1,139 @@
+"""The seven-instance benchmark registry of Table I.
+
+The paper derives seven rate matrices from four biological models.  This
+registry rebuilds all seven with the same models and the same *relative*
+sizing (three phage-lambda sizes, two toggle-switch sizes, one each of
+Brusselator and Schnakenberg), at buffer capacities scaled down to what a
+single-core NumPy reproduction can enumerate and solve (DESIGN.md §2).
+
+Each instance can be materialized at three scales:
+
+``"tiny"``
+    A few hundred states — unit/property tests.
+``"small"``
+    A few thousand states — integration tests and quick benchmarks.
+``"bench"``
+    Tens of thousands of states — the benchmark harness default.
+
+Enumerated spaces and rate matrices are memoized per ``(name, scale)``;
+benchmarks across tables share them.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+import scipy.sparse as sp
+
+from repro.cme.models.brusselator import brusselator
+from repro.cme.models.phage_lambda import phage_lambda
+from repro.cme.models.schnakenberg import schnakenberg
+from repro.cme.models.toggle_switch import toggle_switch
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.statespace import StateSpace, enumerate_state_space
+from repro.errors import ValidationError
+
+SCALES = ("tiny", "small", "bench")
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """One Table I benchmark: a model builder at three scales.
+
+    ``paper_n`` / ``paper_nnz`` record the original (full-scale) matrix
+    size from Table I for the paper-vs-measured report.
+    """
+
+    name: str
+    builders: dict  # scale -> Callable[[], ReactionNetwork]
+    paper_n: int
+    paper_nnz: int
+
+    def build(self, scale: str = "bench") -> ReactionNetwork:
+        if scale not in SCALES:
+            raise ValidationError(
+                f"unknown scale {scale!r}; expected one of {SCALES}")
+        return self.builders[scale]()
+
+
+def _toggle(mp: int, **kw) -> Callable[[], ReactionNetwork]:
+    return lambda: toggle_switch(max_protein=mp, **kw)
+
+
+def _bruss(mx: int, my: int) -> Callable[[], ReactionNetwork]:
+    return lambda: brusselator(max_x=mx, max_y=my)
+
+
+def _schnak(mx: int, my: int) -> Callable[[], ReactionNetwork]:
+    return lambda: schnakenberg(max_x=mx, max_y=my)
+
+
+def _lambda(mm: int, md: int) -> Callable[[], ReactionNetwork]:
+    return lambda: phage_lambda(max_monomer=mm, max_dimer=md)
+
+
+#: The seven Table I instances, in the paper's row order.
+BENCHMARKS: dict[str, BenchmarkInstance] = {
+    "toggle-switch-1": BenchmarkInstance(
+        "toggle-switch-1",
+        {"tiny": _toggle(12), "small": _toggle(45), "bench": _toggle(150)},
+        paper_n=319_204, paper_nnz=1_908_834),
+    "brusselator": BenchmarkInstance(
+        "brusselator",
+        {"tiny": _bruss(18, 8), "small": _bruss(70, 35),
+         "bench": _bruss(220, 110)},
+        paper_n=501_500, paper_nnz=2_501_500),
+    "phage-lambda-1": BenchmarkInstance(
+        "phage-lambda-1",
+        {"tiny": _lambda(4, 2), "small": _lambda(8, 4),
+         "bench": _lambda(12, 6)},
+        paper_n=1_067_713, paper_nnz=10_058_061),
+    "schnakenberg": BenchmarkInstance(
+        "schnakenberg",
+        {"tiny": _schnak(18, 8), "small": _schnak(75, 40),
+         "bench": _schnak(260, 120)},
+        paper_n=2_003_001, paper_nnz=14_001_003),
+    "phage-lambda-2": BenchmarkInstance(
+        "phage-lambda-2",
+        {"tiny": _lambda(5, 2), "small": _lambda(9, 4),
+         "bench": _lambda(14, 7)},
+        paper_n=2_437_455, paper_nnz=25_948_259),
+    "toggle-switch-2": BenchmarkInstance(
+        "toggle-switch-2",
+        {"tiny": _toggle(14), "small": _toggle(60), "bench": _toggle(256)},
+        paper_n=4_425_151, paper_nnz=42_202_701),
+    "phage-lambda-3": BenchmarkInstance(
+        "phage-lambda-3",
+        {"tiny": _lambda(6, 3), "small": _lambda(10, 5),
+         "bench": _lambda(16, 8)},
+        paper_n=9_980_913, paper_nnz=94_469_061),
+}
+
+
+def benchmark_names() -> list[str]:
+    """The seven benchmark names in Table I row order."""
+    return list(BENCHMARKS)
+
+
+@functools.lru_cache(maxsize=32)
+def load_benchmark(name: str, scale: str = "bench") \
+        -> tuple[ReactionNetwork, StateSpace]:
+    """Build and enumerate one benchmark (memoized)."""
+    try:
+        instance = BENCHMARKS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}") from None
+    network = instance.build(scale)
+    space = enumerate_state_space(network)
+    return network, space
+
+
+@functools.lru_cache(maxsize=32)
+def load_benchmark_matrix(name: str, scale: str = "bench") -> sp.csr_matrix:
+    """The benchmark's rate matrix in canonical CSR (memoized)."""
+    _, space = load_benchmark(name, scale)
+    return build_rate_matrix(space)

@@ -1,0 +1,101 @@
+"""Assembly of the sparse reaction-rate matrix ``A`` (Section II).
+
+``A`` collects the microstate transition rates: for states ``j -> i``
+connected by reaction ``k`` with propensity ``a = A_k(x_j)``,
+
+* ``A[i, j] += a``                      (probability gain of ``i``), and
+* ``A[j, j] -= a``                      (probability loss of ``j``),
+
+so that ``dP/dt = A · P``.  Columns sum to zero (generator property), all
+off-diagonal entries are non-negative, and the main diagonal is strictly
+negative for every state with at least one outgoing reaction — which is
+what makes the diagonal fully dense (Table I's ``d{0} = 1.00``).
+
+Assembly is vectorized per reaction: propensities for all states at once,
+successor lookup through the state space's mixed-radix key index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cme.statespace import StateSpace
+from repro.errors import EnumerationError
+from repro.sparse.base import as_csr
+
+
+def build_rate_matrix(space: StateSpace) -> sp.csr_matrix:
+    """Build the reaction-rate matrix of an enumerated state space.
+
+    Returns the canonical CSR matrix ``A`` (``float64`` data, ``int32``
+    indices) with ``dP/dt = A @ P``; states are indexed in the space's
+    DFS order, which is what exposes the dense diagonal band.
+    """
+    network = space.network
+    n = space.size
+    states = space.states
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    diag = np.zeros(n, dtype=np.float64)
+
+    for k in range(network.n_reactions):
+        a = network.propensities.propensity(states, k)
+        active = a > 0.0
+        if not active.any():
+            continue
+        src = np.flatnonzero(active)
+        targets = states[src] + network.stoichiometry[k]
+        inside = np.all((targets >= 0) & (targets <= network.max_counts),
+                        axis=1)
+        src = src[inside]
+        if src.size == 0:
+            continue
+        tgt = space.lookup(targets[inside])
+        if np.any(tgt < 0):
+            # The DFS explored every in-buffer transition, so an absent
+            # successor means the space and network are inconsistent.
+            raise EnumerationError(
+                "state space is not closed under the network's reactions")
+        rate = a[src]
+        rows_parts.append(tgt)
+        cols_parts.append(src)
+        vals_parts.append(rate)
+        np.subtract.at(diag, src, rate)
+
+    rows_parts.append(np.arange(n, dtype=np.int64))
+    cols_parts.append(np.arange(n, dtype=np.int64))
+    vals_parts.append(diag)
+
+    coo = sp.coo_matrix(
+        (np.concatenate(vals_parts),
+         (np.concatenate(rows_parts), np.concatenate(cols_parts))),
+        shape=(n, n))
+    return as_csr(coo)
+
+
+def check_generator(A, *, atol: float = 1e-9) -> None:
+    """Validate generator structure: columns sum to 0, off-diagonal >= 0.
+
+    Raises :class:`~repro.errors.EnumerationError` on violation; used by
+    tests and by :class:`repro.cme.master_equation.CMEOperator`.
+    """
+    csr = as_csr(A)
+    col_sums = np.asarray(csr.sum(axis=0)).ravel()
+    scale = max(1.0, float(np.abs(csr.data).max()) if csr.nnz else 1.0)
+    if np.abs(col_sums).max() > atol * scale:
+        raise EnumerationError(
+            f"columns do not sum to zero (max |sum| = {np.abs(col_sums).max()})")
+    diag = csr.diagonal()
+    off_min = 0.0
+    if csr.nnz:
+        coo = csr.tocoo()
+        off = coo.row != coo.col
+        if off.any():
+            off_min = float(coo.data[off].min())
+    if off_min < -atol * scale:
+        raise EnumerationError(
+            f"negative off-diagonal rate found ({off_min})")
+    if np.any(diag > atol * scale):
+        raise EnumerationError("positive diagonal entry found")

@@ -1,0 +1,125 @@
+"""Reactions with combinatorial mass-action propensities.
+
+A reaction ``k`` transforms ``c_i`` copies of each reactant species into
+products at the intrinsic rate ``r_k``.  Its propensity in microstate
+``x`` is the paper's Section II-A expression::
+
+    A_k(x) = r_k · Π_i C(x_i, c_i)
+
+i.e. the rate constant times the number of distinct reactant combinations
+available.  ``C(x, 0) = 1``, so non-reactant species do not contribute;
+``C(x, c) = 0`` whenever ``x < c``, which encodes "not enough molecules".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import ValidationError
+
+
+def _freeze(mapping: Mapping[str, int], what: str) -> dict[str, int]:
+    out = {}
+    for name, count in dict(mapping).items():
+        count = int(count)
+        if count <= 0:
+            raise ValidationError(
+                f"{what} count for species {name!r} must be positive, "
+                f"got {count}")
+        out[str(name)] = count
+    return out
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One elementary reaction.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (unique within a network).
+    reactants:
+        Mapping ``species name -> stoichiometric coefficient`` consumed.
+        Empty mapping = a source reaction (``∅ → ...``).
+    products:
+        Mapping ``species name -> coefficient`` produced.
+    rate:
+        Intrinsic rate constant ``r_k`` (> 0).
+
+    Examples
+    --------
+    >>> Reaction("dimerize", {"A": 2}, {"A2": 1}, rate=0.5)  # doctest: +ELLIPSIS
+    Reaction(...)
+    """
+
+    name: str
+    reactants: Mapping[str, int]
+    products: Mapping[str, int]
+    rate: float
+    #: Optional custom propensity replacing the mass-action expression.
+    #: Called as ``fn(states, species_index)`` with an ``(n, m)`` state
+    #: batch and the ``name -> column`` map; must return ``(n,)`` rates.
+    #: Used for regulated (e.g. Hill-type) synthesis, as in Cao & Liang's
+    #: framework where propensities are arbitrary functions of the state.
+    propensity_fn: Callable | None = None
+    #: Declare a custom propensity as strictly positive on every state —
+    #: lets the DFS enumeration treat the reaction as always applicable
+    #: without evaluating the function state by state.
+    strictly_positive: bool = False
+    # Frozen copies with validated positive coefficients.
+    _reactants: dict[str, int] = field(init=False, repr=False, compare=False)
+    _products: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("reaction name must be non-empty")
+        rate = float(self.rate)
+        if not rate > 0.0:
+            raise ValidationError(
+                f"reaction {self.name!r}: rate must be positive, got {self.rate}")
+        object.__setattr__(self, "rate", rate)
+        object.__setattr__(self, "_reactants",
+                           _freeze(self.reactants, f"reaction {self.name!r} reactant"))
+        object.__setattr__(self, "_products",
+                           _freeze(self.products, f"reaction {self.name!r} product"))
+        object.__setattr__(self, "reactants", dict(self._reactants))
+        object.__setattr__(self, "products", dict(self._products))
+        if not self._reactants and not self._products:
+            raise ValidationError(
+                f"reaction {self.name!r} has neither reactants nor products")
+        if self.strictly_positive and self.propensity_fn is None:
+            raise ValidationError(
+                f"reaction {self.name!r}: strictly_positive only applies "
+                f"to a custom propensity_fn")
+        if self.propensity_fn is not None and self._reactants:
+            raise ValidationError(
+                f"reaction {self.name!r}: a custom propensity_fn replaces "
+                f"the mass-action expression entirely; model consumed "
+                f"species through the net change (products/reactants) of a "
+                f"mass-action reaction instead")
+
+    def species_names(self) -> set[str]:
+        """All species this reaction touches."""
+        return set(self._reactants) | set(self._products)
+
+    def net_change(self) -> dict[str, int]:
+        """Net stoichiometric change per species (products - reactants)."""
+        change: dict[str, int] = {}
+        for name, c in self._products.items():
+            change[name] = change.get(name, 0) + c
+        for name, c in self._reactants.items():
+            change[name] = change.get(name, 0) - c
+        return {name: d for name, d in change.items() if d != 0}
+
+    def is_reversible_pair(self, other: "Reaction") -> bool:
+        """True when *other* exactly undoes this reaction's net change.
+
+        Reversible pairs are what create the dense ``{-1, +1}`` diagonals
+        under DFS enumeration (Section V): forward/backward reactions link
+        DFS-adjacent microstates.
+        """
+        mine = self.net_change()
+        theirs = other.net_change()
+        return (set(mine) == set(theirs)
+                and all(mine[k] == -theirs[k] for k in mine))

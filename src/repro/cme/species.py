@@ -1,0 +1,51 @@
+"""Molecular species of a reaction network.
+
+A species carries the finite buffer bound used by the optimal enumeration:
+the CME state space is made finite by capping each copy number at
+``max_count`` (Cao & Liang's finitely-buffered enumeration).  Reactions
+that would push a species beyond its buffer are blocked, which keeps the
+rate matrix a proper generator (columns still sum to zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Species:
+    """One molecular species.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the network.
+    max_count:
+        Buffer capacity: the largest copy number representable in the
+        enumerated state space.
+    initial_count:
+        Copy number in the enumeration's initial microstate.
+    """
+
+    name: str
+    max_count: int
+    initial_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("species name must be non-empty")
+        if self.max_count < 0:
+            raise ValidationError(
+                f"species {self.name!r}: max_count must be >= 0, "
+                f"got {self.max_count}")
+        if not (0 <= self.initial_count <= self.max_count):
+            raise ValidationError(
+                f"species {self.name!r}: initial_count {self.initial_count} "
+                f"outside [0, {self.max_count}]")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable copy-number levels (``max_count + 1``)."""
+        return self.max_count + 1

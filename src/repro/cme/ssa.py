@@ -1,0 +1,116 @@
+"""Gillespie stochastic simulation (SSA) cross-validator.
+
+The direct-method SSA samples exact trajectories of the same jump process
+the CME describes.  Time-averaging a long trajectory therefore estimates
+the steady-state landscape, giving an independent check of the linear-
+algebra solution on small models (the two must agree up to Monte-Carlo
+error — an invariant the integration tests exercise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cme.network import ReactionNetwork
+from repro.cme.statespace import StateSpace
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SSAResult:
+    """Outcome of one SSA run."""
+
+    #: Visited states, one row per jump (including the initial state).
+    states: np.ndarray
+    #: Sojourn time spent in each visited state.
+    sojourn: np.ndarray
+    #: Total simulated time.
+    total_time: float
+    #: Number of reaction firings.
+    n_jumps: int
+
+
+def simulate(network: ReactionNetwork, *, t_max: float,
+             initial_state=None, seed: int | None = 0,
+             burn_in: float = 0.0) -> SSAResult:
+    """Run the direct-method SSA until *t_max* (after *burn_in*).
+
+    Buffer-blocked reactions (successor outside a species' ``max_count``)
+    are excluded from the firing propensities, mirroring exactly the
+    finitely-buffered CME semantics, so the SSA and the rate matrix
+    describe the same process.
+    """
+    if t_max <= 0:
+        raise ValidationError(f"t_max must be positive, got {t_max}")
+    if burn_in < 0:
+        raise ValidationError(f"burn_in must be >= 0, got {burn_in}")
+    rng = np.random.default_rng(seed)
+    if initial_state is None:
+        state = network.initial_state.copy()
+    else:
+        state = np.asarray(initial_state, dtype=np.int64).copy()
+        if state.shape != (network.n_species,):
+            raise ValidationError("initial_state has the wrong length")
+
+    stoich = network.stoichiometry
+    bounds = network.max_counts
+    evaluator = network.propensities
+
+    states: list[np.ndarray] = []
+    sojourn: list[float] = []
+    t = 0.0
+    horizon = burn_in + t_max
+    while t < horizon:
+        batch = state[None, :]
+        props = evaluator.all_propensities(batch)[0]
+        # Block buffer-violating reactions.
+        for k in range(network.n_reactions):
+            if props[k] > 0.0:
+                succ = state + stoich[k]
+                if np.any(succ < 0) or np.any(succ > bounds):
+                    props[k] = 0.0
+        total = props.sum()
+        if total <= 0.0:
+            # Absorbing state: it holds all remaining time.
+            dwell = horizon - t
+            if t + dwell > burn_in:
+                states.append(state.copy())
+                sojourn.append(min(dwell, t + dwell - burn_in))
+            t = horizon
+            break
+        dwell = rng.exponential(1.0 / total)
+        effective_end = min(t + dwell, horizon)
+        credited = effective_end - max(t, burn_in)
+        if credited > 0:
+            states.append(state.copy())
+            sojourn.append(credited)
+        t += dwell
+        if t >= horizon:
+            break
+        k = int(rng.choice(network.n_reactions, p=props / total))
+        state = state + stoich[k]
+
+    return SSAResult(states=np.array(states, dtype=np.int64),
+                     sojourn=np.array(sojourn, dtype=np.float64),
+                     total_time=float(np.sum(sojourn)),
+                     n_jumps=len(states) - 1 if states else 0)
+
+
+def occupancy(result: SSAResult, space: StateSpace) -> np.ndarray:
+    """Time-averaged occupancy of *result* over an enumerated space.
+
+    Returns a probability vector aligned with the space's DFS order;
+    visited states outside the space raise (they indicate a buffer
+    mismatch between the SSA run and the enumeration).
+    """
+    if result.total_time <= 0:
+        raise ValidationError("SSA result has no simulated time")
+    idx = space.lookup(result.states)
+    if np.any(idx < 0):
+        raise ValidationError(
+            "SSA visited states outside the enumerated space")
+    p = np.zeros(space.size, dtype=np.float64)
+    np.add.at(p, idx, result.sojourn)
+    return p / p.sum()

@@ -1,0 +1,19 @@
+"""The multicore CPU baseline (Section VII-D).
+
+The paper's Jacobi baseline is an Intel-MKL-derived CSR+DIA
+implementation on a quad-socket 64-core AMD Opteron 6274.  This
+subpackage reproduces it as :class:`CSRDIABaseline` — a functional
+NumPy executor over the CSR remainder + DIA band split — paired with an
+LLC-aware roofline model (:class:`CPUSpec`) calibrated to the paper's
+measured 0.646-1.399 GFLOPS range (DESIGN.md §2).
+"""
+
+from repro.cpu.machine import OPTERON_6274_QUAD, CPUSpec
+from repro.cpu.baseline import CPUPerfEstimate, CSRDIABaseline
+
+__all__ = [
+    "CPUSpec",
+    "OPTERON_6274_QUAD",
+    "CSRDIABaseline",
+    "CPUPerfEstimate",
+]

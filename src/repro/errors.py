@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate between configuration problems, numerical
+failures and format-construction errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range, ...)."""
+
+
+class FormatError(ReproError):
+    """A sparse-matrix format could not be constructed or is inconsistent."""
+
+
+class EnumerationError(ReproError):
+    """State-space enumeration failed (e.g. exceeded the state budget)."""
+
+
+class StateSpaceOverflowError(EnumerationError):
+    """The DFS enumeration hit the configured maximum number of states.
+
+    The CME state space grows exponentially with the number of species; a
+    hard cap protects against runaway enumerations.  The partially explored
+    space is attached as the ``partial_states`` attribute for diagnostics.
+    """
+
+    def __init__(self, limit: int, message: str | None = None) -> None:
+        self.limit = limit
+        super().__init__(
+            message or f"state-space enumeration exceeded the cap of {limit} states"
+        )
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(message)
+
+
+class SingularMatrixError(ReproError):
+    """A matrix required to be invertible (e.g. the Jacobi diagonal) is not."""
+
+
+class DeviceModelError(ReproError):
+    """The GPU/CPU performance model was configured inconsistently."""

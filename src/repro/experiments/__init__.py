@@ -1,0 +1,40 @@
+"""The per-table / per-figure experiment harness (DESIGN.md §4).
+
+Each module reproduces one table or figure of the paper's evaluation:
+it runs the workload, returns structured rows including the paper's
+reference numbers, and renders the paper-style text table.  The
+benchmark suite under ``benchmarks/`` wraps these with pytest-benchmark;
+:mod:`repro.experiments.runner` regenerates ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (  # noqa: F401  (re-exported modules)
+    ablations,
+    blocksize,
+    kepler,
+    figure2,
+    figure5,
+    footprint,
+    l1cache,
+    reordering,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure2",
+    "figure5",
+    "blocksize",
+    "kepler",
+    "ablations",
+    "l1cache",
+    "reordering",
+    "footprint",
+]

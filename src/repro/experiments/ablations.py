@@ -1,0 +1,148 @@
+"""Ablation studies of the paper's two central design choices.
+
+``run_sell_c_sigma``
+    Sweeps the (chunk, sorting-window) plane around the paper's
+    warp-grained format.  The paper argues for (C=32, sigma=256) on two
+    grounds — Section VI's occupancy/padding trade-off and Section
+    VII-C's reordering experiment — and this sweep shows the whole
+    response surface: bigger chunks pad more, unsorted chunks pad more,
+    and the global sort (sigma = n) trades padding for locality at a
+    loss, exactly the paper's argument against pJDS.
+
+``run_dia_threshold``
+    Validates Section V's 8/12 rule: DIA storage of a diagonal beats
+    ELL storage exactly when the diagonal's density exceeds 2/3
+    (8 bytes per DIA slot vs 12 per ELL nonzero).  The sweep builds
+    band matrices of controlled density and locates the footprint
+    crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cme.models import load_benchmark_matrix
+from repro.experiments.common import ExperimentResult, x_scale_for
+from repro.gpusim import GTX580, spmv_performance
+from repro.sparse.base import as_csr
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ell_dia import DIA_DENSITY_THRESHOLD, ELLDIAMatrix
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+
+CHUNKS = (32, 64, 128, 256)
+SIGMAS = (1, 256, 2048, 0)  # 0 stands for "n" (global sort)
+
+
+def run_sell_c_sigma(*, benchmark: str = "phage-lambda-1",
+                     scale: str = "bench", device=GTX580) -> ExperimentResult:
+    """Modeled GFLOPS over the (C, sigma) plane for one benchmark."""
+    A = load_benchmark_matrix(benchmark, scale)
+    xs = x_scale_for(benchmark, A.shape[0])
+    headers = ["chunk C"] + [
+        ("sigma=n" if s == 0 else f"sigma={s}") for s in SIGMAS]
+    rows = []
+    best = (None, -1.0)
+    for c in CHUNKS:
+        row = [c]
+        for s in SIGMAS:
+            sigma = A.shape[0] if s == 0 else max(s, c) if s != 1 else 1
+            fmt = SellCSigmaMatrix(A, chunk=c, sigma=sigma)
+            gf = spmv_performance(fmt, device, x_scale=xs).gflops
+            row.append(round(gf, 3))
+            if gf > best[1]:
+                best = ((c, s), gf)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="Ablation (SELL-C-sigma)",
+        title=f"Chunk/sort-window sweep on {benchmark}",
+        headers=headers,
+        rows=rows,
+        summary={"best_config": f"C={best[0][0]}, "
+                 f"sigma={'n' if best[0][1] == 0 else best[0][1]}",
+                 "best_gflops": best[1],
+                 "paper_choice": "C=32, sigma=256"},
+        notes=("The paper's warp-grained format is the (32, 256) cell; "
+               "sigma=n is the pJDS-style global sort the paper rejects."),
+    )
+
+
+def band_matrix_with_density(n: int, density: float,
+                             seed: int = 0) -> sp.csr_matrix:
+    """A tridiagonal-band matrix whose off-diagonals have the given density.
+
+    The main diagonal stays full (it is the Jacobi divisor); the +-1
+    neighbors keep exactly ``density`` of their slots, chosen uniformly.
+    A far +-40 pair provides the ELL remainder so both formats always
+    have work.
+    """
+    rng = np.random.default_rng(seed)
+    diag = -(rng.random(n) + 2.0)
+    parts = [sp.diags(diag, 0, shape=(n, n))]
+    for off in (-1, 1):
+        size = n - 1
+        values = rng.random(size) + 0.1
+        keep = rng.random(size) < density
+        values = np.where(keep, values, 0.0)
+        parts.append(sp.diags(values, off, shape=(n, n)))
+    for off in (-40, 40):
+        size = n - 40
+        parts.append(sp.diags(rng.random(size) + 0.1, off, shape=(n, n)))
+    return as_csr(sum(parts[1:], parts[0]).tocsr())
+
+
+def run_dia_threshold(*, n: int = 8192, device=GTX580) -> ExperimentResult:
+    """Per-diagonal storage and kernel performance across band densities.
+
+    Section V's rule is *per diagonal*: a diagonal of density ``d``
+    stored in DIA costs ``8n`` bytes (every slot, occupied or not); its
+    ``d*n`` nonzeros cost ``12*d*n`` bytes in a padding-free ELL-family
+    structure.  DIA wins iff ``8n < 12 d n``, i.e. ``d > 2/3``.  The
+    comparison therefore uses the warp-grained format (slot efficiency
+    ~1) as the ELL-side carrier, so padding does not mask the rule.
+    """
+    headers = ["band density", "band-in-warped MB", "band-in-DIA MB",
+               "DIA smaller?", "warped GF", "hybrid GF"]
+    rows = []
+    crossover = None
+    densities = (0.2, 0.4, 0.5, 0.6, 2 / 3, 0.75, 0.9, 1.0)
+    from repro.sparse.dia import DIAMatrix
+    for density in densities:
+        A = band_matrix_with_density(n, density)
+        # Isolate the +-1 decision: the (always dense) main diagonal
+        # stays in DIA on both sides, only the band placement differs.
+        main = DIAMatrix.from_scipy(A, offsets=[0])
+        band = DIAMatrix.from_scipy(A, offsets=[-1, 0, 1])
+        rest_with_band = as_csr((A - main.to_scipy()).tocsr())
+        rest_without = as_csr((A - band.to_scipy()).tocsr())
+        in_warped_bytes = (main.footprint()
+                           + SellCSigmaMatrix(rest_with_band, chunk=32,
+                                              sigma=256).footprint())
+        in_dia_bytes = (band.footprint()
+                        + SellCSigmaMatrix(rest_without, chunk=32,
+                                           sigma=256).footprint())
+        smaller = in_dia_bytes < in_warped_bytes
+        if smaller and crossover is None:
+            crossover = density
+        # Kernel view: plain ELL vs the fused ELL+DIA at this density.
+        ell = ELLMatrix(A)
+        hybrid = ELLDIAMatrix(A, offsets=[-1, 0, 1])
+        rows.append([
+            round(density, 3),
+            round(in_warped_bytes / 1e6, 3),
+            round(in_dia_bytes / 1e6, 3),
+            "yes" if smaller else "no",
+            round(spmv_performance(ell, device, x_scale=100.0).gflops, 3),
+            round(spmv_performance(hybrid, device, x_scale=100.0).gflops, 3),
+        ])
+    return ExperimentResult(
+        experiment_id="Ablation (DIA threshold)",
+        title="Section V's 8/12 density rule",
+        headers=headers,
+        rows=rows,
+        summary={"rule_threshold": DIA_DENSITY_THRESHOLD,
+                 "observed_crossover_at": crossover},
+        notes=("A DIA slot costs 8 bytes whether occupied or not; a "
+               "padding-free ELL nonzero costs 12.  Storage breaks even "
+               "at density 2/3 — the rule select_band_offsets enforces."),
+    )

@@ -1,0 +1,77 @@
+"""Shared experiment plumbing: cached formats, result container."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cme.models import BENCHMARKS, load_benchmark_matrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    #: Free-form summary values (averages, speedups, ...).
+    summary: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self) -> Table:
+        t = Table(self.headers, title=f"{self.experiment_id}: {self.title}")
+        for row in self.rows:
+            t.add_row(row)
+        return t
+
+    def render(self) -> str:
+        out = self.table().render()
+        if self.summary:
+            out += "\n" + "  ".join(
+                f"{k}={_fmt(v)}" for k, v in self.summary.items())
+        if self.notes:
+            out += "\n" + self.notes
+        return out
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def x_scale_for(name: str, n: int) -> float:
+    """Problem-size normalization for a scaled-down benchmark.
+
+    ``paper_n / n`` — see :func:`repro.gpusim.perfmodel.estimate_performance`.
+    """
+    return max(1.0, BENCHMARKS[name].paper_n / n)
+
+
+@functools.lru_cache(maxsize=128)
+def cached_format(name: str, scale: str, fmt: str):
+    """Build (once) a device format of a registry benchmark matrix."""
+    A = load_benchmark_matrix(name, scale)
+    if fmt == "ell":
+        return ELLMatrix(A)
+    if fmt == "ell+dia":
+        return ELLDIAMatrix(A)
+    if fmt == "sell":
+        return SlicedELLMatrix(A, slice_size=256)
+    if fmt == "csr":
+        return CSRMatrix(A)
+    if fmt == "warped+dia":
+        return WarpedELLMatrix(A, reorder="local", separate_diagonal=True)
+    if fmt.startswith("warped"):
+        _, _, reorder = fmt.partition(":")
+        return WarpedELLMatrix(A, reorder=reorder or "local")
+    raise ValueError(f"unknown format key {fmt!r}")

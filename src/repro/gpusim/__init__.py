@@ -1,0 +1,49 @@
+"""A functional + analytic performance simulator of Fermi-class GPUs.
+
+No GPU is available in this reproduction environment, so the paper's
+hardware is replaced by a simulator with two halves (see DESIGN.md §2):
+
+* **Functional half** — every kernel computes its result numerically
+  (vectorized NumPy, bit-checked against SciPy in the tests), so the
+  Jacobi solver and all examples produce real steady-state landscapes.
+
+* **Performance half** — the simulator derives, from the *actual* sparse
+  structure, exactly the memory traffic the corresponding CUDA kernel
+  would generate: per-warp-step coalescing of thread addresses into
+  128-byte transactions, compulsory/re-reference decomposition of the
+  ``x``-vector gathers, an L1/L2 capacity model, an occupancy calculator
+  (1536 threads / 48 warps / 8 blocks per SM on Fermi), and a roofline
+  combination ``t = max(t_dram, t_L2, t_flops)``.
+
+SpMV on these matrices is bandwidth-bound (the paper's Section V puts the
+no-cache ELL peak at 20.6 GFLOPS on a 192 GB/s GTX580), so counting bytes
+faithfully reproduces the *relative* performance of the formats; a small
+set of calibration constants in :mod:`repro.gpusim.device` anchors the
+absolute scale to the paper's GTX580 measurements.
+"""
+
+from repro.gpusim.device import (
+    GTX580,
+    KEPLER_K20X,
+    DeviceSpec,
+)
+from repro.gpusim.occupancy import Occupancy, calculate_occupancy
+from repro.gpusim.perfmodel import PerfEstimate, estimate_performance
+from repro.gpusim.executor import (
+    jacobi_performance,
+    spmv_performance,
+    run_spmv,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "GTX580",
+    "KEPLER_K20X",
+    "Occupancy",
+    "calculate_occupancy",
+    "PerfEstimate",
+    "estimate_performance",
+    "spmv_performance",
+    "jacobi_performance",
+    "run_spmv",
+]

@@ -1,0 +1,348 @@
+"""Coalescing: per-warp-step reduction of thread addresses to transactions.
+
+On Fermi, the 32 loads a warp issues in one step are converted into
+requests for 128-byte cache lines; performance is governed by how many
+*distinct* lines each warp-step touches (Section III).  This module
+counts those transactions exactly from the sparse structure:
+
+* the ``x``-vector gather of an ELL-family kernel at step ``c`` touches,
+  for warp ``w``, the lines ``{ col[r, c] // 16 : r in warp w, active }``;
+* a fully coalesced (streamed) access touches ``ceil(bytes / 128)`` lines
+  by construction and needs no counting.
+
+Statistics are kept at *block* granularity (256 rows — the CUDA block,
+whose warps are co-resident on one SM and share its L1), because that is
+the granularity at which the cache model can reason about reuse:
+
+``block_transactions``
+    coalesced transactions issued by the block's warps;
+``block_unique``
+    the block's line *footprint* — what must enter the SM at least once,
+    and what its L1 must hold for the block's re-references to hit;
+``block_near``
+    transactions whose line was requested by the same warp in the
+    immediately preceding step (within-row band locality: a row's
+    consecutive nonzeros sit in neighboring columns) — the prime L1-hit
+    candidates.
+
+Everything is computed vectorized over all warp-steps at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Sentinel line id for inactive lanes (sorts before all real lines).
+_SENTINEL = np.int64(-1)
+
+#: Rows per CUDA block for footprint grouping.
+DEFAULT_BLOCK_ROWS = 256
+
+
+@dataclass(frozen=True)
+class GatherStats:
+    """Transaction statistics of one kernel's gather stream.
+
+    Scalar attributes summarize the whole stream; the per-block arrays
+    (all the same length) let the cache model absorb re-references
+    against each block's measured footprint.
+    """
+
+    #: Total 128-byte transactions after intra-warp-step coalescing.
+    transactions: int
+    #: Distinct lines touched over the whole kernel (compulsory misses).
+    unique_lines: int
+    #: Warp-steps that issued at least one request.
+    active_steps: int
+    #: Raw per-thread loads before coalescing (= active lanes).
+    thread_loads: int
+    #: Per-block transactions.
+    block_transactions: np.ndarray = field(repr=False)
+    #: Per-block line footprints.
+    block_unique: np.ndarray = field(repr=False)
+    #: Per-block near (previous-step-same-warp) re-references.
+    block_near: np.ndarray = field(repr=False)
+    #: Per-block active warp-steps.
+    block_steps: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        bt = np.asarray(self.block_transactions, dtype=np.float64)
+        bu = np.asarray(self.block_unique, dtype=np.float64)
+        bn = np.asarray(self.block_near, dtype=np.float64)
+        bs = np.asarray(self.block_steps, dtype=np.float64)
+        if not (bt.shape == bu.shape == bn.shape == bs.shape) or bt.ndim != 1:
+            raise ValidationError("per-block arrays must be equal-length 1-D")
+        if np.any(bu + bn > bt + 1e-9):
+            raise ValidationError(
+                "block unique + near cannot exceed block transactions")
+        object.__setattr__(self, "block_transactions", bt)
+        object.__setattr__(self, "block_unique", bu)
+        object.__setattr__(self, "block_near", bn)
+        object.__setattr__(self, "block_steps", bs)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def rereferences(self) -> int:
+        """Transactions that re-request an already-touched line."""
+        return self.transactions - self.unique_lines
+
+    @property
+    def block_far(self) -> np.ndarray:
+        """Per-block re-references that are not near (long reuse distance)."""
+        return (self.block_transactions - self.block_unique
+                - self.block_near)
+
+    @property
+    def cross_block_rereferences(self) -> float:
+        """Lines in several blocks' footprints (inter-block reuse)."""
+        return float(self.block_unique.sum()) - self.unique_lines
+
+    @property
+    def lines_per_step(self) -> float:
+        """Average distinct lines per active warp-step (1 = perfect)."""
+        return self.transactions / self.active_steps if self.active_steps else 0.0
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Thread loads served per transaction (32 = perfect, 1 = scattered)."""
+        return self.thread_loads / self.transactions if self.transactions else 0.0
+
+    @property
+    def block_lines_per_step(self) -> np.ndarray:
+        """Per-block average distinct lines per warp-step."""
+        steps = np.maximum(self.block_steps, 1.0)
+        return self.block_transactions / steps
+
+    @staticmethod
+    def empty() -> "GatherStats":
+        z = np.zeros(0)
+        return GatherStats(0, 0, 0, 0, z, z, z, z)
+
+    def merge(self, other: "GatherStats",
+              shared_unique: int | None = None) -> "GatherStats":
+        """Combine two gather streams of the same kernel.
+
+        ``shared_unique``, when given, is the true distinct-line count of
+        the union (the overlap becomes cross-block reuse); the per-block
+        arrays are concatenated — each component keeps its own footprint.
+        """
+        naive = self.unique_lines + other.unique_lines
+        unique = naive if shared_unique is None else min(shared_unique, naive)
+        return GatherStats(
+            self.transactions + other.transactions,
+            unique,
+            self.active_steps + other.active_steps,
+            self.thread_loads + other.thread_loads,
+            np.concatenate([self.block_transactions, other.block_transactions]),
+            np.concatenate([self.block_unique, other.block_unique]),
+            np.concatenate([self.block_near, other.block_near]),
+            np.concatenate([self.block_steps, other.block_steps]),
+        )
+
+    def scaled(self, factor: float) -> "GatherStats":
+        """The same stream repeated ``factor`` times (compulsories once)."""
+        if factor < 1.0:
+            raise ValidationError("scale factor must be >= 1")
+        return GatherStats(
+            int(round(self.transactions * factor)),
+            self.unique_lines,
+            int(round(self.active_steps * factor)),
+            int(round(self.thread_loads * factor)),
+            self.block_transactions * factor,
+            self.block_unique,
+            # Extra sweeps re-touch resident lines: near re-references.
+            self.block_near * factor
+            + (self.block_transactions - self.block_near) * (factor - 1.0),
+            self.block_steps * factor,
+        )
+
+
+def _grouped_line_counts(lines: np.ndarray) -> tuple[np.ndarray, int]:
+    """Distinct non-sentinel values per (group, step).
+
+    ``lines`` has shape ``(G, warp_size, K)`` with :data:`_SENTINEL`
+    marking inactive lanes.  Returns ``(counts, total_active_lanes)``
+    where ``counts[g, c]`` is the transaction count of that warp-step.
+    """
+    if lines.ndim != 3:
+        raise ValidationError("lines must be (groups, warp, steps)")
+    active_lanes = int((lines != _SENTINEL).sum())
+    if lines.size == 0:
+        return np.zeros(lines.shape[::2], dtype=np.int64), 0
+    s = np.sort(lines, axis=1)
+    changes = (s[:, 1:, :] != s[:, :-1, :]) & (s[:, 1:, :] != _SENTINEL)
+    counts = changes.sum(axis=1, dtype=np.int64)
+    counts += (s[:, 0, :] != _SENTINEL)
+    return counts, active_lanes
+
+
+def _near_per_warp(lines: np.ndarray) -> np.ndarray:
+    """Near re-references per warp: distinct lines of step ``c`` already
+    requested by the same warp at step ``c-1``.
+
+    ``lines`` is ``(G, warp, K)`` with sentinels; returns a ``(G,)``
+    count array.
+    """
+    g, t, k = lines.shape
+    out = np.zeros(g, dtype=np.int64)
+    if k < 2 or g == 0:
+        return out
+    s = np.sort(lines, axis=1)
+    distinct = np.ones_like(s, dtype=bool)
+    distinct[:, 1:, :] = s[:, 1:, :] != s[:, :-1, :]
+    distinct &= s != _SENTINEL
+    # Chunk over groups to bound the (g, t, t, k-1) broadcast memory.
+    chunk = max(1, (1 << 24) // max(1, t * t * (k - 1)))
+    for lo in range(0, g, chunk):
+        cur = s[lo:lo + chunk, :, 1:]
+        prev = s[lo:lo + chunk, :, :-1]
+        dmask = distinct[lo:lo + chunk, :, 1:]
+        eq = cur[:, :, None, :] == prev[:, None, :, :]
+        in_prev = eq.any(axis=2)
+        out[lo:lo + chunk] = (dmask & in_prev).sum(axis=(1, 2))
+    return out
+
+
+def _unique_per_block(lines: np.ndarray, active: np.ndarray,
+                      rows_per_block: int) -> np.ndarray:
+    """Distinct active lines per block of ``rows_per_block`` rows.
+
+    ``lines``/``active`` are the flat ``(rows, K)`` arrays.
+    """
+    n_rows = lines.shape[0]
+    n_blocks = -(-n_rows // rows_per_block)
+    out = np.zeros(n_blocks, dtype=np.int64)
+    if not active.any():
+        return out
+    rows_idx, _ = np.nonzero(active)
+    block_of = rows_idx // rows_per_block
+    vals = lines[active]
+    order = np.lexsort((vals, block_of))
+    b = block_of[order]
+    v = vals[order]
+    new = np.ones(v.shape[0], dtype=bool)
+    new[1:] = (b[1:] != b[:-1]) | (v[1:] != v[:-1])
+    np.add.at(out, b[new], 1)
+    return out
+
+
+def warp_gather_stats(cols: np.ndarray, active: np.ndarray,
+                      *, warp_size: int = 32,
+                      elements_per_line: int = 16,
+                      block_rows: int = DEFAULT_BLOCK_ROWS) -> GatherStats:
+    """Gather statistics for an ELL-style ``(rows, steps)`` access plan.
+
+    ``cols[r, c]`` is the ``x`` index thread ``r`` gathers at step ``c``
+    (only where ``active``); warp ``w`` covers rows
+    ``[w * warp_size, (w+1) * warp_size)``, so the row count must be a
+    multiple of the warp size (the formats pad to warp granularity).
+
+    ``elements_per_line`` converts indices to line ids — 16 for
+    double-precision ``x`` on 128-byte lines, 32 for single precision;
+    ``block_rows`` sets the footprint-grouping granularity (the CUDA
+    block).
+    """
+    cols = np.asarray(cols)
+    active = np.asarray(active, dtype=bool)
+    if cols.shape != active.shape or cols.ndim != 2:
+        raise ValidationError("cols and active must be equal-shape 2-D arrays")
+    n_rows, k = cols.shape
+    if n_rows % warp_size != 0:
+        raise ValidationError(
+            f"row count {n_rows} is not a multiple of warp size {warp_size}")
+    if elements_per_line <= 0 or block_rows % warp_size != 0:
+        raise ValidationError(
+            "elements_per_line must be positive and block_rows a warp multiple")
+    if n_rows == 0 or k == 0:
+        return GatherStats.empty()
+
+    lines = np.where(active, cols.astype(np.int64) // elements_per_line,
+                     _SENTINEL)
+    grouped = lines.reshape(n_rows // warp_size, warp_size, k)
+    counts, lanes = _grouped_line_counts(grouped)
+    near_w = _near_per_warp(grouped)
+    unique = int(np.unique(lines[active]).size) if active.any() else 0
+
+    warps_per_block = block_rows // warp_size
+    n_blocks = -(-grouped.shape[0] // warps_per_block)
+    warp_tx = counts.sum(axis=1)
+    pad = n_blocks * warps_per_block - warp_tx.shape[0]
+    if pad:
+        warp_tx = np.concatenate([warp_tx, np.zeros(pad, dtype=np.int64)])
+        near_w = np.concatenate([near_w, np.zeros(pad, dtype=np.int64)])
+    warp_steps = (counts > 0).sum(axis=1)
+    if pad:
+        warp_steps = np.concatenate([warp_steps,
+                                     np.zeros(pad, dtype=np.int64)])
+    block_tx = warp_tx.reshape(n_blocks, warps_per_block).sum(axis=1)
+    block_near = near_w.reshape(n_blocks, warps_per_block).sum(axis=1)
+    block_steps = warp_steps.reshape(n_blocks, warps_per_block).sum(axis=1)
+    block_unique = _unique_per_block(lines, active, block_rows)
+    # Numerical guard: near is bounded by tx - unique per block.
+    block_near = np.minimum(block_near,
+                            np.maximum(block_tx - block_unique, 0))
+    return GatherStats(
+        transactions=int(counts.sum()),
+        unique_lines=unique,
+        active_steps=int((counts > 0).sum()),
+        thread_loads=lanes,
+        block_transactions=block_tx.astype(np.float64),
+        block_unique=block_unique.astype(np.float64),
+        block_near=block_near.astype(np.float64),
+        block_steps=block_steps.astype(np.float64),
+    )
+
+
+def streamed_transactions(total_bytes: int, *, line_bytes: int = 128) -> int:
+    """Transactions of a perfectly coalesced sequential access."""
+    if total_bytes < 0:
+        raise ValidationError("total_bytes must be non-negative")
+    return -(-total_bytes // line_bytes)
+
+
+def contiguous_gather_stats(n: int, offset: int, *,
+                            elements_per_line: int = 16,
+                            warp_size: int = 32,
+                            block_rows: int = DEFAULT_BLOCK_ROWS) -> GatherStats:
+    """Gather statistics of a DIA diagonal's ``x[i + offset]`` stream.
+
+    Contiguous but possibly misaligned: each warp reads ``warp_size``
+    consecutive elements starting at ``lo + offset``; a non-multiple-of-
+    line offset adds one straddling transaction per warp-step (Section V
+    notes alignment only happens for offsets that are multiples of 16).
+    The straddling line is shared with the neighboring warp — a near
+    re-reference.
+    """
+    if n <= 0:
+        return GatherStats.empty()
+    lo = max(0, -offset)
+    span = n - lo
+    if span <= 0:
+        return GatherStats.empty()
+    n_warps = -(-span // warp_size)
+    aligned = offset % elements_per_line == 0
+    lines_per_warp = warp_size // elements_per_line + (0 if aligned else 1)
+    unique = min(-(-span // elements_per_line) + (0 if aligned else 1),
+                 n_warps * lines_per_warp)
+    transactions = n_warps * lines_per_warp
+
+    n_blocks = -(-span // block_rows)
+    block_tx = np.full(n_blocks, transactions / n_blocks)
+    block_uq = np.full(n_blocks, unique / n_blocks)
+    block_near = np.maximum(block_tx - block_uq, 0.0)
+    block_steps = np.full(n_blocks, n_warps / n_blocks)
+    return GatherStats(
+        transactions=transactions,
+        unique_lines=unique,
+        active_steps=n_warps,
+        thread_loads=span,
+        block_transactions=block_tx,
+        block_unique=block_uq,
+        block_near=block_near,
+        block_steps=block_steps,
+    )

@@ -1,0 +1,155 @@
+"""Device specifications for the GPU performance model.
+
+:data:`GTX580` mirrors the paper's experimental platform (Section III /
+VII-A): 16 SMs x 32 CUDA cores, 192.4 GB/s GDDR5, 768 KB L2, a 64 KB
+on-chip memory split 16/48 between L1 and shared memory, 1536 resident
+threads (48 warps) and at most 8 blocks per SM, and a double-precision
+peak of ~197 GFLOPS (capped at a quarter of the chip's potential on the
+gaming part).
+
+Calibration constants (all documented below, fitted once against the
+paper's measured GFLOPS — see DESIGN.md §7):
+
+``dram_efficiency``
+    Fraction of the theoretical DRAM bandwidth a well-tuned streaming
+    kernel achieves at full occupancy (~0.88 on Fermi).
+``l2_bandwidth_ratio``
+    L2-to-DRAM bandwidth ratio (Fermi's L2 serves roughly twice DRAM).
+``latency_hiding_exponent``
+    How effective bandwidth degrades with occupancy:
+    ``factor = occupancy ** exponent`` — at 1/6 occupancy (the
+    slice-equals-warp pathology of Section VI) roughly 40% of bandwidth
+    remains.
+``reuse_window_factor``
+    Multiplier on the instantaneous per-warp line demand when estimating
+    the L1 working set (< 1 because co-scheduled warps progress in near
+    lockstep and share most of their current lines).
+``capacity_sharpness``
+    Exponent of the capacity hit curve
+    ``h = c^s / (c^s + ws^s)``: with ``s = 2`` a working set well inside
+    the cache hits ~95%+ and one a few times larger misses ~90%+,
+    matching the step-like behavior of real caches better than the
+    ``s = 1`` curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU for the performance model (see module docstring)."""
+
+    name: str
+    num_sms: int
+    warp_size: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+    dram_bandwidth_gbs: float
+    dp_peak_gflops: float
+    l1_kb: float
+    l2_kb: float
+    cache_line_bytes: int = 128
+    # -- calibration constants, fitted once against the paper's measured
+    # GFLOPS tables (DESIGN.md §7) --
+    dram_efficiency: float = 0.85
+    l2_bandwidth_ratio: float = 1.5
+    latency_hiding_exponent: float = 0.5
+    reuse_window_factor: float = 0.4
+    block_turnover_penalty: float = 0.03
+    capacity_sharpness: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise DeviceModelError("warp_size and num_sms must be positive")
+        if self.max_warps_per_sm * self.warp_size != self.max_threads_per_sm:
+            raise DeviceModelError(
+                f"{self.name}: max_warps_per_sm * warp_size must equal "
+                f"max_threads_per_sm")
+        if not (0 < self.dram_efficiency <= 1):
+            raise DeviceModelError("dram_efficiency must be in (0, 1]")
+        if self.l2_bandwidth_ratio < 1:
+            raise DeviceModelError("l2_bandwidth_ratio must be >= 1")
+        if self.cache_line_bytes <= 0:
+            raise DeviceModelError("cache_line_bytes must be positive")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def effective_dram_gbs(self) -> float:
+        """Achievable DRAM bandwidth at full occupancy."""
+        return self.dram_bandwidth_gbs * self.dram_efficiency
+
+    @property
+    def l2_bandwidth_gbs(self) -> float:
+        """Achievable L2 bandwidth."""
+        return self.effective_dram_gbs * self.l2_bandwidth_ratio
+
+    @property
+    def doubles_per_line(self) -> int:
+        """Double-precision values per cache line (16 on Fermi)."""
+        return self.cache_line_bytes // 8
+
+    def with_l1(self, l1_kb: float) -> "DeviceSpec":
+        """The same device with the on-chip split reconfigured.
+
+        Fermi's 64 KB local memory can serve as 16 KB or 48 KB of L1
+        (Section III); the paper measures ~6% average SpMV gain from the
+        48 KB setting.
+        """
+        if l1_kb not in (16.0, 48.0, 16, 48):
+            raise DeviceModelError(
+                f"Fermi supports an L1 of 16 or 48 KB, got {l1_kb}")
+        return replace(self, l1_kb=float(l1_kb),
+                       name=f"{self.name.split(' [')[0]} [L1={int(l1_kb)}KB]")
+
+    def nocache_spmv_peak_gflops(self, value_bytes: int = 8,
+                                 index_bytes: int = 4) -> float:
+        """Section V's analytic ELL SpMV peak with no caching.
+
+        One FMA (2 flops) needs a value, a column index and an ``x``
+        operand: ``2 / (8 + 4 + 8)`` flops per byte x raw bandwidth
+        = 20.6 GFLOPS on the GTX580.
+        """
+        bytes_per_fma = value_bytes + index_bytes + 8
+        return 2.0 / bytes_per_fma * self.dram_bandwidth_gbs
+
+    def perfect_cache_spmv_peak_gflops(self, value_bytes: int = 8,
+                                       index_bytes: int = 4) -> float:
+        """Section V's analytic peak with a perfect ``x`` cache (34.4)."""
+        bytes_per_fma = value_bytes + index_bytes
+        return 2.0 / bytes_per_fma * self.dram_bandwidth_gbs
+
+
+#: The paper's experimental GPU (Section VII-A), 48 KB L1 configuration.
+GTX580 = DeviceSpec(
+    name="GTX580",
+    num_sms=16,
+    warp_size=32,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    max_warps_per_sm=48,
+    dram_bandwidth_gbs=192.4,
+    dp_peak_gflops=197.6,
+    l1_kb=48.0,
+    l2_kb=768.0,
+)
+
+#: A Kepler-generation part (Section VII-D's outlook): more bandwidth,
+#: far more DP flops, 16 blocks/SMX and a larger resident-thread pool.
+KEPLER_K20X = DeviceSpec(
+    name="Kepler K20X",
+    num_sms=14,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    dram_bandwidth_gbs=250.0,
+    dp_peak_gflops=1310.0,
+    l1_kb=48.0,
+    l2_kb=1536.0,
+)

@@ -1,0 +1,121 @@
+"""Kernel dispatch: run a format functionally and estimate it on a device.
+
+``run_spmv`` executes the format-faithful NumPy kernel (real numbers);
+``spmv_performance`` / ``jacobi_performance`` build the matching traffic
+report and resolve it against a device — the pairing that replaces "run
+it on the GTX580 and time it" in this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.gpusim.device import DeviceSpec, GTX580
+from repro.gpusim.kernels.base import Precision, TrafficReport
+from repro.gpusim.kernels.csr import (
+    csr_scalar_spmv_traffic,
+    csr_vector_spmv_traffic,
+)
+from repro.gpusim.kernels.ell import (
+    ell_dia_spmv_traffic,
+    ell_spmv_traffic,
+    ellr_spmv_traffic,
+)
+from repro.gpusim.kernels.jacobi import jacobi_traffic
+from repro.gpusim.kernels.misc import coo_spmv_traffic, dia_spmv_traffic
+from repro.gpusim.kernels.sliced import (
+    sell_c_sigma_spmv_traffic,
+    sliced_ell_spmv_traffic,
+    warped_ell_spmv_traffic,
+)
+from repro.gpusim.perfmodel import PerfEstimate, estimate_performance
+from repro.sparse.base import SparseFormat
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dia import DIAMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ellr import ELLRMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+
+def spmv_traffic(matrix: SparseFormat, *,
+                 precision: Precision = Precision.DOUBLE,
+                 block_size: int | None = None,
+                 csr_kernel: str = "vector") -> TrafficReport:
+    """The SpMV traffic report of any supported format.
+
+    ``block_size`` defaults to each kernel's natural configuration (256;
+    the original sliced ELL couples it to the slice size).  ``csr_kernel``
+    selects the scalar or vector CSR variant.
+    """
+    kwargs = {"precision": precision}
+    if isinstance(matrix, WarpedELLMatrix):
+        return warped_ell_spmv_traffic(matrix, block_size=block_size or 256,
+                                       **kwargs)
+    if isinstance(matrix, SellCSigmaMatrix):
+        return sell_c_sigma_spmv_traffic(matrix,
+                                         block_size=block_size or 256,
+                                         **kwargs)
+    if isinstance(matrix, SlicedELLMatrix):
+        return sliced_ell_spmv_traffic(matrix, block_size=block_size,
+                                       **kwargs)
+    if isinstance(matrix, ELLDIAMatrix):
+        return ell_dia_spmv_traffic(matrix, block_size=block_size or 256,
+                                    **kwargs)
+    if isinstance(matrix, ELLRMatrix):
+        return ellr_spmv_traffic(matrix, block_size=block_size or 256,
+                                 **kwargs)
+    if isinstance(matrix, ELLMatrix):
+        return ell_spmv_traffic(matrix, block_size=block_size or 256,
+                                **kwargs)
+    if isinstance(matrix, CSRMatrix):
+        fn = (csr_vector_spmv_traffic if csr_kernel == "vector"
+              else csr_scalar_spmv_traffic)
+        return fn(matrix, block_size=block_size or 256, **kwargs)
+    if isinstance(matrix, DIAMatrix):
+        return dia_spmv_traffic(matrix, block_size=block_size or 256,
+                                **kwargs)
+    if isinstance(matrix, COOMatrix):
+        return coo_spmv_traffic(matrix, block_size=block_size or 256,
+                                **kwargs)
+    raise FormatError(
+        f"no GPU kernel model for format {type(matrix).__name__}")
+
+
+def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
+                     precision: Precision = Precision.DOUBLE,
+                     block_size: int | None = None,
+                     csr_kernel: str = "vector",
+                     x_scale: float = 1.0) -> PerfEstimate:
+    """Modeled SpMV performance of *matrix* on *device*.
+
+    ``x_scale`` is the problem-size normalization of
+    :func:`repro.gpusim.perfmodel.estimate_performance` (pass
+    ``paper_n / n`` when the matrix is a scaled-down stand-in).
+    """
+    report = spmv_traffic(matrix, precision=precision,
+                          block_size=block_size, csr_kernel=csr_kernel)
+    return estimate_performance(report, device, x_scale=x_scale)
+
+
+def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
+                       precision: Precision = Precision.DOUBLE,
+                       block_size: int = 256,
+                       check_interval: int = 0,
+                       normalize_interval: int = 0,
+                       x_scale: float = 1.0) -> PerfEstimate:
+    """Modeled per-iteration Jacobi performance on *device*."""
+    report = jacobi_traffic(matrix, precision=precision,
+                            block_size=block_size,
+                            check_interval=check_interval,
+                            normalize_interval=normalize_interval)
+    return estimate_performance(report, device, x_scale=x_scale)
+
+
+def run_spmv(matrix: SparseFormat, x: np.ndarray) -> np.ndarray:
+    """Execute the format-faithful SpMV (the functional half)."""
+    return matrix.spmv(x)

@@ -1,0 +1,34 @@
+"""Per-format GPU kernel models.
+
+Each kernel module derives a :class:`~repro.gpusim.kernels.base.TrafficReport`
+from the actual sparse structure: the streamed (perfectly coalesced)
+bytes, the ``x``-gather transaction statistics, and the flop count — the
+inputs of :func:`repro.gpusim.perfmodel.estimate_performance`.
+"""
+
+from repro.gpusim.kernels.base import Precision, TrafficReport
+from repro.gpusim.kernels.ell import ell_dia_spmv_traffic, ell_spmv_traffic
+from repro.gpusim.kernels.sliced import (
+    sliced_ell_spmv_traffic,
+    warped_ell_spmv_traffic,
+)
+from repro.gpusim.kernels.csr import (
+    csr_scalar_spmv_traffic,
+    csr_vector_spmv_traffic,
+)
+from repro.gpusim.kernels.misc import coo_spmv_traffic, dia_spmv_traffic
+from repro.gpusim.kernels.jacobi import jacobi_traffic
+
+__all__ = [
+    "Precision",
+    "TrafficReport",
+    "ell_spmv_traffic",
+    "ell_dia_spmv_traffic",
+    "sliced_ell_spmv_traffic",
+    "warped_ell_spmv_traffic",
+    "csr_scalar_spmv_traffic",
+    "csr_vector_spmv_traffic",
+    "dia_spmv_traffic",
+    "coo_spmv_traffic",
+    "jacobi_traffic",
+]

@@ -1,0 +1,117 @@
+"""Common kernel-model machinery: precision, traffic reports, expansions.
+
+A :class:`TrafficReport` is the complete memory/compute characterization
+of one kernel launch:
+
+* ``streamed_bytes`` — perfectly coalesced sequential traffic (format
+  arrays, result write, dense diagonals).  These lines are touched once,
+  so they cross both the L2 and DRAM interfaces in full.
+* ``gather`` — the irregular ``x`` accesses as coalesced transaction
+  statistics; the cache model decides how much of them reach each level.
+* ``x_bytes`` — gathered-vector size (L2 capacity competitor).
+* ``flops`` — floating-point work (FMA = 2).
+* ``block_size`` — the kernel's natural launch configuration (drives
+  occupancy; the original sliced ELL couples it to the slice size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpusim.coalescing import GatherStats
+from repro.sparse.ell import PAD_COL
+from repro.sparse.sliced_ell import SlicedELLMatrix
+
+
+class Precision(enum.Enum):
+    """Arithmetic precision of a kernel (affects bytes per element)."""
+
+    DOUBLE = "double"
+    SINGLE = "single"
+
+    @property
+    def value_bytes(self) -> int:
+        return 8 if self is Precision.DOUBLE else 4
+
+    def x_elements_per_line(self, line_bytes: int = 128) -> int:
+        """Gathered-vector elements per cache line (16 dp / 32 sp)."""
+        return line_bytes // self.value_bytes
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Memory and compute characterization of one kernel launch."""
+
+    kernel_name: str
+    streamed_bytes: float
+    gather: GatherStats
+    x_bytes: float
+    flops: float
+    block_size: int = 256
+    precision: Precision = Precision.DOUBLE
+    #: Per-component byte breakdown for reporting/ablation.
+    breakdown: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.streamed_bytes < 0 or self.flops < 0 or self.x_bytes < 0:
+            raise ValidationError("traffic quantities must be non-negative")
+
+    def combined(self, other: "TrafficReport", *, name: str | None = None,
+                 shared_unique: int | None = None) -> "TrafficReport":
+        """Fuse two reports of one launch (e.g. DIA band + ELL remainder)."""
+        if self.precision is not other.precision:
+            raise ValidationError("cannot combine mixed-precision reports")
+        breakdown = dict(self.breakdown)
+        for key, val in other.breakdown.items():
+            breakdown[key] = breakdown.get(key, 0.0) + val
+        return TrafficReport(
+            kernel_name=name or f"{self.kernel_name}+{other.kernel_name}",
+            streamed_bytes=self.streamed_bytes + other.streamed_bytes,
+            gather=self.gather.merge(other.gather, shared_unique=shared_unique),
+            x_bytes=max(self.x_bytes, other.x_bytes),
+            flops=self.flops + other.flops,
+            block_size=self.block_size,
+            precision=self.precision,
+            breakdown=breakdown,
+        )
+
+
+def per_warp_active_steps(active: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Steps in which each warp issues column-index loads.
+
+    With the ``if (value != 0)`` guard of Listing 1, a warp-step loads
+    column indices only when at least one lane is active; the count per
+    warp equals the longest row in the warp.
+    """
+    active = np.asarray(active, dtype=bool)
+    n, k = active.shape
+    if n % warp_size != 0:
+        raise ValidationError(
+            f"row count {n} is not a multiple of the warp size {warp_size}")
+    if n == 0 or k == 0:
+        return np.zeros(n // warp_size if warp_size else 0, dtype=np.int64)
+    grouped = active.reshape(n // warp_size, warp_size, k)
+    return grouped.any(axis=1).sum(axis=1, dtype=np.int64)
+
+
+def sliced_dense_arrays(matrix: SlicedELLMatrix) \
+        -> tuple[np.ndarray, np.ndarray]:
+    """Expand a sliced-ELL structure to global dense ``(cols, active)``.
+
+    Returns ``(n_padded, k_max)`` arrays where steps beyond a slice's
+    local ``k_i`` are marked inactive — those steps simply do not exist
+    in the sliced kernel (no value loads either), which the value-byte
+    accounting handles separately via ``slice_ptr``.
+    """
+    s = matrix.slice_size
+    k_max = int(matrix.slice_k.max()) if matrix.n_slices else 0
+    cols = np.full((matrix.n_padded, k_max), PAD_COL, dtype=np.int32)
+    for i in range(matrix.n_slices):
+        _, block_cols = matrix.slice_block(i)
+        cols[i * s:(i + 1) * s, : block_cols.shape[1]] = block_cols
+    active = cols != PAD_COL
+    return cols, active

@@ -1,0 +1,147 @@
+"""Traffic models of the CSR SpMV kernels.
+
+Two classic GPU CSR kernels (Bell & Garland):
+
+* **scalar** — one thread per row.  Because CSR stores rows
+  contiguously, the 32 threads of a warp read values/indices at
+  *unrelated* offsets (``indptr[r] + c``), so even the format arrays are
+  gathered rather than streamed — the reason CSR underperforms on GPUs
+  for short-row matrices and the paper's motivation for ELL.
+* **vector** — one warp per row; value/index loads are coalesced within
+  the row, but rows shorter than a warp leave most lanes idle and the
+  per-row reduction costs extra steps.
+
+Both are members of the clSpMV-analog ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.coalescing import GatherStats, warp_gather_stats
+from repro.gpusim.kernels.base import Precision, TrafficReport
+from repro.sparse.csr import CSRMatrix
+from repro.utils.arrays import round_up
+
+INDEX_BYTES = 4
+LINE_BYTES = 128
+
+
+def _dense_plan(matrix: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense ``(rows, k_max)`` access plans of the scalar kernel.
+
+    Returns ``(flat_positions, x_cols, active)`` padded to warp-multiple
+    rows: at step ``c`` thread ``r`` touches CSR slot ``indptr[r] + c``
+    and gathers ``x[col]`` of that slot.
+    """
+    n = matrix.shape[0]
+    lengths = np.diff(matrix.indptr)
+    k_max = int(lengths.max()) if n else 0
+    n_pad = round_up(n, 32) if n else 0
+    flat = np.full((n_pad, k_max), -1, dtype=np.int64)
+    xcol = np.full((n_pad, k_max), -1, dtype=np.int64)
+    if matrix.nnz:
+        rows = np.repeat(np.arange(n), lengths)
+        pos = np.arange(matrix.nnz) - np.repeat(matrix.indptr[:-1], lengths)
+        flat[rows, pos] = np.arange(matrix.nnz)
+        xcol[rows, pos] = matrix.col_indices
+    active = flat >= 0
+    return flat, xcol, active
+
+
+def csr_scalar_spmv_traffic(matrix: CSRMatrix, *,
+                            precision: Precision = Precision.DOUBLE,
+                            block_size: int = 256) -> TrafficReport:
+    """Traffic of the scalar (thread-per-row) CSR kernel."""
+    vb = precision.value_bytes
+    n = matrix.shape[0]
+    flat, xcol, active = _dense_plan(matrix)
+
+    epl_x = precision.x_elements_per_line(LINE_BYTES)
+    epl_val = LINE_BYTES // vb
+    epl_idx = LINE_BYTES // INDEX_BYTES
+
+    x_gather = warp_gather_stats(xcol, active, elements_per_line=epl_x)
+    val_gather = warp_gather_stats(flat, active, elements_per_line=epl_val)
+    idx_gather = warp_gather_stats(flat, active, elements_per_line=epl_idx)
+    gather = x_gather.merge(val_gather).merge(idx_gather)
+
+    indptr_bytes = float((n + 1) * INDEX_BYTES)
+    y_bytes = float(n * vb)
+    return TrafficReport(
+        kernel_name="csr-scalar",
+        streamed_bytes=indptr_bytes + y_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=2.0 * matrix.nnz,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"indptr": indptr_bytes, "y": y_bytes},
+    )
+
+
+def csr_vector_spmv_traffic(matrix: CSRMatrix, *,
+                            precision: Precision = Precision.DOUBLE,
+                            block_size: int = 256) -> TrafficReport:
+    """Traffic of the vector (warp-per-row) CSR kernel.
+
+    Within a row, value/index loads are contiguous: a row of length
+    ``L`` costs ``ceil(L / epl)`` transactions per array and the same
+    for its ``x`` lines (counted exactly from the sorted indices).
+    """
+    vb = precision.value_bytes
+    n = matrix.shape[0]
+    lengths = np.diff(matrix.indptr).astype(np.int64)
+    epl_x = precision.x_elements_per_line(LINE_BYTES)
+    epl_val = LINE_BYTES // vb
+    epl_idx = LINE_BYTES // INDEX_BYTES
+
+    val_tx = int(np.ceil(lengths / epl_val).sum())
+    idx_tx = int(np.ceil(lengths / epl_idx).sum())
+
+    # Exact x-line transactions: distinct lines among each row's columns.
+    if matrix.nnz:
+        row_of = np.repeat(np.arange(n), lengths)
+        lines = matrix.col_indices.astype(np.int64) // epl_x
+        # Column indices are sorted within rows, hence lines are too:
+        # a new transaction whenever (row, line) changes.
+        new_tx = np.ones(matrix.nnz, dtype=bool)
+        same_row = row_of[1:] == row_of[:-1]
+        same_line = lines[1:] == lines[:-1]
+        new_tx[1:] = ~(same_row & same_line)
+        x_tx = int(new_tx.sum())
+        x_unique = int(np.unique(lines).size)
+    else:
+        x_tx = x_unique = 0
+
+    transactions = val_tx + idx_tx + x_tx
+    unique = x_unique + val_tx + idx_tx     # format arrays touched once
+    n_blocks = max(1, -(-n // 256))
+    active_steps = int(np.ceil(lengths / 32).sum())
+    block_tx = np.full(n_blocks, transactions / n_blocks)
+    block_uq = np.full(n_blocks, unique / n_blocks)
+    gather = GatherStats(
+        transactions=transactions,
+        unique_lines=unique,
+        active_steps=active_steps,
+        thread_loads=3 * matrix.nnz,
+        block_transactions=block_tx,
+        block_unique=block_uq,
+        # x reuse happens across rows at long distance: far, not near.
+        block_near=np.zeros(n_blocks),
+        block_steps=np.full(n_blocks, max(1.0, active_steps / n_blocks)),
+    )
+    indptr_bytes = float(n * 2 * INDEX_BYTES)
+    y_bytes = float(n * vb)
+    # Warp-level reduction: log2(32) shuffle steps per row, minor flops.
+    flops = 2.0 * matrix.nnz + 5.0 * n
+    return TrafficReport(
+        kernel_name="csr-vector",
+        streamed_bytes=indptr_bytes + y_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=flops,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"indptr": indptr_bytes, "y": y_bytes},
+    )

@@ -1,0 +1,183 @@
+"""Traffic models of the ELL and ELL+DIA SpMV kernels (Section V).
+
+The ELL kernel (Listing 1 of the paper) assigns one thread per row and
+iterates the global ``k`` steps:
+
+* **values**: loaded at *every* step, padding included — the dense
+  ``n' x k`` array streams in full (this is exactly the bandwidth the
+  efficiency metric ``e = nnz / (n'k)`` measures);
+* **column indices**: loaded only when the value is nonzero, so a warp
+  issues the 128-byte index transaction for as many steps as its longest
+  row;
+* **x gather**: one coalesced transaction set per warp-step, counted
+  exactly from the column structure;
+* **y**: one streamed write.
+
+The ELL+DIA kernel streams ``d`` dense diagonal arrays (no column
+indices — that is the 4-bytes-per-nonzero saving) and shrinks the ELL
+remainder.  Its ``x`` accesses are modeled as one fused access plan —
+the ``d`` implicit band columns plus the remainder's explicit columns —
+so band/remainder line sharing is counted once, exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.coalescing import warp_gather_stats
+from repro.gpusim.kernels.base import (
+    Precision,
+    TrafficReport,
+    per_warp_active_steps,
+)
+from repro.sparse.dia import DIAMatrix
+from repro.sparse.ell import PAD_COL, ELLMatrix
+from repro.sparse.ellr import ELLRMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.utils.arrays import round_up
+
+INDEX_BYTES = 4
+LINE_BYTES = 128
+
+
+def ell_spmv_traffic(matrix: ELLMatrix, *,
+                     precision: Precision = Precision.DOUBLE,
+                     block_size: int = 256,
+                     write_output: bool = True) -> TrafficReport:
+    """Traffic of one ELL SpMV launch on *matrix*."""
+    vb = precision.value_bytes
+    n, n_padded, k = matrix.shape[0], matrix.n_padded, matrix.k
+    active = matrix.active_mask()
+
+    value_bytes = float(n_padded * k * vb)
+    col_steps = per_warp_active_steps(active)
+    col_bytes = float(col_steps.sum()) * 32 * INDEX_BYTES
+    y_bytes = float(n * vb) if write_output else 0.0
+
+    gather = warp_gather_stats(
+        matrix.cols, active,
+        elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+    flops = 2.0 * matrix.nnz
+
+    return TrafficReport(
+        kernel_name="ell",
+        streamed_bytes=value_bytes + col_bytes + y_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=flops,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"values": value_bytes, "cols": col_bytes, "y": y_bytes},
+    )
+
+
+def dia_access_plan(dia: DIAMatrix, n_padded: int) \
+        -> tuple[np.ndarray, np.ndarray]:
+    """The DIA kernel's implicit ``x`` access plan.
+
+    Thread ``i`` reads ``x[i + offset]`` for every stored diagonal at
+    every in-bounds row — unconditionally, since DIA has no occupancy
+    test (stored zeros are multiplied like any other value).  Returns
+    ``(cols, active)`` of shape ``(n_padded, d)``.
+    """
+    n, m = dia.shape
+    d = int(dia.offsets.size)
+    rows = np.arange(n_padded, dtype=np.int64)
+    cols = np.full((n_padded, d), PAD_COL, dtype=np.int64)
+    active = np.zeros((n_padded, d), dtype=bool)
+    for j, off in enumerate(dia.offsets):
+        target = rows + int(off)
+        ok = (rows < n) & (target >= 0) & (target < m)
+        cols[ok, j] = target[ok]
+        active[:, j] = ok
+    return cols, active
+
+
+def ell_dia_spmv_traffic(matrix: ELLDIAMatrix, *,
+                         precision: Precision = Precision.DOUBLE,
+                         block_size: int = 256) -> TrafficReport:
+    """Traffic of the fused ELL+DIA SpMV launch.
+
+    Streams: the ``d`` dense diagonal arrays (values only — the 4-byte
+    column indices of band nonzeros are exactly what the format saves),
+    the ELL remainder's value/column arrays, and one ``y`` write.  The
+    ``x`` gather is one fused plan over band and remainder columns.
+    """
+    vb = precision.value_bytes
+    n = matrix.shape[0]
+    ell = matrix.ell
+    dia = matrix.dia
+    n_padded = max(ell.n_padded, round_up(n, 32) if n else 0)
+
+    # Streamed components.
+    dia_value_bytes = float(dia.offsets.size * n * vb)
+    ell_value_bytes = float(ell.n_padded * ell.k * vb)
+    col_steps = per_warp_active_steps(ell.active_mask())
+    col_bytes = float(col_steps.sum()) * 32 * INDEX_BYTES
+    y_bytes = float(n * vb)
+
+    # Fused x access plan: d implicit band columns + remainder columns.
+    dia_cols, dia_active = dia_access_plan(dia, n_padded)
+    ell_cols = np.full((n_padded, ell.k), PAD_COL, dtype=np.int64)
+    ell_cols[: ell.n_padded] = ell.cols
+    ell_active = np.zeros((n_padded, ell.k), dtype=bool)
+    ell_active[: ell.n_padded] = ell.active_mask()
+    cols = np.hstack([dia_cols, ell_cols])
+    active = np.hstack([dia_active, ell_active])
+    gather = warp_gather_stats(
+        cols, active,
+        elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+
+    # Useful flops (the paper's GFLOPS normalizes by matrix nonzeros);
+    # the dense-band zero-slot FMAs are wasted work, not throughput.
+    flops = 2.0 * matrix.nnz
+    return TrafficReport(
+        kernel_name="ell+dia",
+        streamed_bytes=(dia_value_bytes + ell_value_bytes
+                        + col_bytes + y_bytes),
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=flops,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"dia_values": dia_value_bytes,
+                   "values": ell_value_bytes,
+                   "cols": col_bytes, "y": y_bytes},
+    )
+
+
+def ellr_spmv_traffic(matrix: ELLRMatrix, *,
+                      precision: Precision = Precision.DOUBLE,
+                      block_size: int = 256) -> TrafficReport:
+    """Traffic of the ELLR-T kernel: padding costs no value bandwidth.
+
+    The row-length array bounds each lane's loop, so value transactions
+    follow the per-warp longest row exactly like the column-index
+    stream; the extra cost is the streamed ``rl`` array itself.
+    """
+    vb = precision.value_bytes
+    n, n_padded = matrix.shape[0], matrix.n_padded
+    active = matrix.active_mask()
+
+    warp_steps = per_warp_active_steps(active)
+    # One 128-byte transaction per warp-step for each of values/cols
+    # (values are vb-wide: a 32-lane step spans 32 * vb bytes).
+    value_bytes = float(warp_steps.sum()) * 32 * vb
+    col_bytes = float(warp_steps.sum()) * 32 * INDEX_BYTES
+    rl_bytes = float(n_padded * INDEX_BYTES)
+    y_bytes = float(n * vb)
+
+    gather = warp_gather_stats(
+        matrix.cols, active,
+        elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+    return TrafficReport(
+        kernel_name="ellr",
+        streamed_bytes=value_bytes + col_bytes + rl_bytes + y_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=2.0 * matrix.nnz,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"values": value_bytes, "cols": col_bytes,
+                   "row_lengths": rl_bytes, "y": y_bytes},
+    )

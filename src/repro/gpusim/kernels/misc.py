@@ -1,0 +1,88 @@
+"""Traffic models of the DIA and COO SpMV kernels (ensemble members)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.coalescing import GatherStats, warp_gather_stats
+from repro.gpusim.kernels.base import Precision, TrafficReport
+from repro.gpusim.kernels.ell import dia_access_plan
+from repro.sparse.coo import COOMatrix
+from repro.sparse.dia import DIAMatrix
+from repro.utils.arrays import round_up
+
+INDEX_BYTES = 4
+LINE_BYTES = 128
+
+
+def dia_spmv_traffic(matrix: DIAMatrix, *,
+                     precision: Precision = Precision.DOUBLE,
+                     block_size: int = 256) -> TrafficReport:
+    """Traffic of a standalone DIA SpMV.
+
+    Streams ``d`` dense diagonal arrays (values only, no indices) and
+    the ``y`` write; the ``x`` accesses are the implicit shifted sweeps
+    of :func:`repro.gpusim.kernels.ell.dia_access_plan`.
+    """
+    vb = precision.value_bytes
+    n = matrix.shape[0]
+    n_padded = round_up(n, 32) if n else 0
+    d = int(matrix.offsets.size)
+    value_bytes = float(d * n * vb)
+    y_bytes = float(n * vb)
+    cols, active = dia_access_plan(matrix, n_padded)
+    gather = warp_gather_stats(
+        cols, active,
+        elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+    return TrafficReport(
+        kernel_name="dia",
+        streamed_bytes=value_bytes + y_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=2.0 * matrix.nnz,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"dia_values": value_bytes, "y": y_bytes},
+    )
+
+
+def coo_spmv_traffic(matrix: COOMatrix, *,
+                     precision: Precision = Precision.DOUBLE,
+                     block_size: int = 256) -> TrafficReport:
+    """Traffic of the segmented-reduction COO kernel (Bell & Garland).
+
+    One thread per nonzero: values, row and column indices stream
+    perfectly; the ``x`` gather groups 32 *consecutive nonzeros* per
+    warp-step (row-major sorted COO keeps those columns correlated).
+    The segmented reduction adds a carry pass over the row boundaries,
+    modeled as one extra streamed sweep of partial sums.
+    """
+    vb = precision.value_bytes
+    nnz = matrix.nnz
+    n = matrix.shape[0]
+    stream = float(nnz * (vb + 2 * INDEX_BYTES))
+    y_bytes = float(n * vb)
+    # Partial-sum carry pass of the segmented reduction.
+    n_warps = -(-nnz // 32) if nnz else 0
+    carry_bytes = float(2 * n_warps * vb)
+
+    if nnz:
+        padded = round_up(nnz, 32)
+        plan = np.full((padded, 1), -1, dtype=np.int64)
+        plan[:nnz, 0] = matrix.cols
+        gather = warp_gather_stats(
+            plan, plan >= 0,
+            elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+    else:
+        gather = GatherStats.empty()
+
+    return TrafficReport(
+        kernel_name="coo",
+        streamed_bytes=stream + y_bytes + carry_bytes,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=2.0 * nnz + 2.0 * n_warps,
+        block_size=block_size,
+        precision=precision,
+        breakdown={"triples": stream, "y": y_bytes, "carry": carry_bytes},
+    )

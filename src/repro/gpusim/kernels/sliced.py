@@ -1,0 +1,146 @@
+"""Traffic models of the sliced-ELL family kernels (Section VI).
+
+The sliced kernel iterates only its slice's local ``k_i`` steps, so the
+value stream shrinks from ``n' x k_max`` to the actual stored slots
+(``slice_ptr[-1]``) — that is the whole point of the format.  Column
+transactions still follow the per-warp longest row (Listing 1's guard),
+and the ``x`` gather is counted on the *stored* layout, i.e. after any
+row rearrangement, which is exactly how reordering affects locality.
+
+Launch configuration is where the original and warp-grained variants
+diverge:
+
+* original sliced ELL couples ``block = slice`` — the caller passes the
+  slice size as the block size, and a warp-sized slice would collapse
+  occupancy to 8 warps/SM;
+* the warp-grained variant decouples them (slice = 32, block = 256), so
+  full occupancy survives the finest padding granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.coalescing import warp_gather_stats
+from repro.gpusim.kernels.base import (
+    Precision,
+    TrafficReport,
+    per_warp_active_steps,
+    sliced_dense_arrays,
+)
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+INDEX_BYTES = 4
+LINE_BYTES = 128
+
+
+def _sliced_traffic(matrix: SlicedELLMatrix, *, kernel_name: str,
+                    precision: Precision, block_size: int,
+                    extra_streamed: float = 0.0,
+                    extra_breakdown: dict | None = None) -> TrafficReport:
+    vb = precision.value_bytes
+    n = matrix.shape[0]
+    stored_slots = int(matrix.slice_ptr[-1])
+
+    value_bytes = float(stored_slots * vb)
+    cols, active = sliced_dense_arrays(matrix)
+    col_steps = per_warp_active_steps(active)
+    col_bytes = float(col_steps.sum()) * 32 * INDEX_BYTES
+    # Per-slice metadata (k_i and start offset), read once per warp.
+    meta_bytes = float(matrix.n_slices * 2 * INDEX_BYTES)
+    y_bytes = float(n * vb)
+
+    gather = warp_gather_stats(
+        cols, active,
+        elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+    breakdown = {"values": value_bytes, "cols": col_bytes,
+                 "slice_meta": meta_bytes, "y": y_bytes}
+    if extra_breakdown:
+        breakdown.update(extra_breakdown)
+    return TrafficReport(
+        kernel_name=kernel_name,
+        streamed_bytes=value_bytes + col_bytes + meta_bytes + y_bytes
+        + extra_streamed,
+        gather=gather,
+        x_bytes=float(matrix.shape[1] * vb),
+        flops=2.0 * matrix.nnz,
+        block_size=block_size,
+        precision=precision,
+        breakdown=breakdown,
+    )
+
+
+def sliced_ell_spmv_traffic(matrix: SlicedELLMatrix, *,
+                            precision: Precision = Precision.DOUBLE,
+                            block_size: int | None = None) -> TrafficReport:
+    """Traffic of the original sliced-ELL SpMV (block = slice size)."""
+    if block_size is None:
+        block_size = matrix.slice_size
+    return _sliced_traffic(matrix, kernel_name="sell",
+                           precision=precision, block_size=block_size)
+
+
+def warped_ell_spmv_traffic(matrix: WarpedELLMatrix, *,
+                            precision: Precision = Precision.DOUBLE,
+                            block_size: int = 256) -> TrafficReport:
+    """Traffic of the warp-grained sliced-ELL SpMV (block decoupled).
+
+    With ``separate_diagonal`` the kernel additionally streams the dense
+    diagonal vector and gathers ``x[row_ids]`` for the diagonal FMA, and
+    scatters ``y`` through ``row_ids`` (a coalesced write for the local
+    rearrangement, since rows stay within their block).
+    """
+    extra_streamed = 0.0
+    extra_breakdown: dict = {}
+    if matrix.reorder != "none":
+        # row_ids read once per thread, streamed (stored in storage order).
+        extra_streamed += float(matrix.shape[0] * INDEX_BYTES)
+        extra_breakdown["row_ids"] = float(matrix.shape[0] * INDEX_BYTES)
+    flops_extra = 0.0
+    report = _sliced_traffic(matrix, kernel_name="warped-ell",
+                             precision=precision, block_size=block_size,
+                             extra_streamed=extra_streamed,
+                             extra_breakdown=extra_breakdown)
+    if matrix.diagonal_values is not None:
+        vb = precision.value_bytes
+        n = matrix.shape[0]
+        n_pad32 = -(-n // 32) * 32
+        diag_cols = np.full((n_pad32, 1), -1, dtype=np.int64)
+        diag_cols[:n, 0] = matrix.row_ids
+        diag_gather = warp_gather_stats(
+            diag_cols, diag_cols >= 0,
+            elements_per_line=precision.x_elements_per_line(LINE_BYTES))
+        diag_report = TrafficReport(
+            kernel_name="diag",
+            streamed_bytes=float(n * vb),
+            gather=diag_gather,
+            x_bytes=float(matrix.shape[1] * vb),
+            flops=2.0 * n + flops_extra,
+            block_size=block_size,
+            precision=precision,
+            breakdown={"diag_values": float(n * vb)},
+        )
+        report = report.combined(diag_report, name="warped-ell+diag")
+    return report
+
+
+def sell_c_sigma_spmv_traffic(matrix: SellCSigmaMatrix, *,
+                              precision: Precision = Precision.DOUBLE,
+                              block_size: int = 256) -> TrafficReport:
+    """Traffic of a SELL-C-sigma SpMV (block decoupled from the chunk).
+
+    Like the warp-grained kernel: the chunked value/column streams plus
+    the sorted-order x gather, and — when sorting is enabled — a
+    streamed row-id read for the scatter of y.
+    """
+    extra_streamed = 0.0
+    extra_breakdown: dict = {}
+    if matrix.sigma > 1:
+        extra_streamed = float(matrix.shape[0] * INDEX_BYTES)
+        extra_breakdown["row_ids"] = extra_streamed
+    return _sliced_traffic(matrix, kernel_name="sell-c-sigma",
+                           precision=precision, block_size=block_size,
+                           extra_streamed=extra_streamed,
+                           extra_breakdown=extra_breakdown)

@@ -1,0 +1,91 @@
+"""The CUDA occupancy calculator (Section III).
+
+Occupancy is the ratio of resident warps to the SM's capacity.  It is
+limited by three hardware caps — resident threads, resident blocks and
+resident warps per SM — so the *block size* choice matters:
+
+* too small (e.g. 32): the 8-blocks-per-SM cap bites first — 8 warps,
+  1/6 occupancy, poor latency hiding;
+* too large (1024): only one block fits, 2/3 occupancy;
+* 512: full occupancy, but the SM must drain all 16 warps of a block
+  before replacing it ("block turnover");
+* 256: full occupancy with better turnover — the paper's empirically
+  best choice, which this model reproduces in the block-size sweep bench.
+
+The occupancy feeds the performance model through a latency-hiding
+factor: with few resident warps the memory pipeline cannot stay full, so
+the effective bandwidth scales as ``occupancy ** latency_hiding_exponent``
+(times a mild turnover penalty for blocks above 256 threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of a kernel launch configuration."""
+
+    device: DeviceSpec
+    block_size: int
+    blocks_per_sm: int
+    resident_threads: int
+    resident_warps: int
+
+    @property
+    def ratio(self) -> float:
+        """Resident warps over the SM's warp capacity (0..1]."""
+        return self.resident_warps / self.device.max_warps_per_sm
+
+    @property
+    def turnover_penalty(self) -> float:
+        """Throughput penalty of coarse block granularity (1.0 = none).
+
+        An SM frees a block's resources only when *all* its warps finish,
+        so larger blocks refill the SM in coarser, burstier steps.  The
+        penalty grows with the warps-per-block count beyond the 256-thread
+        sweet spot.
+        """
+        warps_per_block = self.block_size / self.device.warp_size
+        excess = max(0.0, warps_per_block / 8.0 - 1.0)  # 8 warps = 256 thr
+        return 1.0 / (1.0 + self.device.block_turnover_penalty * excess)
+
+    @property
+    def throughput_factor(self) -> float:
+        """Effective-bandwidth multiplier from latency hiding + turnover."""
+        return (self.ratio ** self.device.latency_hiding_exponent
+                * self.turnover_penalty)
+
+
+def calculate_occupancy(device: DeviceSpec, block_size: int) -> Occupancy:
+    """Occupancy of launching *block_size*-thread blocks on *device*.
+
+    Partial trailing warps are rounded up (a 48-thread block still costs
+    two warp slots); block sizes that do not fit an SM at all raise.
+    """
+    if block_size <= 0:
+        raise DeviceModelError(f"block size must be positive, got {block_size}")
+    if block_size > device.max_threads_per_sm:
+        raise DeviceModelError(
+            f"block size {block_size} exceeds the SM thread capacity "
+            f"{device.max_threads_per_sm}")
+    warps_per_block = -(-block_size // device.warp_size)
+    blocks = min(
+        device.max_blocks_per_sm,
+        device.max_threads_per_sm // block_size,
+        device.max_warps_per_sm // warps_per_block,
+    )
+    if blocks == 0:
+        raise DeviceModelError(
+            f"block size {block_size} cannot be scheduled on {device.name}")
+    return Occupancy(
+        device=device,
+        block_size=block_size,
+        blocks_per_sm=blocks,
+        resident_threads=blocks * block_size,
+        resident_warps=blocks * warps_per_block,
+    )

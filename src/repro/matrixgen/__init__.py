@@ -1,0 +1,26 @@
+"""Synthetic sparse-matrix generators.
+
+:mod:`repro.matrixgen.domains` stands in for the University of Florida
+sparse matrix collection used in Figure 5 (DESIGN.md §2): each generator
+produces matrices with the row-length statistics and column-locality
+profile characteristic of one application domain, which is exactly what
+determines the sliced-ELL -> warp-grained-ELL improvement the figure
+reports.  :mod:`repro.matrixgen.random_sparse` provides the generic
+randomized builders the tests use.
+"""
+
+from repro.matrixgen.random_sparse import (
+    banded_matrix,
+    random_cme_like,
+    synthesize_csr,
+)
+from repro.matrixgen.domains import DOMAINS, DomainSpec, generate_domain
+
+__all__ = [
+    "synthesize_csr",
+    "banded_matrix",
+    "random_cme_like",
+    "DOMAINS",
+    "DomainSpec",
+    "generate_domain",
+]

@@ -1,0 +1,107 @@
+"""Row partitioning of a rate matrix across devices.
+
+The DFS ordering that gives single-GPU kernels their diagonal band also
+makes contiguous row blocks a good partition: most transitions stay
+within a block, and the halo — the ``x`` entries a block's off-diagonal
+columns reference on other devices — is small relative to the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.sparse.base import as_csr
+
+
+@dataclass
+class Partition:
+    """One device's share of the matrix.
+
+    Attributes
+    ----------
+    device_index:
+        Position in the cluster.
+    row_start, row_stop:
+        Owned (contiguous) row range.
+    local:
+        The ``(rows, n)`` CSR slice this device multiplies.
+    halo_columns:
+        Sorted column indices referenced outside the owned range — the
+        entries that must arrive from other devices each iteration.
+    """
+
+    device_index: int
+    row_start: int
+    row_stop: int
+    local: sp.csr_matrix
+    halo_columns: np.ndarray = field(repr=False)
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def halo_size(self) -> int:
+        return int(self.halo_columns.size)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.local.nnz)
+
+
+def partition_rows(A, n_devices: int) -> list[Partition]:
+    """Split *A* into ``n_devices`` contiguous, balanced row blocks.
+
+    Rows are balanced by nonzero count (the SpMV work), not by row
+    count, via a prefix-sum split of the nnz distribution.
+    """
+    A = as_csr(A)
+    n = A.shape[0]
+    if n_devices <= 0:
+        raise ValidationError(f"n_devices must be positive, got {n_devices}")
+    if n_devices > n:
+        raise ValidationError(
+            f"cannot split {n} rows across {n_devices} devices")
+    nnz_prefix = A.indptr.astype(np.int64)
+    total = int(nnz_prefix[-1])
+    cuts = [0]
+    for d in range(1, n_devices):
+        target = total * d // n_devices
+        cuts.append(int(np.searchsorted(nnz_prefix, target)))
+    cuts.append(n)
+    # Guard degenerate empty blocks from skewed distributions.
+    for i in range(1, len(cuts)):
+        cuts[i] = max(cuts[i], cuts[i - 1] + 1) if cuts[i - 1] + 1 <= n else n
+    cuts[-1] = n
+
+    parts = []
+    for d in range(n_devices):
+        lo, hi = cuts[d], cuts[d + 1]
+        local = as_csr(A[lo:hi, :])
+        cols = local.indices.astype(np.int64)
+        outside = cols[(cols < lo) | (cols >= hi)]
+        halo = np.unique(outside)
+        parts.append(Partition(device_index=d, row_start=lo, row_stop=hi,
+                               local=local, halo_columns=halo))
+    return parts
+
+
+def distributed_jacobi_step(parts: list[Partition], diagonal: np.ndarray,
+                            x: np.ndarray) -> np.ndarray:
+    """One Jacobi step executed partition by partition (functional check).
+
+    Numerically identical to the single-device step; used by tests to
+    verify the partitioning loses nothing.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    for part in parts:
+        lo, hi = part.row_start, part.row_stop
+        y = part.local @ x
+        d = diagonal[lo:hi]
+        out[lo:hi] = -(y - d * x[lo:hi]) / d
+    return out

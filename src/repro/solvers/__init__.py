@@ -1,0 +1,36 @@
+"""Steady-state solvers (Section IV).
+
+* :class:`JacobiSolver` — the paper's method: the component-wise Jacobi
+  iteration ``x_i <- -(1/a_ii) sum_{j != i} a_ij x_j`` with periodic
+  probability renormalization, the normalized infinity-norm residual
+  test, a stagnation test, and an iteration cap.
+* :class:`PowerIterationSolver` — power iteration on the uniformized
+  stochastic matrix (the Markov-model generalization of Section VIII).
+* :class:`GaussSeidelSolver` — the sequential foil: fewer iterations,
+  no parallelism per iteration (the trade-off Section IV weighs).
+* :func:`gmres_steady_state` — a GMRES attempt on the (ill-conditioned,
+  singular) steady-state system, reproducing the paper's observation
+  that Krylov methods fail to converge here.
+"""
+
+from repro.solvers.result import SolverResult, StopReason
+from repro.solvers.stopping import StoppingCriterion
+from repro.solvers.normalization import renormalize
+from repro.solvers.jacobi import JacobiSolver
+from repro.solvers.gauss_seidel import GaussSeidelSolver
+from repro.solvers.power import PowerIterationSolver
+from repro.solvers.gmres import gmres_steady_state
+from repro.solvers.spectral import SpectralEstimate, estimate_subdominant
+
+__all__ = [
+    "SolverResult",
+    "StopReason",
+    "StoppingCriterion",
+    "renormalize",
+    "JacobiSolver",
+    "GaussSeidelSolver",
+    "PowerIterationSolver",
+    "gmres_steady_state",
+    "SpectralEstimate",
+    "estimate_subdominant",
+]

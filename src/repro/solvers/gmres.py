@@ -1,0 +1,89 @@
+"""GMRES on the steady-state system — the paper's negative result.
+
+Section IV: "we performed some preliminary studies on using GMRES for
+solving the steady-state problem but we observed no convergence", which
+is why the paper settles on Jacobi.  The CME system ``A p = 0`` is
+singular (the steady state *is* the null space) and severely
+ill-conditioned; the standard workaround replaces one balance equation
+with the normalization constraint ``sum(p) = 1``:
+
+    A' p = e_last,   A' = A with its last row set to all ones
+
+and hands ``A'`` to restarted GMRES.  On CME matrices this system's
+conditioning defeats unpreconditioned GMRES — the function below exists
+to *demonstrate* that, returning an honest :class:`SolverResult` rather
+than a usable landscape in most cases.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.errors import ValidationError
+from repro.solvers.normalization import renormalize, uniform_probability
+from repro.solvers.result import SolverResult, StopReason
+from repro.solvers.stopping import StoppingCriterion
+from repro.sparse.base import as_csr
+
+
+def gmres_steady_state(A, *, tol: float = 1e-8, restart: int = 50,
+                       max_iterations: int = 2000,
+                       x0=None) -> SolverResult:
+    """Attempt the steady state with restarted GMRES (see module docs).
+
+    The result's residual is the paper's normalized metric measured on
+    the *original* generator, so outcomes are directly comparable with
+    the Jacobi solver; ``stop_reason`` is ``CONVERGED`` only if that
+    metric beats *tol* — on realistic CME matrices expect ``STAGNATED``
+    or ``MAX_ITERATIONS``.
+    """
+    A = as_csr(A)
+    if A.shape[0] != A.shape[1]:
+        raise ValidationError("steady-state solve needs a square matrix")
+    n = A.shape[0]
+    # Replace the last balance equation with sum(p) = 1.
+    constrained = A.tolil(copy=True)
+    constrained[n - 1, :] = 1.0
+    constrained = as_csr(constrained.tocsr())
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+
+    x = uniform_probability(n) if x0 is None else np.asarray(x0, np.float64)
+    t0 = time.perf_counter()
+    iterations = 0
+
+    def callback(_):
+        nonlocal iterations
+        iterations += 1
+
+    solution, info = spla.gmres(constrained, b, x0=x, rtol=tol,
+                                restart=restart, maxiter=max_iterations,
+                                callback=callback,
+                                callback_type="legacy")
+    runtime = time.perf_counter() - t0
+
+    matrix_inf_norm = float(abs(A).sum(axis=1).max()) if A.nnz else 0.0
+    criterion = StoppingCriterion(matrix_inf_norm, tol=tol,
+                                  max_iterations=max(1, max_iterations))
+    finite = bool(np.all(np.isfinite(solution)))
+    usable = finite and solution.sum() > 0
+    if usable:
+        p = renormalize(solution)
+        residual = criterion.normalized_residual(A @ p, p)
+    else:
+        p = uniform_probability(n)
+        residual = float("inf")
+
+    if usable and residual <= tol:
+        reason = StopReason.CONVERGED
+    elif not finite:
+        reason = StopReason.DIVERGED
+    elif info > 0:
+        reason = StopReason.MAX_ITERATIONS
+    else:
+        reason = StopReason.STAGNATED
+    return SolverResult(x=p, iterations=iterations, residual=residual,
+                        stop_reason=reason, runtime_s=runtime)

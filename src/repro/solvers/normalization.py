@@ -1,0 +1,40 @@
+"""Probability-vector maintenance for the Jacobi iteration (Section IV).
+
+The steady-state iterate must remain a probability vector: entries
+non-negative and ``||x||_1 = 1``.  Non-negativity is preserved by the
+iteration itself (the rate matrix has non-negative off-diagonals and a
+negative diagonal) up to floating-point noise; the unit sum is not, so
+the solver renormalizes periodically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def renormalize(x: np.ndarray, *, clip: bool = True) -> np.ndarray:
+    """Return *x* projected back onto the probability simplex.
+
+    Tiny negative entries (floating-point noise) are clipped to zero
+    when *clip* is set; the vector is then rescaled to unit L1 norm.
+    Raises if the mass is zero or non-finite — both indicate a diverged
+    iteration, which the caller should surface, not paper over.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        raise ValidationError("iterate contains non-finite entries")
+    if clip:
+        x = np.maximum(x, 0.0)
+    total = float(x.sum())
+    if total <= 0.0:
+        raise ValidationError("iterate has no probability mass left")
+    return x / total
+
+
+def uniform_probability(n: int) -> np.ndarray:
+    """The uniform distribution over *n* states (the default ``x0``)."""
+    if n <= 0:
+        raise ValidationError(f"n must be positive, got {n}")
+    return np.full(n, 1.0 / n, dtype=np.float64)

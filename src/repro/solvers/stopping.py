@@ -1,0 +1,113 @@
+"""The paper's stopping criterion (Section IV).
+
+Since the right-hand side is zero, the residual is normalized by the
+matrix and solution norms::
+
+    ||A x||_inf / (||A||_inf * ||x||_inf)  <=  epsilon
+
+A practical criterion also caps the iteration count and detects
+*stagnation* — the residual no longer decreasing (or decreasing too
+slowly) between consecutive checks::
+
+    (||r_{k+1}||_inf - ||r_k||_inf) / ||r_k||_inf  >=  -stagnation_tol
+
+Because the residual evaluation costs about as much as an iteration,
+the solver invokes this object only every ``check_interval`` steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.solvers.result import StopReason
+
+
+class StoppingCriterion:
+    """Stateful convergence test for zero-RHS iterations.
+
+    Parameters
+    ----------
+    matrix_inf_norm:
+        ``||A||_inf`` (precomputed once).
+    tol:
+        The paper's ``epsilon`` (1e-8 in Section VII-D).
+    max_iterations:
+        Hard cap (1e6 in Section VII-D).
+    stagnation_tol:
+        Minimum relative residual decrease per check to keep going;
+        ``None`` disables the stagnation test.
+    min_checks_before_stagnation:
+        Grace period — early checks often plateau before the dominant
+        eigen-gap kicks in.
+    stagnation_patience:
+        Consecutive stagnant checks required before stopping; guards
+        against the oscillating residuals of operators with complex
+        subdominant eigenvalues (the Brusselator's rotating dynamics).
+    """
+
+    def __init__(self, matrix_inf_norm: float, *, tol: float = 1e-8,
+                 max_iterations: int = 1_000_000,
+                 stagnation_tol: float | None = 1e-6,
+                 min_checks_before_stagnation: int = 5,
+                 stagnation_patience: int = 3):
+        if matrix_inf_norm < 0:
+            raise ValidationError("matrix norm must be non-negative")
+        if tol <= 0:
+            raise ValidationError("tol must be positive")
+        if max_iterations <= 0:
+            raise ValidationError("max_iterations must be positive")
+        self.matrix_inf_norm = float(matrix_inf_norm)
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.stagnation_tol = stagnation_tol
+        self.min_checks = int(min_checks_before_stagnation)
+        self.stagnation_patience = max(1, int(stagnation_patience))
+        self._best_residual: float | None = None
+        self._checks = 0
+        self._stagnant_streak = 0
+
+    def normalized_residual(self, residual_vec: np.ndarray,
+                            x: np.ndarray) -> float:
+        """``||r||_inf / (||A||_inf ||x||_inf)`` (0 when degenerate)."""
+        x_norm = float(np.abs(x).max()) if x.size else 0.0
+        denom = self.matrix_inf_norm * x_norm
+        if denom == 0.0:
+            return 0.0
+        return float(np.abs(residual_vec).max()) / denom
+
+    def check(self, iteration: int, residual_vec: np.ndarray,
+              x: np.ndarray) -> tuple[StopReason | None, float]:
+        """Evaluate the criterion; returns ``(reason or None, residual)``."""
+        if not np.all(np.isfinite(x)):
+            return StopReason.DIVERGED, float("inf")
+        res = self.normalized_residual(residual_vec, x)
+        self._checks += 1
+        if res <= self.tol:
+            return StopReason.CONVERGED, res
+        # Stagnation against the best residual seen so far: residuals of
+        # operators with complex subdominant eigenvalues *oscillate*
+        # while their envelope decreases, so a previous-check comparison
+        # would fire spuriously mid-swing.
+        if self._best_residual is None or not np.isfinite(self._best_residual):
+            self._best_residual = res
+        elif (self.stagnation_tol is not None
+              and self._checks > self.min_checks
+              and self._best_residual > 0):
+            improvement = (self._best_residual - res) / self._best_residual
+            if improvement < self.stagnation_tol:
+                self._stagnant_streak += 1
+                if self._stagnant_streak >= self.stagnation_patience:
+                    return StopReason.STAGNATED, res
+            else:
+                self._stagnant_streak = 0
+        self._best_residual = min(self._best_residual, res)
+        if iteration >= self.max_iterations:
+            return StopReason.MAX_ITERATIONS, res
+        return None, res
+
+    def reset(self) -> None:
+        """Clear the stagnation state for a fresh solve."""
+        self._best_residual = None
+        self._checks = 0
+        self._stagnant_streak = 0

@@ -1,0 +1,142 @@
+"""Common interface for all sparse formats.
+
+Each format provides two multiply paths:
+
+``spmv(x)``
+    The *format-faithful* reference implementation: it performs exactly the
+    arithmetic the corresponding GPU kernel performs (same traversal order,
+    same padding-skip semantics).  Tests bit-compare it against SciPy.
+
+``matvec(x)``
+    A fast path for solver inner loops.  It is numerically identical to
+    ``spmv`` (both compute ``A @ x``) but may delegate to a cached SciPy
+    CSR product, since on this host the Python-level traversal of ``spmv``
+    would dominate a Jacobi run.
+
+Footprint accounting follows the paper: 8 bytes per double value, 4 bytes
+per (column) index, 4 bytes per pointer/offset entry.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_1d
+
+#: Bytes per double-precision value on the device.
+VALUE_BYTES = 8
+#: Bytes per column index / pointer entry on the device.
+INDEX_BYTES = 4
+
+
+class SparseFormat(abc.ABC):
+    """Abstract base class for device sparse-matrix representations.
+
+    Subclasses must set ``shape`` (a ``(n_rows, n_cols)`` tuple) during
+    construction and implement :meth:`spmv`, :meth:`to_scipy` and
+    :meth:`footprint`.
+    """
+
+    #: Short lowercase identifier used in tables and the autotuner.
+    format_name: str = "abstract"
+
+    shape: tuple[int, int]
+
+    # -- core interface ----------------------------------------------------
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Format-faithful sparse matrix-vector product ``y = A @ x``."""
+
+    @abc.abstractmethod
+    def to_scipy(self) -> sp.csr_matrix:
+        """Lossless conversion to a SciPy CSR matrix (explicit zeros dropped)."""
+
+    @abc.abstractmethod
+    def footprint(self) -> int:
+        """Device memory footprint of the data structure, in bytes."""
+
+    # -- provided behaviour ------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros (excluding padding)."""
+        return int(self.to_scipy().nnz)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Fast ``A @ x`` via a cached CSR product (numerically = ``spmv``)."""
+        x = check_1d(x, "x", n=self.n_cols, dtype=np.float64)
+        csr = getattr(self, "_csr_cache", None)
+        if csr is None:
+            csr = self.to_scipy()
+            self._csr_cache = csr
+        return csr @ x
+
+    def _invalidate_cache(self) -> None:
+        self._csr_cache = None
+
+    def check_x(self, x: np.ndarray) -> np.ndarray:
+        """Validate a multiplicand vector."""
+        return check_1d(x, "x", n=self.n_cols, dtype=np.float64)
+
+    def density(self) -> float:
+        """Fraction of nonzero entries, ``nnz / (n_rows * n_cols)``."""
+        n = self.n_rows * self.n_cols
+        return self.nnz / n if n else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"<{type(self).__name__} {self.shape[0]}x{self.shape[1]}, "
+                f"nnz={self.nnz}, {self.footprint()} bytes>")
+
+
+def validate_shape(shape) -> tuple[int, int]:
+    """Validate and normalize a matrix shape tuple."""
+    try:
+        n, m = int(shape[0]), int(shape[1])
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ValidationError(f"invalid shape {shape!r}") from exc
+    if n < 0 or m < 0:
+        raise ValidationError(f"shape must be non-negative, got {shape!r}")
+    return (n, m)
+
+
+def as_csr(matrix) -> sp.csr_matrix:
+    """Coerce SciPy sparse / dense / SparseFormat input to canonical CSR.
+
+    Canonical means: sorted column indices, no duplicates, no explicit
+    zeros, ``float64`` values and ``int32`` indices (the device index
+    width used throughout the paper).
+    """
+    if isinstance(matrix, SparseFormat):
+        csr = matrix.to_scipy()
+    elif sp.issparse(matrix):
+        csr = matrix.tocsr()
+    else:
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValidationError(
+                f"matrix must be 2-D, got ndim={arr.ndim}")
+        csr = sp.csr_matrix(arr)
+    csr = csr.astype(np.float64)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    if (csr.shape[0] >= np.iinfo(np.int32).max
+            or csr.shape[1] >= np.iinfo(np.int32).max
+            or csr.nnz >= np.iinfo(np.int32).max):
+        raise ValidationError("matrix exceeds the 32-bit device index range")
+    csr.indices = csr.indices.astype(np.int32)
+    csr.indptr = csr.indptr.astype(np.int32)
+    return csr

@@ -1,0 +1,62 @@
+"""Conversions between SciPy sparse matrices and the device formats."""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.sparse.base import SparseFormat, as_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dia import DIAMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ellr import ELLRMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+#: Registry of constructible formats, keyed by ``format_name``.
+FORMAT_REGISTRY: dict[str, type] = {
+    "coo": COOMatrix,
+    "csr": CSRMatrix,
+    "dia": DIAMatrix,
+    "ell": ELLMatrix,
+    "ellr": ELLRMatrix,
+    "ell+dia": ELLDIAMatrix,
+    "sell": SlicedELLMatrix,
+    "warped-ell": WarpedELLMatrix,
+    "sell-c-sigma": SellCSigmaMatrix,
+}
+
+
+def from_scipy(matrix, format_name: str, **kwargs) -> SparseFormat:
+    """Build the named device format from a SciPy (or dense) matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Anything convertible to canonical CSR.
+    format_name:
+        A key of :data:`FORMAT_REGISTRY` (``"ell"``, ``"warped-ell"``, ...).
+    **kwargs:
+        Forwarded to the format constructor (e.g. ``slice_size=...``).
+    """
+    try:
+        cls = FORMAT_REGISTRY[format_name]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {format_name!r}; known formats: "
+            f"{sorted(FORMAT_REGISTRY)}") from None
+    if cls is COOMatrix:
+        return COOMatrix.from_scipy(matrix)
+    if cls is DIAMatrix:
+        return DIAMatrix.from_scipy(matrix, **kwargs)
+    return cls(matrix, **kwargs)
+
+
+def to_scipy(matrix) -> sp.csr_matrix:
+    """Convert a device format (or anything CSR-able) to SciPy CSR."""
+    if isinstance(matrix, SparseFormat):
+        return matrix.to_scipy()
+    return as_csr(matrix)

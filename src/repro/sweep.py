@@ -1,0 +1,151 @@
+"""Parameter sweeps: the paper's motivating exploratory workload.
+
+Section I: "bioscientists usually study a reaction network under
+different conditions.  Considering that each combination of the
+parameters generates a different linear system, the total amount of
+computation may become excruciatingly large."  This module packages
+that workload: a grid of rate overrides, one steady-state solve per
+condition, and a summary row per condition — the unit of work whose
+throughput the paper's GPU solver multiplies.
+
+Example
+-------
+>>> from repro import toggle_switch
+>>> from repro.sweep import ParameterSweep
+>>> sweep = ParameterSweep(toggle_switch(max_protein=30),
+...                        {"synA": [10.0, 30.0], "degA": [0.5, 1.0]})
+>>> results = sweep.run(tol=1e-8)          # doctest: +SKIP
+>>> len(results)                           # doctest: +SKIP
+4
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+
+from repro.cme.landscape import ProbabilityLandscape
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.statespace import enumerate_state_space
+from repro.errors import ValidationError
+from repro.solvers import JacobiSolver
+from repro.solvers.result import SolverResult
+from repro.utils.tables import Table
+
+
+@dataclass
+class SweepPoint:
+    """One condition's outcome."""
+
+    overrides: dict
+    result: SolverResult
+    landscape: ProbabilityLandscape
+    solve_seconds: float
+
+    def summary(self) -> dict:
+        """Scalar descriptors of this condition's steady state."""
+        means = self.landscape.mean_counts()
+        out = {f"rate:{k}": v for k, v in self.overrides.items()}
+        out.update({f"mean:{k}": round(v, 3) for k, v in means.items()})
+        out["entropy"] = round(self.landscape.entropy(), 3)
+        out["iterations"] = self.result.iterations
+        out["residual"] = self.result.residual
+        out["stop"] = self.result.stop_reason.value
+        return out
+
+
+@dataclass
+class ParameterSweep:
+    """A grid sweep over reaction-rate overrides.
+
+    Parameters
+    ----------
+    network:
+        The base network; each grid point is solved on
+        ``network.with_rates(...)``.
+    grid:
+        Mapping ``reaction name -> list of rates``; the sweep runs the
+        full Cartesian product.
+    reuse_state_space:
+        Rate changes never alter *reachability* for strictly-positive
+        propensities, so by default the state space is enumerated once
+        and only the matrix is reassembled per point — the exact
+        structure-reuse opportunity the paper's one-time GPU format
+        transfer exploits.  Disable for custom propensities whose
+        support depends on the swept rates.
+    """
+
+    network: ReactionNetwork
+    grid: dict
+    reuse_state_space: bool = True
+    points: list = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValidationError("sweep grid must not be empty")
+        unknown = set(self.grid) - {r.name for r in self.network.reactions}
+        if unknown:
+            raise ValidationError(
+                f"grid references unknown reactions {sorted(unknown)}")
+        for name, values in self.grid.items():
+            if not list(values):
+                raise ValidationError(f"empty value list for {name!r}")
+
+    def conditions(self) -> list[dict]:
+        """The Cartesian product of the grid, as override dicts."""
+        names = sorted(self.grid)
+        combos = itertools.product(*(list(self.grid[n]) for n in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def run(self, *, tol: float = 1e-8, max_iterations: int = 200_000,
+            solver_kwargs: dict | None = None,
+            progress=None) -> list[SweepPoint]:
+        """Solve every condition; returns (and stores) the sweep points."""
+        base_space = (enumerate_state_space(self.network)
+                      if self.reuse_state_space else None)
+        self.points = []
+        for overrides in self.conditions():
+            varied = self.network.with_rates(overrides)
+            t0 = time.perf_counter()
+            space = (enumerate_state_space(varied)
+                     if base_space is None else base_space)
+            if base_space is not None:
+                # Rebind the varied network so propensities use the new
+                # rates over the shared state list.
+                from repro.cme.statespace import StateSpace
+                space = StateSpace(network=varied,
+                                   states=base_space.states)
+            A = build_rate_matrix(space)
+            solver = JacobiSolver(A, tol=tol,
+                                  max_iterations=max_iterations,
+                                  **(solver_kwargs or {}))
+            result = solver.solve()
+            elapsed = time.perf_counter() - t0
+            point = SweepPoint(
+                overrides=overrides,
+                result=result,
+                landscape=ProbabilityLandscape(space, result.x),
+                solve_seconds=elapsed,
+            )
+            self.points.append(point)
+            if progress is not None:
+                progress(point)
+        return self.points
+
+    def table(self) -> Table:
+        """All conditions' summaries as one table."""
+        if not self.points:
+            raise ValidationError("run() the sweep first")
+        headers = list(self.points[0].summary())
+        table = Table(headers, title=f"Sweep of {self.network.name!r} "
+                                     f"({len(self.points)} conditions)")
+        for point in self.points:
+            summary = point.summary()
+            table.add_row([summary[h] for h in headers])
+        return table
+
+    def total_solve_seconds(self) -> float:
+        return sum(p.solve_seconds for p in self.points)

@@ -1,0 +1,17 @@
+"""Transient CME dynamics (the paper's Section VIII outlook).
+
+The paper closes with "we plan to further develop our GPU-based CME
+stochastic framework by including transient dynamic calculation"; this
+subpackage implements it via **uniformization** — the standard,
+numerically robust way to evaluate ``P(t) = e^{At} P(0)`` for a
+generator matrix using only the SpMV primitive the rest of the library
+is built on.
+"""
+
+from repro.transient.uniformization import (
+    TransientResult,
+    transient_solve,
+    transient_sweep,
+)
+
+__all__ = ["transient_solve", "transient_sweep", "TransientResult"]

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment module prints a paper-style table (same rows and columns
+as the corresponding table/figure in the paper) through :class:`Table`,
+so the benchmark output can be diffed against the paper by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_si_bytes(num_bytes: float) -> str:
+    """Format a byte count using binary prefixes (B, KiB, MiB, GiB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _fmt_cell(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+class Table:
+    """A minimal fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional table caption printed above the header row.
+
+    Examples
+    --------
+    >>> t = Table(["model", "GFLOPS"], title="Table II")
+    >>> t.add_row(["brusselator", 19.308])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one row; cells are stringified with sensible float formats."""
+        cells = [_fmt_cell(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns")
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+        sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(sep)
+        out.append(line(self.headers))
+        out.append(sep)
+        for row in self.rows:
+            out.append(line(row))
+        out.append(sep)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

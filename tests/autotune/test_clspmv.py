@@ -1,0 +1,85 @@
+"""Unit tests for the clSpMV-analog selector."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autotune.clspmv import (
+    ENSEMBLE,
+    MAX_DIA_DIAGONALS,
+    PRECISION_NORMALIZATION,
+    ClSpMVSelector,
+    SELECTION_PENALTY,
+)
+from repro.errors import FormatError
+from repro.sparse.base import as_csr
+
+
+@pytest.fixture(scope="module")
+def selector():
+    return ClSpMVSelector()
+
+
+class TestNaiveCost:
+    def test_every_member_has_a_cost(self, selector, random_square):
+        for fmt in ENSEMBLE:
+            cost = selector.naive_cost(random_square, fmt)
+            assert cost is None or cost > 0
+
+    def test_dia_dropped_when_too_many_diagonals(self, selector):
+        rng = np.random.default_rng(0)
+        A = as_csr(sp.random(400, 400, density=0.3, random_state=0))
+        diags = np.unique(A.tocoo().col.astype(int)
+                          - A.tocoo().row.astype(int))
+        assert diags.size > MAX_DIA_DIAGONALS
+        assert selector.naive_cost(A, "dia") is None
+
+    def test_penalties_applied(self, selector, random_square):
+        """CSR's offline penalty must appear in the cost."""
+        raw = (random_square.nnz * 8 + (random_square.shape[0] + 1) * 4
+               + 4.0 * random_square.nnz)
+        assert selector.naive_cost(random_square, "csr") == pytest.approx(
+            raw * SELECTION_PENALTY["csr"])
+
+    def test_unknown_member_rejected(self, selector, random_square):
+        with pytest.raises(FormatError):
+            selector.naive_cost(random_square, "fancy")
+
+
+class TestSelect:
+    def test_banded_matrix_prefers_structured_format(self, selector):
+        n = 512
+        A = as_csr(sp.diags([np.ones(n - 1), np.full(n, -2.0),
+                             np.ones(n - 1)], [-1, 0, 1], format="csr"))
+        result = selector.select(A)
+        assert result.chosen in ("dia", "ell", "sell")
+
+    def test_normalization_factor_applied(self, selector, random_square):
+        result = selector.select(random_square)
+        factor = PRECISION_NORMALIZATION[result.chosen]
+        assert result.normalized_gflops == pytest.approx(
+            result.single_gflops * factor)
+
+    def test_costs_reported(self, selector, random_square):
+        result = selector.select(random_square)
+        assert result.chosen in result.naive_costs
+        assert result.naive_costs[result.chosen] == min(
+            result.naive_costs.values())
+
+    def test_framework_efficiency_bounds(self):
+        with pytest.raises(FormatError):
+            ClSpMVSelector(framework_efficiency=0.0)
+        with pytest.raises(FormatError):
+            ClSpMVSelector(framework_efficiency=1.2)
+
+    def test_framework_efficiency_scales_result(self, random_square):
+        fast = ClSpMVSelector(framework_efficiency=1.0).select(random_square)
+        slow = ClSpMVSelector(framework_efficiency=0.5).select(random_square)
+        assert slow.normalized_gflops == pytest.approx(
+            fast.normalized_gflops * 0.5)
+
+
+class TestOnCmeMatrix:
+    def test_selection_runs_on_generator(self, tiny_toggle_matrix, selector):
+        result = selector.select(tiny_toggle_matrix, x_scale=100.0)
+        assert result.normalized_gflops > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the probability landscape analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cme.landscape import ProbabilityLandscape
+from repro.errors import ValidationError
+from tests.conftest import truncated_poisson
+
+
+@pytest.fixture(scope="module")
+def bd_landscape(birth_death_space):
+    p = truncated_poisson(4.0, 30)
+    return ProbabilityLandscape(birth_death_space, p)
+
+
+class TestMarginals:
+    def test_1d_marginal_recovers_distribution(self, bd_landscape):
+        m = bd_landscape.marginal("X")
+        np.testing.assert_allclose(m, truncated_poisson(4.0, 30),
+                                   atol=1e-12)
+
+    def test_marginal_sums_to_one(self, tiny_toggle_space):
+        p = np.full(tiny_toggle_space.size, 1.0 / tiny_toggle_space.size)
+        land = ProbabilityLandscape(tiny_toggle_space, p)
+        assert land.marginal("A").sum() == pytest.approx(1.0)
+        assert land.marginal2d("A", "B").sum() == pytest.approx(1.0)
+
+    def test_marginal2d_rejects_same_species(self, tiny_toggle_space):
+        p = np.full(tiny_toggle_space.size, 1.0 / tiny_toggle_space.size)
+        land = ProbabilityLandscape(tiny_toggle_space, p)
+        with pytest.raises(ValidationError):
+            land.marginal2d("A", "A")
+
+
+class TestSummaries:
+    def test_mean_counts(self, bd_landscape):
+        assert bd_landscape.mean_counts()["X"] == pytest.approx(4.0, abs=1e-6)
+
+    def test_mode_state(self, bd_landscape):
+        # Poisson(4) modes at 3 and 4 (equal); argmax picks one of them.
+        assert bd_landscape.mode_state()[0] in (3, 4)
+
+    def test_entropy_of_point_mass(self, birth_death_space):
+        p = np.zeros(birth_death_space.size)
+        p[3] = 1.0
+        land = ProbabilityLandscape(birth_death_space, p)
+        assert land.entropy() == 0.0
+
+    def test_top_states_sorted(self, bd_landscape):
+        tops = bd_landscape.top_states(5)
+        probs = [t[1] for t in tops]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestModesAndHeatmap:
+    def test_point_mass_single_mode(self, tiny_toggle_space):
+        p = np.zeros(tiny_toggle_space.size)
+        state_idx = tiny_toggle_space.index_of([8, 1])
+        p[state_idx] = 1.0
+        land = ProbabilityLandscape(tiny_toggle_space, p)
+        assert land.grid_modes("A", "B") == [(8, 1)]
+
+    def test_heatmap_renders(self, tiny_toggle_space):
+        p = np.full(tiny_toggle_space.size, 1.0 / tiny_toggle_space.size)
+        land = ProbabilityLandscape(tiny_toggle_space, p)
+        art = land.ascii_heatmap("A", "B", width=20, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 11  # header + rows
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self, birth_death_space):
+        with pytest.raises(ValidationError):
+            ProbabilityLandscape(birth_death_space, np.array([1.0]))
+
+    def test_negative_rejected(self, birth_death_space):
+        p = np.full(birth_death_space.size, 1.0 / birth_death_space.size)
+        p[0] = -0.5
+        p[1] += 0.5
+        with pytest.raises(ValidationError):
+            ProbabilityLandscape(birth_death_space, p)
+
+    def test_tiny_noise_cleaned(self, birth_death_space):
+        p = truncated_poisson(4.0, 30)
+        p[1] += p[0] + 1e-9   # keep the unit sum while p[0] goes negative
+        p[0] = -1e-9
+        land = ProbabilityLandscape(birth_death_space, p)
+        assert land.p.min() >= 0
+        assert land.p.sum() == pytest.approx(1.0)

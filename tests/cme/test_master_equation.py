@@ -1,0 +1,75 @@
+"""Unit tests for the CME operator."""
+
+import numpy as np
+import pytest
+
+from repro.cme.master_equation import CMEOperator
+from repro.errors import ValidationError
+from tests.conftest import truncated_poisson
+
+
+class TestOperator:
+    def test_apply_is_matvec(self, birth_death_space, birth_death_matrix):
+        op = CMEOperator(birth_death_space, birth_death_matrix)
+        p = np.full(op.n, 1.0 / op.n)
+        np.testing.assert_allclose(op.apply(p), birth_death_matrix @ p)
+
+    def test_steady_state_residual_zero(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        p = truncated_poisson(4.0, 30)
+        assert op.residual_norm(p) < 1e-12
+        assert op.normalized_residual(p) < 1e-12
+
+    def test_uniform_distribution_not_steady(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        p = np.full(op.n, 1.0 / op.n)
+        assert op.normalized_residual(p) > 1e-4
+
+    def test_shape_mismatch_rejected(self, birth_death_space,
+                                     tiny_toggle_matrix):
+        with pytest.raises(ValidationError):
+            CMEOperator(birth_death_space, tiny_toggle_matrix)
+
+    def test_exit_rates_positive(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        assert op.exit_rates().min() > 0
+
+
+class TestUniformization:
+    def test_column_stochastic(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        S = op.uniformized()
+        sums = np.asarray(S.sum(axis=0)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+        assert S.data.min() >= 0
+
+    def test_shares_steady_state(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        S = op.uniformized()
+        p = truncated_poisson(4.0, 30)
+        np.testing.assert_allclose(S @ p, p, atol=1e-12)
+
+    def test_factor_validated(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        with pytest.raises(ValidationError):
+            op.uniformized(factor=0.5)
+
+
+class TestDenseReference:
+    def test_birth_death_analytic(self, birth_death_space):
+        op = CMEOperator(birth_death_space)
+        p = op.dense_nullspace_solution()
+        np.testing.assert_allclose(p, truncated_poisson(4.0, 30),
+                                   atol=1e-10)
+
+    def test_size_guard(self):
+        import scipy.sparse as sp
+
+        class _BigSpace:
+            size = 4000
+
+        op = CMEOperator.__new__(CMEOperator)
+        op.space = _BigSpace()
+        op.A = sp.eye(4000, format="csr")
+        with pytest.raises(ValidationError, match="limited to"):
+            op.dense_nullspace_solution()

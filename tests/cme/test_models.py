@@ -1,0 +1,114 @@
+"""Tests for the four biological models and the benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.cme.models import (
+    BENCHMARKS,
+    benchmark_names,
+    brusselator,
+    load_benchmark,
+    load_benchmark_matrix,
+    phage_lambda,
+    schnakenberg,
+    toggle_switch,
+)
+from repro.cme.ratematrix import build_rate_matrix, check_generator
+from repro.cme.statespace import enumerate_state_space
+from repro.errors import ValidationError
+from repro.sparse.stats import matrix_stats
+
+
+class TestToggleSwitch:
+    def test_structure(self):
+        net = toggle_switch(max_protein=10)
+        assert net.n_species == 2
+        assert net.n_reactions == 6
+
+    def test_full_lattice_reachable(self):
+        net = toggle_switch(max_protein=8)
+        space = enumerate_state_space(net)
+        assert space.size == 81
+
+    def test_max_seven_nnz_per_row(self):
+        A = load_benchmark_matrix("toggle-switch-1", "tiny")
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.max_nnz_row <= 7
+
+
+class TestBrusselator:
+    def test_four_reactions_five_nnz(self):
+        net = brusselator(max_x=20, max_y=10)
+        assert net.n_reactions == 4
+        A = build_rate_matrix(enumerate_state_space(net))
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.max_nnz_row <= 5
+
+    def test_default_rates_in_stable_regime(self):
+        net = brusselator(max_x=50, max_y=30)
+        rates = {r.name: r.rate for r in net.reactions}
+        x_star = rates["feed"] / rates["drain"]
+        # Stability: conversion < drain + auto * x*^2 (damped spiral).
+        assert rates["conv"] < rates["drain"] + rates["auto"] * x_star ** 2
+
+
+class TestSchnakenberg:
+    def test_six_reactions_seven_nnz(self):
+        net = schnakenberg(max_x=20, max_y=10)
+        assert net.n_reactions == 6
+        A = build_rate_matrix(enumerate_state_space(net))
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.max_nnz_row <= 7
+
+
+class TestPhageLambda:
+    def test_fourteen_reactions(self):
+        net = phage_lambda(max_monomer=4, max_dimer=2)
+        assert net.n_reactions == 14
+
+    def test_operator_conservation(self):
+        net = phage_lambda(max_monomer=4, max_dimer=2)
+        space = enumerate_state_space(net)
+        i_free = net.species_index("ORfree")
+        i_ci = net.species_index("ORci")
+        i_cro = net.species_index("ORcro")
+        total = (space.states[:, i_free] + space.states[:, i_ci]
+                 + space.states[:, i_cro])
+        assert (total == 1).all()
+
+    def test_irregular_rows(self):
+        A = load_benchmark_matrix("phage-lambda-1", "tiny")
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.variability > 0.1, "phage must be the irregular family"
+
+
+class TestRegistry:
+    def test_seven_names_in_order(self):
+        assert benchmark_names() == [
+            "toggle-switch-1", "brusselator", "phage-lambda-1",
+            "schnakenberg", "phage-lambda-2", "toggle-switch-2",
+            "phage-lambda-3"]
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_tiny_instances_are_valid_generators(self, name):
+        A = load_benchmark_matrix(name, "tiny")
+        check_generator(A)
+        assert A.shape[0] < 5000
+
+    def test_caching(self):
+        a = load_benchmark_matrix("brusselator", "tiny")
+        b = load_benchmark_matrix("brusselator", "tiny")
+        assert a is b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            load_benchmark("nope", "tiny")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValidationError):
+            BENCHMARKS["brusselator"].build("huge")
+
+    def test_scales_increase(self):
+        tiny = load_benchmark_matrix("schnakenberg", "tiny").shape[0]
+        small = load_benchmark_matrix("schnakenberg", "small").shape[0]
+        assert tiny < small

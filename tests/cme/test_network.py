@@ -1,0 +1,94 @@
+"""Unit tests for ReactionNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.cme.network import ReactionNetwork
+from repro.cme.reaction import Reaction
+from repro.cme.species import Species
+from repro.errors import ValidationError
+
+
+def simple_network():
+    return ReactionNetwork(
+        [Species("A", 10), Species("B", 5)],
+        [Reaction("syn", {}, {"A": 1}, 2.0),
+         Reaction("conv", {"A": 2}, {"B": 1}, 0.5),
+         Reaction("deg", {"B": 1}, {}, 1.0)])
+
+
+class TestCompilation:
+    def test_arrays(self):
+        net = simple_network()
+        assert net.stoichiometry.tolist() == [[1, 0], [-2, 1], [0, -1]]
+        assert net.reactant_counts.tolist() == [[0, 0], [2, 0], [0, 1]]
+        assert net.rates.tolist() == [2.0, 0.5, 1.0]
+        assert net.max_counts.tolist() == [10, 5]
+
+    def test_species_index(self):
+        net = simple_network()
+        assert net.species_index("B") == 1
+        with pytest.raises(ValidationError):
+            net.species_index("C")
+
+    def test_state_space_bound(self):
+        assert simple_network().state_space_bound() == 11 * 6
+
+
+class TestValidation:
+    def test_duplicate_species(self):
+        with pytest.raises(ValidationError, match="duplicate species"):
+            ReactionNetwork([Species("A", 1), Species("A", 2)],
+                            [Reaction("r", {"A": 1}, {}, 1.0)])
+
+    def test_duplicate_reactions(self):
+        with pytest.raises(ValidationError, match="duplicate reaction"):
+            ReactionNetwork([Species("A", 1)],
+                            [Reaction("r", {"A": 1}, {}, 1.0),
+                             Reaction("r", {}, {"A": 1}, 1.0)])
+
+    def test_unknown_species(self):
+        with pytest.raises(ValidationError, match="unknown species"):
+            ReactionNetwork([Species("A", 1)],
+                            [Reaction("r", {"Z": 1}, {}, 1.0)])
+
+    def test_zero_net_effect_rejected(self):
+        with pytest.raises(ValidationError, match="zero net effect"):
+            ReactionNetwork([Species("A", 5)],
+                            [Reaction("noop", {"A": 1}, {"A": 1}, 1.0)])
+
+    def test_reaction_exceeding_buffer(self):
+        with pytest.raises(ValidationError, match="buffer"):
+            ReactionNetwork([Species("A", 1)],
+                            [Reaction("r", {"A": 2}, {}, 1.0)])
+
+    def test_empty_network(self):
+        with pytest.raises(ValidationError):
+            ReactionNetwork([], [Reaction("r", {}, {"A": 1}, 1.0)])
+
+
+class TestReversiblePairs:
+    def test_found(self):
+        net = ReactionNetwork(
+            [Species("A", 5)],
+            [Reaction("up", {}, {"A": 1}, 1.0),
+             Reaction("down", {"A": 1}, {}, 1.0)])
+        assert net.reversible_pairs() == [(0, 1)]
+
+
+class TestWithRates:
+    def test_override(self):
+        net = simple_network()
+        new = net.with_rates({"syn": 7.0})
+        assert new.rates[0] == 7.0
+        assert net.rates[0] == 2.0, "original untouched"
+
+    def test_unknown_reaction(self):
+        with pytest.raises(ValidationError, match="unknown reactions"):
+            simple_network().with_rates({"nope": 1.0})
+
+
+class TestDescribe:
+    def test_contains_everything(self):
+        text = simple_network().describe()
+        assert "syn" in text and "∅" in text and "0..10" in text

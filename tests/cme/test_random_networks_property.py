@@ -1,0 +1,103 @@
+"""Property tests over randomly generated reaction networks.
+
+Hypothesis builds small random mass-action networks; for every one, the
+pipeline invariants must hold: the enumeration is closed, the rate
+matrix is a generator, the uniformized chain is stochastic, and the
+damped Jacobi / power-iteration steady states agree.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cme.master_equation import CMEOperator
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix, check_generator
+from repro.cme.reaction import Reaction
+from repro.cme.species import Species
+from repro.cme.statespace import enumerate_state_space
+from repro.solvers import JacobiSolver, PowerIterationSolver
+
+
+@st.composite
+def random_networks(draw):
+    """Small random mass-action networks guaranteed to be non-trivial.
+
+    Two species with modest buffers; a pool of candidate reactions with
+    random stoichiometries and rates, always including production and
+    degradation of species A so the chain is irreducible enough to
+    explore.
+    """
+    cap_a = draw(st.integers(3, 10))
+    cap_b = draw(st.integers(3, 10))
+    species = [Species("A", cap_a, initial_count=0),
+               Species("B", cap_b, initial_count=0)]
+    reactions = [
+        Reaction("prodA", {}, {"A": 1},
+                 draw(st.floats(0.5, 5.0))),
+        Reaction("degA", {"A": 1}, {},
+                 draw(st.floats(0.5, 5.0))),
+    ]
+    candidates = [
+        ("convAB", {"A": 1}, {"B": 1}),
+        ("convBA", {"B": 1}, {"A": 1}),
+        ("dimer", {"A": 2}, {"B": 1}),
+        ("split", {"B": 1}, {"A": 2}),
+        ("degB", {"B": 1}, {}),
+        ("prodB", {}, {"B": 1}),
+    ]
+    chosen = draw(st.sets(st.integers(0, len(candidates) - 1),
+                          min_size=1, max_size=4))
+    for index in sorted(chosen):
+        name, reactants, products = candidates[index]
+        reactions.append(Reaction(name, reactants, products,
+                                  draw(st.floats(0.2, 4.0))))
+    return ReactionNetwork(species, reactions, name="random")
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_networks())
+def test_enumeration_closed_and_generator_valid(network):
+    space = enumerate_state_space(network)
+    assert space.size >= 2
+    A = build_rate_matrix(space)
+    check_generator(A)
+    # Every enumerated state is within buffers.
+    assert (space.states >= 0).all()
+    assert (space.states <= network.max_counts).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_networks())
+def test_uniformized_chain_is_stochastic(network):
+    space = enumerate_state_space(network)
+    op = CMEOperator(space)
+    S = op.uniformized()
+    sums = np.asarray(S.sum(axis=0)).ravel()
+    np.testing.assert_allclose(sums, 1.0, atol=1e-10)
+    assert S.data.min() >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_networks())
+def test_solvers_agree_on_random_networks(network):
+    space = enumerate_state_space(network)
+    A = build_rate_matrix(space)
+    jacobi = JacobiSolver(A, tol=1e-10, damping=0.7,
+                          max_iterations=100_000).solve()
+    power = PowerIterationSolver(A, tol=1e-10,
+                                 max_iterations=100_000).solve()
+    # Both must make strong progress and land on the same distribution.
+    assert jacobi.residual < 1e-6
+    assert power.residual < 1e-6
+    assert np.abs(jacobi.x - power.x).max() < 1e-5
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_networks())
+def test_steady_state_annihilates_the_generator(network):
+    space = enumerate_state_space(network)
+    op = CMEOperator(space)
+    result = JacobiSolver(op.A, tol=1e-11, damping=0.7,
+                          max_iterations=100_000).solve()
+    assert op.normalized_residual(result.x) < 1e-7
+    assert result.x.min() >= 0

@@ -1,0 +1,84 @@
+"""Unit + property tests for rate-matrix assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix, check_generator
+from repro.cme.reaction import Reaction
+from repro.cme.species import Species
+from repro.cme.statespace import enumerate_state_space
+from repro.errors import EnumerationError
+
+
+class TestGeneratorStructure:
+    def test_columns_sum_to_zero(self, tiny_toggle_matrix):
+        sums = np.asarray(tiny_toggle_matrix.sum(axis=0)).ravel()
+        assert np.abs(sums).max() < 1e-9 * abs(tiny_toggle_matrix).max()
+
+    def test_off_diagonals_nonnegative(self, tiny_toggle_matrix):
+        coo = tiny_toggle_matrix.tocoo()
+        off = coo.data[coo.row != coo.col]
+        assert off.min() >= 0
+
+    def test_diagonal_strictly_negative(self, tiny_toggle_matrix):
+        assert tiny_toggle_matrix.diagonal().max() < 0
+
+    def test_check_generator_passes(self, tiny_toggle_matrix):
+        check_generator(tiny_toggle_matrix)
+
+    def test_check_generator_catches_violation(self, tiny_toggle_matrix):
+        broken = tiny_toggle_matrix.tolil()
+        broken[0, 0] = broken[0, 0] + 1.0
+        with pytest.raises(EnumerationError):
+            check_generator(broken.tocsr())
+
+
+class TestKnownEntries:
+    def test_birth_death_rates(self, birth_death_matrix):
+        A = birth_death_matrix.toarray()
+        # Birth rate 4.0 from every non-full state; death rate x.
+        assert A[1, 0] == pytest.approx(4.0)
+        assert A[0, 1] == pytest.approx(1.0)
+        assert A[5, 6] == pytest.approx(6.0)
+        # Diagonal balances: state 5 leaves by birth (4) + death (5).
+        assert A[5, 5] == pytest.approx(-9.0)
+
+    def test_buffer_boundary_blocks_outflow(self, birth_death_matrix):
+        A = birth_death_matrix.toarray()
+        # State 30 (full buffer): only death leaves.
+        assert A[30, 30] == pytest.approx(-30.0)
+
+    def test_multiple_reactions_same_transition_sum(self):
+        net = ReactionNetwork(
+            [Species("X", 4)],
+            [Reaction("a", {}, {"X": 1}, 1.5),
+             Reaction("b", {}, {"X": 1}, 2.5),
+             Reaction("down", {"X": 1}, {}, 1.0)])
+        A = build_rate_matrix(enumerate_state_space(net)).toarray()
+        assert A[1, 0] == pytest.approx(4.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 12), st.floats(0.5, 10.0), st.floats(0.5, 10.0))
+def test_generator_property_random_birth_death(cap, b, d):
+    net = ReactionNetwork(
+        [Species("X", cap)],
+        [Reaction("birth", {}, {"X": 1}, b),
+         Reaction("death", {"X": 1}, {}, d)])
+    A = build_rate_matrix(enumerate_state_space(net))
+    check_generator(A)
+    assert A.shape == (cap + 1, cap + 1)
+
+
+def test_detailed_balance_birth_death(birth_death_matrix):
+    """Birth-death chains satisfy detailed balance: b·p_k = (k+1)·d·p_{k+1}.
+
+    Equivalently A[k+1,k] / A[k,k+1] = (k+1)/mean; validated via the
+    analytic Poisson steady state in the solver tests — here we check
+    the rate ratio directly.
+    """
+    A = birth_death_matrix.toarray()
+    for k in range(5):
+        assert A[k + 1, k] / A[k, k + 1] == pytest.approx(4.0 / (k + 1))

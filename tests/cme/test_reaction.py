@@ -1,0 +1,64 @@
+"""Unit tests for Reaction."""
+
+import numpy as np
+import pytest
+
+from repro.cme.reaction import Reaction
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Reaction("dim", {"A": 2}, {"A2": 1}, 0.5)
+        assert r.rate == 0.5
+        assert r.species_names() == {"A", "A2"}
+
+    def test_source_reaction(self):
+        r = Reaction("syn", {}, {"X": 1}, 1.0)
+        assert r.net_change() == {"X": 1}
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_nonpositive_rate(self, rate):
+        with pytest.raises(ValidationError):
+            Reaction("r", {"A": 1}, {}, rate)
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(ValidationError):
+            Reaction("r", {"A": 0}, {"B": 1}, 1.0)
+
+    def test_rejects_empty_reaction(self):
+        with pytest.raises(ValidationError):
+            Reaction("r", {}, {}, 1.0)
+
+    def test_custom_propensity_needs_no_reactants(self):
+        fn = lambda states, idx: np.ones(states.shape[0])
+        with pytest.raises(ValidationError, match="custom propensity"):
+            Reaction("r", {"A": 1}, {"B": 1}, 1.0, propensity_fn=fn)
+        Reaction("r", {}, {"B": 1}, 1.0, propensity_fn=fn)  # ok
+
+    def test_strictly_positive_requires_fn(self):
+        with pytest.raises(ValidationError, match="strictly_positive"):
+            Reaction("r", {"A": 1}, {}, 1.0, strictly_positive=True)
+
+
+class TestNetChange:
+    def test_catalyst_cancels(self):
+        r = Reaction("syn", {"G": 1}, {"G": 1, "P": 1}, 1.0)
+        assert r.net_change() == {"P": 1}
+
+    def test_consumption(self):
+        r = Reaction("deg", {"P": 2}, {"Q": 1}, 1.0)
+        assert r.net_change() == {"P": -2, "Q": 1}
+
+
+class TestReversiblePairs:
+    def test_detects_reverse(self):
+        fwd = Reaction("bind", {"A": 2, "O": 1}, {"OB": 1}, 1.0)
+        rev = Reaction("unbind", {"OB": 1}, {"A": 2, "O": 1}, 2.0)
+        assert fwd.is_reversible_pair(rev)
+        assert rev.is_reversible_pair(fwd)
+
+    def test_rejects_non_reverse(self):
+        a = Reaction("a", {"A": 1}, {}, 1.0)
+        b = Reaction("b", {"B": 1}, {}, 1.0)
+        assert not a.is_reversible_pair(b)

@@ -1,0 +1,33 @@
+"""Unit tests for Species."""
+
+import pytest
+
+from repro.cme.species import Species
+from repro.errors import ValidationError
+
+
+class TestSpecies:
+    def test_valid(self):
+        s = Species("A", max_count=10, initial_count=3)
+        assert s.levels == 11
+
+    def test_zero_buffer_allowed(self):
+        assert Species("A", max_count=0).levels == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Species("", max_count=1)
+
+    def test_rejects_negative_buffer(self):
+        with pytest.raises(ValidationError):
+            Species("A", max_count=-1)
+
+    @pytest.mark.parametrize("initial", [-1, 11])
+    def test_initial_within_buffer(self, initial):
+        with pytest.raises(ValidationError):
+            Species("A", max_count=10, initial_count=initial)
+
+    def test_frozen(self):
+        s = Species("A", max_count=5)
+        with pytest.raises(AttributeError):
+            s.max_count = 9

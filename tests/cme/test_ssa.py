@@ -1,0 +1,62 @@
+"""Unit + statistical tests for the Gillespie SSA cross-validator."""
+
+import numpy as np
+import pytest
+
+from repro.cme.ssa import occupancy, simulate
+from repro.errors import ValidationError
+from tests.conftest import truncated_poisson
+
+
+class TestSimulate:
+    def test_total_time_respected(self, birth_death_network):
+        r = simulate(birth_death_network, t_max=10.0, seed=1)
+        assert r.total_time == pytest.approx(10.0, rel=1e-9)
+
+    def test_burn_in_excluded(self, birth_death_network):
+        r = simulate(birth_death_network, t_max=5.0, burn_in=5.0, seed=2)
+        assert r.total_time == pytest.approx(5.0, rel=1e-9)
+
+    def test_states_within_buffers(self, birth_death_network):
+        r = simulate(birth_death_network, t_max=20.0, seed=3)
+        assert r.states.min() >= 0
+        assert r.states.max() <= 30
+
+    def test_deterministic_per_seed(self, birth_death_network):
+        a = simulate(birth_death_network, t_max=5.0, seed=7)
+        b = simulate(birth_death_network, t_max=5.0, seed=7)
+        assert a.n_jumps == b.n_jumps
+        assert (a.states == b.states).all()
+
+    def test_invalid_args(self, birth_death_network):
+        with pytest.raises(ValidationError):
+            simulate(birth_death_network, t_max=0.0)
+        with pytest.raises(ValidationError):
+            simulate(birth_death_network, t_max=1.0, burn_in=-1.0)
+        with pytest.raises(ValidationError):
+            simulate(birth_death_network, t_max=1.0, initial_state=[1, 2])
+
+
+class TestOccupancy:
+    def test_matches_analytic_steady_state(self, birth_death_network,
+                                           birth_death_space):
+        r = simulate(birth_death_network, t_max=4000.0, burn_in=20.0, seed=5)
+        p = occupancy(r, birth_death_space)
+        expected = truncated_poisson(4.0, 30)
+        # Monte-Carlo agreement: total variation within a few percent.
+        tv = 0.5 * np.abs(p - expected).sum()
+        assert tv < 0.05, f"SSA occupancy off by TV={tv}"
+
+    def test_probability_vector(self, birth_death_network,
+                                birth_death_space):
+        r = simulate(birth_death_network, t_max=50.0, seed=6)
+        p = occupancy(r, birth_death_space)
+        assert p.min() >= 0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_custom_propensities_respected(self, tiny_toggle_network,
+                                           tiny_toggle_space):
+        """SSA on the Hill-toggle stays inside the enumerated space."""
+        r = simulate(tiny_toggle_network, t_max=50.0, seed=8)
+        p = occupancy(r, tiny_toggle_space)
+        assert p.sum() == pytest.approx(1.0)

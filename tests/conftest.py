@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cme.models.toggle_switch import toggle_switch
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.reaction import Reaction
+from repro.cme.species import Species
+from repro.cme.statespace import enumerate_state_space
+from repro.sparse.base import as_csr
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def random_square():
+    """A generic random square matrix with a nonzero diagonal."""
+    A = sp.random(257, 257, density=0.04, random_state=7, format="csr")
+    A = A + sp.diags(np.random.default_rng(7).random(257) + 0.5)
+    return as_csr(A)
+
+
+@pytest.fixture(scope="session")
+def birth_death_network() -> ReactionNetwork:
+    """A 1-species birth-death chain with a known analytic steady state.
+
+    ``∅ -> X`` at rate b, ``X -> ∅`` at rate d·x: the steady state is a
+    (truncated) Poisson with mean b/d.
+    """
+    return ReactionNetwork(
+        [Species("X", max_count=30, initial_count=0)],
+        [Reaction("birth", {}, {"X": 1}, 4.0),
+         Reaction("death", {"X": 1}, {}, 1.0)],
+        name="birth-death")
+
+
+@pytest.fixture(scope="session")
+def birth_death_space(birth_death_network):
+    return enumerate_state_space(birth_death_network)
+
+
+@pytest.fixture(scope="session")
+def birth_death_matrix(birth_death_space):
+    return build_rate_matrix(birth_death_space)
+
+
+@pytest.fixture(scope="session")
+def tiny_toggle_network():
+    return toggle_switch(max_protein=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_toggle_space(tiny_toggle_network):
+    return enumerate_state_space(tiny_toggle_network)
+
+
+@pytest.fixture(scope="session")
+def tiny_toggle_matrix(tiny_toggle_space):
+    return build_rate_matrix(tiny_toggle_space)
+
+
+def truncated_poisson(mean: float, max_count: int) -> np.ndarray:
+    """The analytic steady state of the truncated birth-death chain."""
+    ks = np.arange(max_count + 1)
+    from scipy.special import gammaln
+    log_p = ks * np.log(mean) - gammaln(ks + 1.0)
+    p = np.exp(log_p - log_p.max())
+    return p / p.sum()

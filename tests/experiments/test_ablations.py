@@ -1,0 +1,43 @@
+"""Fast tests for the ablation experiments (tiny scales)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.sparse.ell_dia import DIA_DENSITY_THRESHOLD
+
+
+class TestBandMatrixGenerator:
+    @pytest.mark.parametrize("density", [0.0, 0.5, 1.0])
+    def test_density_realized(self, density):
+        A = ablations.band_matrix_with_density(2048, density)
+        from repro.sparse.ell_dia import diagonal_density
+        got = (diagonal_density(A, -1) + diagonal_density(A, 1)) / 2
+        assert got == pytest.approx(density, abs=0.05)
+
+    def test_main_diagonal_full(self):
+        A = ablations.band_matrix_with_density(512, 0.3)
+        assert (A.diagonal() != 0).all()
+
+
+class TestDiaThreshold:
+    def test_crossover_near_rule(self):
+        result = ablations.run_dia_threshold(n=2048)
+        crossover = result.summary["observed_crossover_at"]
+        assert crossover == pytest.approx(DIA_DENSITY_THRESHOLD, abs=0.18)
+
+    def test_extremes(self):
+        result = ablations.run_dia_threshold(n=2048)
+        assert result.rows[0][3] == "no"
+        assert result.rows[-1][3] == "yes"
+
+
+class TestSellCSigmaSweep:
+    def test_grid_shape(self):
+        result = ablations.run_sell_c_sigma(scale="small")
+        assert len(result.rows) == len(ablations.CHUNKS)
+        assert len(result.headers) == 1 + len(ablations.SIGMAS)
+
+    def test_summary_names_paper_choice(self):
+        result = ablations.run_sell_c_sigma(scale="small")
+        assert result.summary["paper_choice"] == "C=32, sigma=256"
+        assert result.summary["best_gflops"] > 0

@@ -1,0 +1,89 @@
+"""Tests for the experiment harness (run at the fast 'small' scale).
+
+The heavyweight shape assertions live in ``benchmarks/``; here we check
+that every experiment runs, produces well-formed tables, and that its
+headline summary keys exist and are sane.
+"""
+
+import pytest
+
+from repro.experiments import (
+    blocksize,
+    figure2,
+    figure5,
+    footprint,
+    l1cache,
+    paperdata,
+    reordering,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentResult, cached_format
+from repro.cme.models import benchmark_names
+
+
+@pytest.mark.parametrize("module,kwargs", [
+    (table1, {"scale": "small"}),
+    (table2, {"scale": "small"}),
+    (blocksize, {"scale": "small"}),
+    (l1cache, {"scale": "small"}),
+    (footprint, {"scale": "small"}),
+    (reordering, {"scale": "small"}),
+])
+def test_experiment_runs_and_renders(module, kwargs):
+    result = module.run(**kwargs)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    text = result.render()
+    assert result.experiment_id in text
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+
+
+def test_table3_structure():
+    result = table3.run("small")
+    assert result.rows[-1][0] == "AVERAGE"
+    assert result.summary["warped_over_clspmv_model"] > 0
+    assert len(result.rows) == len(benchmark_names()) + 1
+
+
+def test_table4_small_runs():
+    result = table4.run("small", max_iterations=2000)
+    stops = {row[3] for row in result.rows[:-1]}
+    assert stops <= {"converged", "stagnated", "max-iterations"}
+    assert result.summary["speedup_model"] > 1
+
+
+def test_figure2_small():
+    result = figure2.run(max_protein=24, max_iterations=50_000)
+    assert result.summary["bimodal"]
+
+
+def test_figure5_tiny():
+    result = figure5.run(n=2000, seed=0)
+    assert result.summary["avg_improvement_model"] > 0
+
+
+def test_paperdata_consistency():
+    """The transcription must cover all seven benchmarks everywhere."""
+    names = set(benchmark_names())
+    assert set(paperdata.TABLE1) == names
+    assert set(paperdata.TABLE2) == names
+    assert set(paperdata.TABLE3) == names
+    assert set(paperdata.TABLE4) == names
+    # Table II's columns match Table III's ELL column.
+    for name in names:
+        assert paperdata.TABLE2[name][0] == paperdata.TABLE3[name][0]
+
+
+def test_cached_format_identity():
+    a = cached_format("brusselator", "small", "ell")
+    b = cached_format("brusselator", "small", "ell")
+    assert a is b
+
+
+def test_cached_format_unknown_key():
+    with pytest.raises(ValueError):
+        cached_format("brusselator", "small", "mystery")

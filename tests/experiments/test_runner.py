@@ -1,0 +1,45 @@
+"""Tests for the experiment runner / EXPERIMENTS.md generation."""
+
+import io
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    KNOWN_DEVIATIONS,
+    run_all,
+    write_markdown,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def test_registry_covers_every_table_and_figure():
+    keys = [k for k, _, _ in EXPERIMENTS]
+    for expected in ("table1", "table2", "table3", "table4",
+                     "figure2", "figure5", "blocksize", "l1cache",
+                     "reordering", "footprint", "kepler",
+                     "ablation-sell-c-sigma", "ablation-dia-threshold"):
+        assert expected in keys
+
+
+def test_write_markdown_roundtrip(tmp_path):
+    results = [ExperimentResult("Table X", "demo", ["a"], [[1]],
+                                summary={"k": 1.0})]
+    out = tmp_path / "EXP.md"
+    write_markdown(results, str(out))
+    text = out.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Table X" in text
+    assert "Known deviations" in text
+
+
+def test_known_deviations_mention_scale():
+    assert "Scale" in KNOWN_DEVIATIONS
+    assert "clSpMV" in KNOWN_DEVIATIONS
+
+
+def test_run_all_tiny_scale_streams_tables():
+    stream = io.StringIO()
+    results = run_all("tiny", stream=stream)
+    assert len(results) == len(EXPERIMENTS)
+    text = stream.getvalue()
+    assert "Table I" in text
+    assert "Figure 5" in text

@@ -1,0 +1,101 @@
+"""Unit tests for the cache capacity model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gpusim.cache import capacity_hit_rate, gather_traffic
+from repro.gpusim.coalescing import GatherStats, warp_gather_stats
+from repro.gpusim.device import GTX580
+from repro.gpusim.occupancy import calculate_occupancy
+
+
+def banded_stats(n=2048):
+    cols = np.tile(np.arange(n)[:, None], (1, 3)) + np.array([[-1, 0, 1]])
+    cols = np.clip(cols, 0, n - 1)
+    return warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+
+
+def scattered_stats(n=2048, seed=0):
+    rng = np.random.default_rng(seed)
+    cols = rng.integers(0, 100 * n, size=(n, 3))
+    return warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+
+
+class TestCapacityCurve:
+    def test_empty_working_set_hits(self):
+        assert capacity_hit_rate(1024, 0) == 1.0
+
+    def test_zero_cache_misses(self):
+        assert capacity_hit_rate(0, 1024) == 0.0
+
+    def test_monotone_decreasing_in_ws(self):
+        rates = [capacity_hit_rate(48 * 1024, ws)
+                 for ws in (1024, 10 * 1024, 100 * 1024, 10**6)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_sharpness_steepens(self):
+        ws = 96 * 1024  # twice the cache
+        soft = capacity_hit_rate(48 * 1024, ws, sharpness=1.0)
+        sharp = capacity_hit_rate(48 * 1024, ws, sharpness=3.0)
+        assert sharp < soft
+
+    def test_vectorized(self):
+        out = capacity_hit_rate(48.0, np.array([0.0, 48.0, 480.0]))
+        assert out.shape == (3,)
+        assert out[0] == 1.0 and out[1] == 0.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(DeviceModelError):
+            capacity_hit_rate(-1, 10)
+        with pytest.raises(DeviceModelError):
+            capacity_hit_rate(10, 10, sharpness=0)
+
+
+class TestGatherTraffic:
+    def occ(self):
+        return calculate_occupancy(GTX580, 256)
+
+    def test_empty_stream(self):
+        t = gather_traffic(GatherStats.empty(), GTX580, self.occ(),
+                           x_bytes=1000)
+        assert t.l2_bytes == 0 and t.dram_bytes == 0
+
+    def test_compulsory_always_reaches_dram(self):
+        stats = banded_stats()
+        t = gather_traffic(stats, GTX580, self.occ(), x_bytes=2048 * 8)
+        assert t.dram_bytes >= stats.unique_lines * 128
+
+    def test_dram_never_exceeds_l2(self):
+        for stats in (banded_stats(), scattered_stats()):
+            t = gather_traffic(stats, GTX580, self.occ(), x_bytes=2048 * 8)
+            assert t.dram_bytes <= t.l2_bytes + 1e-9
+
+    def test_banded_absorbed_better_than_scattered(self):
+        """Per transaction, band reuse must cost less DRAM traffic."""
+        band = banded_stats()
+        scat = scattered_stats()
+        t_band = gather_traffic(band, GTX580, self.occ(), x_bytes=2048 * 8)
+        t_scat = gather_traffic(scat, GTX580, self.occ(),
+                                x_bytes=100 * 2048 * 8)
+        assert (t_band.dram_bytes / band.transactions
+                < t_scat.dram_bytes / scat.transactions)
+
+    def test_larger_l1_absorbs_more(self):
+        stats = banded_stats()
+        big = gather_traffic(stats, GTX580.with_l1(48), self.occ(),
+                             x_bytes=2048 * 8)
+        small = gather_traffic(stats, GTX580.with_l1(16), self.occ(),
+                               x_bytes=2048 * 8)
+        assert big.l2_bytes <= small.l2_bytes
+
+    def test_far_reuse_scales_with_x(self):
+        """Growing the gathered vector defeats the L2 far-reuse path."""
+        base = np.arange(2048)[:, None]
+        cols = np.hstack([base, (base * 37) % 2048, base])
+        stats = warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+        small_x = gather_traffic(stats, GTX580, self.occ(),
+                                 x_bytes=2048 * 8)
+        huge_x = gather_traffic(stats, GTX580, self.occ(),
+                                x_bytes=int(2048 * 8 * 1e4))
+        assert huge_x.dram_bytes >= small_x.dram_bytes

@@ -1,0 +1,173 @@
+"""Unit + property tests for the coalescing/transaction counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.gpusim.coalescing import (
+    GatherStats,
+    contiguous_gather_stats,
+    streamed_transactions,
+    warp_gather_stats,
+)
+
+
+def make_plan(cols):
+    cols = np.asarray(cols, dtype=np.int64)
+    return cols, cols >= 0
+
+
+class TestWarpGatherStats:
+    def test_perfectly_coalesced(self):
+        """32 threads reading 32 consecutive doubles -> 2 lines."""
+        cols, active = make_plan(np.arange(32)[:, None])
+        stats = warp_gather_stats(cols, active)
+        assert stats.transactions == 2
+        assert stats.unique_lines == 2
+        assert stats.coalescing_ratio == 16.0
+
+    def test_fully_scattered(self):
+        """32 threads reading 32 far-apart elements -> 32 lines."""
+        cols, active = make_plan((np.arange(32) * 1000)[:, None])
+        stats = warp_gather_stats(cols, active)
+        assert stats.transactions == 32
+        assert stats.coalescing_ratio == 1.0
+
+    def test_broadcast_is_one_transaction(self):
+        cols, active = make_plan(np.full((32, 1), 7))
+        stats = warp_gather_stats(cols, active)
+        assert stats.transactions == 1
+        assert stats.thread_loads == 32
+
+    def test_inactive_lanes_free(self):
+        cols = np.full((32, 1), -1)
+        cols[0, 0] = 5
+        stats = warp_gather_stats(cols, cols >= 0)
+        assert stats.transactions == 1
+        assert stats.active_steps == 1
+
+    def test_near_rereference_counted(self):
+        """The same line requested in consecutive steps is near reuse."""
+        cols = np.tile(np.arange(32)[:, None], (1, 3))  # 3 identical steps
+        stats = warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+        assert stats.transactions == 6
+        assert stats.unique_lines == 2
+        assert stats.block_near.sum() == 4
+
+    def test_far_rereference_not_near(self):
+        """Reuse two steps later is not 'near'."""
+        base = np.arange(32)[:, None]
+        cols = np.hstack([base, base + 320, base])  # A, B, A
+        stats = warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+        assert stats.transactions == 6
+        assert stats.unique_lines == 4
+        assert stats.block_near.sum() == 0
+        assert stats.block_far.sum() == 2
+
+    def test_single_precision_granularity(self):
+        cols, active = make_plan(np.arange(32)[:, None])
+        stats = warp_gather_stats(cols, active, elements_per_line=32)
+        assert stats.transactions == 1
+
+    def test_per_block_grouping(self):
+        n = 512  # two 256-row blocks
+        cols = np.arange(n)[:, None]
+        stats = warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+        assert stats.block_unique.shape == (2,)
+        assert stats.block_unique.sum() == stats.unique_lines
+
+    def test_cross_block_rereferences(self):
+        """Both blocks touching the same lines -> cross-block reuse."""
+        cols = np.zeros((512, 1), dtype=np.int64)  # everyone reads line 0
+        stats = warp_gather_stats(cols, np.ones_like(cols, dtype=bool))
+        assert stats.unique_lines == 1
+        assert stats.block_unique.tolist() == [1.0, 1.0]
+        assert stats.cross_block_rereferences == 1.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            warp_gather_stats(np.zeros((33, 2)), np.ones((33, 2), dtype=bool))
+        with pytest.raises(ValidationError):
+            warp_gather_stats(np.zeros((32, 2)), np.ones((32, 3), dtype=bool))
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    def test_counting_invariants(self, warps, k, seed):
+        rng = np.random.default_rng(seed)
+        n = warps * 32
+        cols = rng.integers(0, 4 * n, size=(n, k))
+        active = rng.random((n, k)) < 0.8
+        stats = warp_gather_stats(cols, active)
+        assert stats.unique_lines <= stats.transactions
+        assert stats.transactions <= stats.thread_loads or \
+            stats.thread_loads == 0
+        assert stats.block_near.sum() + stats.block_far.sum() \
+            + stats.block_unique.sum() == pytest.approx(stats.transactions)
+        assert stats.block_unique.sum() >= stats.unique_lines
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_exact_against_bruteforce(self, warps, k, seed):
+        rng = np.random.default_rng(seed)
+        n = warps * 32
+        cols = rng.integers(0, 2 * n, size=(n, k))
+        active = rng.random((n, k)) < 0.7
+        stats = warp_gather_stats(cols, active)
+        # Brute-force transaction count.
+        tx = 0
+        for w in range(warps):
+            for c in range(k):
+                lanes = [cols[r, c] // 16
+                         for r in range(w * 32, (w + 1) * 32)
+                         if active[r, c]]
+                tx += len(set(lanes))
+        assert stats.transactions == tx
+
+
+class TestMergeAndScale:
+    def test_merge_concatenates_blocks(self):
+        cols, active = make_plan(np.arange(32)[:, None])
+        a = warp_gather_stats(cols, active)
+        b = warp_gather_stats(cols + 64, active)
+        merged = a.merge(b)
+        assert merged.transactions == 4
+        assert merged.block_unique.shape == (2,)
+
+    def test_merge_shared_unique(self):
+        cols, active = make_plan(np.arange(32)[:, None])
+        a = warp_gather_stats(cols, active)
+        merged = a.merge(a, shared_unique=2)
+        assert merged.unique_lines == 2
+        assert merged.cross_block_rereferences == 2
+
+    def test_scaled_keeps_compulsories(self):
+        cols, active = make_plan(np.arange(32)[:, None])
+        a = warp_gather_stats(cols, active)
+        s = a.scaled(2.0)
+        assert s.transactions == 2 * a.transactions
+        assert s.unique_lines == a.unique_lines
+
+    def test_scaled_rejects_below_one(self):
+        with pytest.raises(ValidationError):
+            GatherStats.empty().scaled(0.5)
+
+
+class TestHelpers:
+    def test_streamed_transactions(self):
+        assert streamed_transactions(0) == 0
+        assert streamed_transactions(1) == 1
+        assert streamed_transactions(128) == 1
+        assert streamed_transactions(129) == 2
+
+    def test_contiguous_aligned(self):
+        stats = contiguous_gather_stats(64, 0)
+        assert stats.transactions == 4   # 2 lines per 32-wide warp
+        assert stats.unique_lines == 4
+
+    def test_contiguous_misaligned(self):
+        stats = contiguous_gather_stats(64, 1)
+        assert stats.transactions == 6   # 3 lines per warp
+        assert stats.unique_lines == 5   # one straddler shared

@@ -1,0 +1,66 @@
+"""Unit tests for the device specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gpusim.device import GTX580, KEPLER_K20X, DeviceSpec
+
+
+class TestGTX580:
+    def test_paper_parameters(self):
+        assert GTX580.num_sms == 16
+        assert GTX580.num_sms * 32 == 512          # CUDA cores
+        assert GTX580.max_threads_per_sm == 1536
+        assert GTX580.max_blocks_per_sm == 8
+        assert GTX580.max_warps_per_sm == 48
+        assert GTX580.l2_kb == 768
+        assert GTX580.l1_kb == 48
+
+    def test_analytic_peaks_match_section_v(self):
+        """Section V: 20.6 GFLOPS no-cache, 34.4 with perfect cache."""
+        assert GTX580.nocache_spmv_peak_gflops() == pytest.approx(19.24, abs=2)
+        assert GTX580.perfect_cache_spmv_peak_gflops() == pytest.approx(
+            32.07, abs=3)
+        # The paper rounds with 200 GB/s-ish bandwidth; ratios must hold.
+        ratio = (GTX580.perfect_cache_spmv_peak_gflops()
+                 / GTX580.nocache_spmv_peak_gflops())
+        assert ratio == pytest.approx(34.4 / 20.6, abs=0.05)
+
+    def test_doubles_per_line(self):
+        assert GTX580.doubles_per_line == 16
+
+
+class TestWithL1:
+    def test_valid_splits(self):
+        assert GTX580.with_l1(16).l1_kb == 16
+        assert GTX580.with_l1(48).l1_kb == 48
+
+    def test_rejects_other_sizes(self):
+        with pytest.raises(DeviceModelError):
+            GTX580.with_l1(32)
+
+    def test_name_annotated(self):
+        assert "16" in GTX580.with_l1(16).name
+
+
+class TestValidation:
+    def test_warp_thread_consistency(self):
+        with pytest.raises(DeviceModelError):
+            dataclasses.replace(GTX580, max_warps_per_sm=40)
+
+    def test_efficiency_range(self):
+        with pytest.raises(DeviceModelError):
+            dataclasses.replace(GTX580, dram_efficiency=1.5)
+
+    def test_l2_ratio(self):
+        with pytest.raises(DeviceModelError):
+            dataclasses.replace(GTX580, l2_bandwidth_ratio=0.5)
+
+
+class TestKepler:
+    def test_larger_pools(self):
+        assert KEPLER_K20X.max_threads_per_sm > GTX580.max_threads_per_sm
+        assert KEPLER_K20X.dp_peak_gflops > GTX580.dp_peak_gflops
+        assert KEPLER_K20X.max_blocks_per_sm == 16

@@ -1,0 +1,93 @@
+"""Unit tests for the kernel-model shared machinery."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.gpusim.coalescing import warp_gather_stats
+from repro.gpusim.kernels.base import (
+    Precision,
+    TrafficReport,
+    per_warp_active_steps,
+    sliced_dense_arrays,
+)
+from repro.sparse.base import as_csr
+from repro.sparse.sliced_ell import SlicedELLMatrix
+
+
+class TestPrecision:
+    def test_value_bytes(self):
+        assert Precision.DOUBLE.value_bytes == 8
+        assert Precision.SINGLE.value_bytes == 4
+
+    def test_elements_per_line(self):
+        assert Precision.DOUBLE.x_elements_per_line() == 16
+        assert Precision.SINGLE.x_elements_per_line() == 32
+
+
+class TestPerWarpActiveSteps:
+    def test_longest_row_rules_the_warp(self):
+        active = np.zeros((32, 5), dtype=bool)
+        active[3, :4] = True   # one row of length 4
+        active[10, :1] = True
+        assert per_warp_active_steps(active).tolist() == [4]
+
+    def test_empty_warp(self):
+        active = np.zeros((32, 3), dtype=bool)
+        assert per_warp_active_steps(active).tolist() == [0]
+
+    def test_rejects_unpadded(self):
+        with pytest.raises(ValidationError):
+            per_warp_active_steps(np.zeros((33, 2), dtype=bool))
+
+
+class TestSlicedDenseArrays:
+    def test_expansion_matches_structure(self):
+        rng = np.random.default_rng(3)
+        A = as_csr(sp.random(200, 200, density=0.05, random_state=3,
+                             format="csr")
+                   + sp.diags(rng.random(200) + 0.5))
+        m = SlicedELLMatrix(A, slice_size=32)
+        cols, active = sliced_dense_arrays(m)
+        assert cols.shape[0] == m.n_padded
+        assert cols.shape[1] == int(m.slice_k.max())
+        assert int(active.sum()) == m.nnz
+        # Active columns are real column indices of the matrix.
+        assert cols[active].min() >= 0
+        assert cols[active].max() < A.shape[1]
+
+
+class TestTrafficReport:
+    def _report(self, **kw):
+        cols = np.arange(32)[:, None]
+        gather = warp_gather_stats(cols, cols >= 0)
+        defaults = dict(kernel_name="t", streamed_bytes=100.0,
+                        gather=gather, x_bytes=256.0, flops=64.0)
+        defaults.update(kw)
+        return TrafficReport(**defaults)
+
+    def test_rejects_negative_quantities(self):
+        with pytest.raises(ValidationError):
+            self._report(streamed_bytes=-1.0)
+        with pytest.raises(ValidationError):
+            self._report(flops=-1.0)
+
+    def test_combined_sums_components(self):
+        a, b = self._report(), self._report(streamed_bytes=50.0)
+        c = a.combined(b)
+        assert c.streamed_bytes == 150.0
+        assert c.flops == 128.0
+        assert c.gather.transactions == 2 * a.gather.transactions
+
+    def test_combined_rejects_mixed_precision(self):
+        a = self._report()
+        b = self._report(precision=Precision.SINGLE)
+        with pytest.raises(ValidationError):
+            a.combined(b)
+
+    def test_breakdown_merged(self):
+        a = self._report(breakdown={"values": 10.0})
+        b = self._report(breakdown={"values": 5.0, "y": 1.0})
+        c = a.combined(b)
+        assert c.breakdown == {"values": 15.0, "y": 1.0}

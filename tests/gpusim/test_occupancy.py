@@ -1,0 +1,63 @@
+"""Unit tests for the occupancy calculator (Section III)."""
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gpusim.device import GTX580
+from repro.gpusim.occupancy import calculate_occupancy
+
+
+class TestSectionIIIExamples:
+    """The paper's own block-size discussion, verified exactly."""
+
+    def test_256_full_occupancy(self):
+        occ = calculate_occupancy(GTX580, 256)
+        assert occ.blocks_per_sm == 6
+        assert occ.resident_threads == 1536
+        assert occ.ratio == 1.0
+
+    def test_512_full_occupancy_with_turnover(self):
+        occ = calculate_occupancy(GTX580, 512)
+        assert occ.blocks_per_sm == 3
+        assert occ.ratio == 1.0
+        assert occ.turnover_penalty < calculate_occupancy(
+            GTX580, 256).turnover_penalty
+
+    def test_1024_cannot_fill(self):
+        occ = calculate_occupancy(GTX580, 1024)
+        assert occ.blocks_per_sm == 1
+        assert occ.ratio == pytest.approx(2 / 3)
+
+    def test_warp_sized_blocks_hit_8_block_cap(self):
+        """Section VI: slice=warp=block -> 256 threads, 1/6 of capacity."""
+        occ = calculate_occupancy(GTX580, 32)
+        assert occ.blocks_per_sm == 8
+        assert occ.resident_threads == 256
+        assert occ.ratio == pytest.approx(1 / 6)
+
+
+class TestThroughputFactor:
+    def test_monotone_in_occupancy(self):
+        factors = [calculate_occupancy(GTX580, b).throughput_factor
+                   for b in (32, 64, 128, 256)]
+        assert factors == sorted(factors)
+
+    def test_256_is_the_sweet_spot(self):
+        best = max((32, 64, 128, 256, 512, 1024),
+                   key=lambda b: calculate_occupancy(
+                       GTX580, b).throughput_factor)
+        assert best == 256
+
+
+class TestEdgeCases:
+    def test_partial_warp_rounded_up(self):
+        occ = calculate_occupancy(GTX580, 48)
+        assert occ.resident_warps == occ.blocks_per_sm * 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(DeviceModelError):
+            calculate_occupancy(GTX580, 0)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(DeviceModelError):
+            calculate_occupancy(GTX580, 2048)

@@ -1,0 +1,92 @@
+"""Unit tests for the roofline performance model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gpusim.device import GTX580, KEPLER_K20X
+from repro.gpusim.executor import (
+    jacobi_performance,
+    run_spmv,
+    spmv_performance,
+)
+from repro.gpusim.perfmodel import estimate_performance
+from repro.sparse.base import as_csr
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+
+@pytest.fixture(scope="module")
+def banded():
+    n = 4096
+    rng = np.random.default_rng(1)
+    A = sp.diags([rng.random(n - 1) + 0.1, -(rng.random(n) + 2),
+                  rng.random(n - 1) + 0.1], [-1, 0, 1], format="csr")
+    return as_csr(A)
+
+
+class TestEstimates:
+    def test_bandwidth_bound_regime(self, banded):
+        perf = spmv_performance(ELLMatrix(banded), GTX580)
+        assert perf.limiting_resource in ("dram", "l2")
+        assert perf.t_flops < perf.time_s
+
+    def test_gflops_positive_and_below_analytic_cap(self, banded):
+        perf = spmv_performance(ELLMatrix(banded), GTX580)
+        assert 0 < perf.gflops < GTX580.perfect_cache_spmv_peak_gflops() * 1.2
+
+    def test_effective_bandwidth_below_peak(self, banded):
+        perf = spmv_performance(ELLMatrix(banded), GTX580)
+        assert perf.effective_bandwidth_gbs <= GTX580.effective_dram_gbs
+
+    def test_x_scale_only_hurts(self, banded):
+        fmt = ELLMatrix(banded)
+        near = spmv_performance(fmt, GTX580, x_scale=1.0).gflops
+        far = spmv_performance(fmt, GTX580, x_scale=1000.0).gflops
+        assert far <= near + 1e-9
+
+    def test_x_scale_validated(self, banded):
+        with pytest.raises(ValueError):
+            spmv_performance(ELLMatrix(banded), GTX580, x_scale=0.5)
+
+    def test_kepler_faster(self, banded):
+        fmt = ELLMatrix(banded)
+        fermi = spmv_performance(fmt, GTX580).gflops
+        kepler = spmv_performance(fmt, KEPLER_K20X).gflops
+        assert kepler > fermi
+
+    def test_low_occupancy_slows_down(self, banded):
+        fmt = ELLMatrix(banded)
+        full = spmv_performance(fmt, GTX580, block_size=256).gflops
+        starved = spmv_performance(fmt, GTX580, block_size=32).gflops
+        assert starved < full * 0.75
+
+
+class TestJacobiPerformance:
+    def test_slower_than_pure_spmv(self, banded):
+        fmt = WarpedELLMatrix(banded, separate_diagonal=True)
+        spmv = spmv_performance(fmt, GTX580).gflops
+        jac = jacobi_performance(fmt, GTX580, check_interval=100,
+                                 normalize_interval=10).gflops
+        assert jac < spmv * 1.05
+
+    def test_frequent_checks_cost(self, banded):
+        fmt = WarpedELLMatrix(banded, separate_diagonal=True)
+        rare = jacobi_performance(fmt, GTX580, check_interval=1000).gflops
+        frequent = jacobi_performance(fmt, GTX580, check_interval=2).gflops
+        assert frequent < rare
+
+
+class TestFunctionalHalf:
+    def test_run_spmv_matches_scipy(self, banded):
+        fmt = ELLMatrix(banded)
+        x = np.random.default_rng(2).random(banded.shape[1])
+        np.testing.assert_allclose(run_spmv(fmt, x), banded @ x, rtol=1e-13)
+
+
+class TestDeterminism:
+    def test_estimates_are_reproducible(self, banded):
+        fmt = WarpedELLMatrix(banded, reorder="local")
+        a = spmv_performance(fmt, GTX580).gflops
+        b = spmv_performance(fmt, GTX580).gflops
+        assert a == b

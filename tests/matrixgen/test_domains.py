@@ -1,0 +1,79 @@
+"""Unit tests for the UF-domain generators (Figure 5 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matrixgen.domains import DOMAINS, DomainSpec, generate_domain
+
+
+class TestRegistry:
+    def test_ten_domains(self):
+        assert len(DOMAINS) == 10
+        assert "quantum-chemistry" in DOMAINS
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_every_domain_generates(self, name):
+        A = generate_domain(name, n=1024, seed=0)
+        assert A.shape == (1024, 1024)
+        assert A.nnz > 1024 * 0.9
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValidationError):
+            generate_domain("astrology")
+
+    def test_deterministic(self):
+        a = generate_domain("cfd", n=512, seed=3)
+        b = generate_domain("cfd", n=512, seed=3)
+        assert abs(a - b).max() == 0
+
+
+class TestLengthModels:
+    def sample(self, spec, n=4096, seed=0):
+        return spec.sample_lengths(n, np.random.default_rng(seed))
+
+    def test_constant(self):
+        lengths = self.sample(DOMAINS["cfd"])
+        assert (lengths == 7).all()
+
+    def test_heavy_tail_for_qchem(self):
+        lengths = self.sample(DOMAINS["quantum-chemistry"])
+        assert lengths.std() / lengths.mean() > 0.5
+
+    def test_run_length_correlation(self):
+        spec = DOMAINS["structural-fem"]
+        lengths = self.sample(spec)
+        # Values constant within each run.
+        runs = lengths[: (len(lengths) // spec.run_length)
+                       * spec.run_length].reshape(-1, spec.run_length)
+        assert (runs == runs[:, :1]).all()
+
+    def test_long_rows_injected(self):
+        spec = DOMAINS["semiconductor"]
+        lengths = self.sample(spec)
+        assert (lengths[::spec.long_row_period]
+                == spec.long_row_length).all()
+
+    def test_powerlaw_bounds(self):
+        spec = DOMAINS["web-graph"]
+        lengths = self.sample(spec)
+        _, alpha, kmin, kmax = spec.length_model
+        assert lengths.min() >= 1
+        assert lengths.max() <= kmax + 1
+
+    def test_unknown_model_rejected(self):
+        spec = DomainSpec("x", ("weird", 1), "banded")
+        with pytest.raises(ValidationError):
+            spec.sample_lengths(8, np.random.default_rng(0))
+
+
+class TestStructuralContrast:
+    def test_irregular_vs_regular_variability(self):
+        """The property Figure 5 hinges on: domain-dependent variability."""
+        def var(name):
+            A = generate_domain(name, n=2048, seed=1)
+            lengths = np.diff(A.indptr)
+            return lengths.std() / lengths.mean()
+
+        assert var("quantum-chemistry") > 3 * var("cfd")
+        assert var("circuit-simulation") > var("structural-fem")

@@ -1,0 +1,70 @@
+"""Unit tests for the randomized matrix builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.matrixgen.random_sparse import (
+    banded_matrix,
+    random_cme_like,
+    synthesize_csr,
+)
+from repro.cme.ratematrix import check_generator
+
+
+class TestSynthesizeCsr:
+    def test_row_lengths_respected(self):
+        lengths = np.array([1, 5, 3, 7] * 8)
+        A = synthesize_csr(lengths, pattern="banded", rng=0)
+        got = np.diff(A.indptr)
+        # Duplicate columns may collapse a little, never grow.
+        assert (got <= lengths).all()
+        assert (got >= 1).all()
+
+    def test_banded_stays_in_window(self):
+        lengths = np.full(64, 5)
+        A = synthesize_csr(lengths, pattern="banded", bandwidth=4, rng=1)
+        coo = A.tocoo()
+        assert (np.abs(coo.col - coo.row) <= 4).all()
+
+    def test_clustered_mixes_far_entries(self):
+        lengths = np.full(256, 10)
+        A = synthesize_csr(lengths, pattern="clustered", bandwidth=8,
+                           far_fraction=0.4, rng=2)
+        coo = A.tocoo()
+        assert (np.abs(coo.col - coo.row) > 8).sum() > 0
+
+    def test_diagonal_forced(self):
+        A = synthesize_csr(np.full(32, 2), pattern="random",
+                           include_diagonal=True, rng=3)
+        assert (A.diagonal() != 0).all()
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_csr(np.full(32, 3), rng=5)
+        b = synthesize_csr(np.full(32, 3), rng=5)
+        assert abs(a - b).max() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            synthesize_csr(np.array([-1]))
+        with pytest.raises(ValidationError):
+            synthesize_csr(np.array([1]), pattern="mystery")
+
+
+class TestBandedMatrix:
+    def test_structure(self):
+        A = banded_matrix(32, bandwidth=2, rng=0)
+        coo = A.tocoo()
+        assert (np.abs(coo.col - coo.row) <= 2).all()
+        assert A.nnz == 5 * 32 - 2 - 4  # full band minus corners
+
+
+class TestRandomCmeLike:
+    def test_is_a_generator(self):
+        A = random_cme_like(128, rng=0)
+        check_generator(A)
+
+    def test_band_plus_jump_structure(self):
+        A = random_cme_like(128, jump=40, rng=1)
+        offs = set((A.tocoo().col - A.tocoo().row).tolist())
+        assert offs <= {-40, -1, 0, 1, 40}

@@ -1,0 +1,84 @@
+"""Unit tests for partitioning and the cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.multigpu import GPUCluster, partition_rows
+from repro.multigpu.partition import distributed_jacobi_step
+
+
+class TestPartitioning:
+    def test_covers_all_rows(self, tiny_toggle_matrix):
+        parts = partition_rows(tiny_toggle_matrix, 4)
+        assert parts[0].row_start == 0
+        assert parts[-1].row_stop == tiny_toggle_matrix.shape[0]
+        for a, b in zip(parts, parts[1:]):
+            assert a.row_stop == b.row_start
+
+    def test_nnz_balanced(self, tiny_toggle_matrix):
+        parts = partition_rows(tiny_toggle_matrix, 4)
+        nnzs = [p.nnz for p in parts]
+        assert max(nnzs) < 2.0 * min(nnzs)
+        assert sum(nnzs) == tiny_toggle_matrix.nnz
+
+    def test_halo_outside_owned_range(self, tiny_toggle_matrix):
+        for p in partition_rows(tiny_toggle_matrix, 3):
+            if p.halo_size:
+                assert ((p.halo_columns < p.row_start)
+                        | (p.halo_columns >= p.row_stop)).all()
+
+    def test_single_device_no_halo(self, tiny_toggle_matrix):
+        (part,) = partition_rows(tiny_toggle_matrix, 1)
+        assert part.halo_size == 0
+
+    def test_validation(self, tiny_toggle_matrix):
+        with pytest.raises(ValidationError):
+            partition_rows(tiny_toggle_matrix, 0)
+        with pytest.raises(ValidationError):
+            partition_rows(tiny_toggle_matrix,
+                           tiny_toggle_matrix.shape[0] + 1)
+
+
+class TestDistributedStep:
+    @pytest.mark.parametrize("devices", [1, 2, 4, 7])
+    def test_bitwise_equal_to_single_device(self, devices,
+                                            tiny_toggle_matrix, rng):
+        A = tiny_toggle_matrix
+        diag = A.diagonal()
+        x = rng.random(A.shape[0])
+        reference = -(A @ x - diag * x) / diag
+        parts = partition_rows(A, devices)
+        got = distributed_jacobi_step(parts, diag, x)
+        np.testing.assert_array_equal(got, reference)
+
+
+class TestClusterModel:
+    def test_kernel_time_shrinks(self, tiny_toggle_matrix):
+        cluster = GPUCluster()
+        curve = cluster.scaling_curve(tiny_toggle_matrix, [1, 2, 4])
+        kernels = [e.kernel_time_s for e in curve]
+        assert kernels == sorted(kernels, reverse=True)
+
+    def test_exchange_zero_on_single_device(self, tiny_toggle_matrix):
+        est = GPUCluster().estimate(tiny_toggle_matrix, 1)
+        assert est.exchange_time_s == 0.0
+
+    def test_flops_conserved(self, tiny_toggle_matrix):
+        single = GPUCluster().estimate(tiny_toggle_matrix, 1)
+        quad = GPUCluster().estimate(tiny_toggle_matrix, 4)
+        # Partition padding adds a little, never removes work.
+        assert quad.flops >= single.flops * 0.99
+
+    def test_interconnect_validated(self):
+        with pytest.raises(ValidationError):
+            GPUCluster(interconnect_gbs=0)
+        with pytest.raises(ValidationError):
+            GPUCluster(latency_us=-1)
+
+    def test_faster_interconnect_helps(self, tiny_toggle_matrix):
+        slow = GPUCluster(interconnect_gbs=1.0).estimate(
+            tiny_toggle_matrix, 4)
+        fast = GPUCluster(interconnect_gbs=50.0).estimate(
+            tiny_toggle_matrix, 4)
+        assert fast.exchange_time_s <= slow.exchange_time_s

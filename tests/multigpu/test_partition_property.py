@@ -1,0 +1,52 @@
+"""Property tests for the multi-GPU partitioning."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.multigpu import partition_rows
+from repro.multigpu.partition import distributed_jacobi_step
+from repro.sparse.base import as_csr
+
+
+@st.composite
+def jacobi_ready_matrices(draw):
+    n = draw(st.integers(8, 150))
+    density = draw(st.floats(0.02, 0.3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=density, random_state=seed, format="csr")
+    A = A + sp.diags(rng.random(n) + 0.5)
+    return as_csr(A)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jacobi_ready_matrices(), st.integers(1, 8))
+def test_partition_invariants(A, n_devices):
+    n_devices = min(n_devices, A.shape[0])
+    parts = partition_rows(A, n_devices)
+    assert len(parts) == n_devices
+    # Contiguous cover with no overlap.
+    assert parts[0].row_start == 0
+    assert parts[-1].row_stop == A.shape[0]
+    for a, b in zip(parts, parts[1:]):
+        assert a.row_stop == b.row_start
+    # Work conserved.
+    assert sum(p.nnz for p in parts) == A.nnz
+    # Halos are owned by someone else and deduplicated.
+    for p in parts:
+        halo = p.halo_columns
+        assert (np.unique(halo) == halo).all()
+        assert ((halo < p.row_start) | (halo >= p.row_stop)).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(jacobi_ready_matrices(), st.integers(1, 6))
+def test_distributed_step_exact(A, n_devices):
+    n_devices = min(n_devices, A.shape[0])
+    diag = A.diagonal()
+    rng = np.random.default_rng(1)
+    x = rng.random(A.shape[0])
+    expected = -(A @ x - diag * x) / diag
+    got = distributed_jacobi_step(partition_rows(A, n_devices), diag, x)
+    np.testing.assert_array_equal(got, expected)

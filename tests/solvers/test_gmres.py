@@ -1,0 +1,59 @@
+"""Tests for the GMRES negative result (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers import JacobiSolver, gmres_steady_state
+from repro.solvers.result import StopReason
+
+
+class TestGmres:
+    @pytest.fixture(scope="class")
+    def realistic_matrix(self):
+        """A toggle switch big enough to show the paper's conditioning.
+
+        (On a few-hundred-state system GMRES can still get through;
+        the failure mode needs the realistic ill-conditioned regime.)
+        """
+        from repro.cme.models.toggle_switch import toggle_switch
+        from repro.cme.ratematrix import build_rate_matrix
+        from repro.cme.statespace import enumerate_state_space
+        net = toggle_switch(max_protein=40)
+        return build_rate_matrix(enumerate_state_space(net))
+
+    def test_struggles_on_cme_system(self, realistic_matrix):
+        """The paper's observation: no convergence on CME systems."""
+        jacobi = JacobiSolver(realistic_matrix, tol=1e-8,
+                              max_iterations=100_000).solve()
+        gmres = gmres_steady_state(realistic_matrix, tol=1e-8,
+                                   max_iterations=150)
+        assert jacobi.converged
+        # GMRES either fails outright or ends far above Jacobi's residual.
+        assert (not gmres.converged
+                or gmres.residual > jacobi.residual * 10)
+
+    def test_returns_probability_vector(self, tiny_toggle_matrix):
+        result = gmres_steady_state(tiny_toggle_matrix, max_iterations=50)
+        assert result.x.min() >= 0
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_stop_reason_meaningful(self, tiny_toggle_matrix):
+        result = gmres_steady_state(tiny_toggle_matrix, max_iterations=50)
+        assert result.stop_reason in (StopReason.STAGNATED,
+                                      StopReason.MAX_ITERATIONS,
+                                      StopReason.CONVERGED)
+
+    def test_easy_system_can_converge(self, birth_death_matrix):
+        """On the tiny well-behaved chain GMRES has a fair chance."""
+        result = gmres_steady_state(birth_death_matrix, tol=1e-10,
+                                    max_iterations=2000)
+        # Either way, the residual metric must be honestly reported.
+        assert np.isfinite(result.residual)
+        if result.converged:
+            assert result.residual <= 1e-10
+
+    def test_rectangular_rejected(self):
+        import scipy.sparse as sp
+        with pytest.raises(ValidationError):
+            gmres_steady_state(sp.random(3, 4, density=0.9, random_state=0))

@@ -1,0 +1,146 @@
+"""Unit + correctness tests for the Jacobi steady-state solver.
+
+A mathematical subtlety these tests document: on a pure birth-death
+chain the Jacobi iteration matrix ``M = I - D^{-1}A`` is *bipartite*
+(states split by parity, ``diag(M) = 0``), so it has an eigenvalue at
+exactly -1 and the plain iteration oscillates forever — whereas any
+damping ``omega < 1`` maps that eigenvalue inside the unit circle and
+converges rapidly.  Realistic CME networks (the paper's benchmarks)
+have parity-mixing reactions and converge plain, as Table IV shows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SingularMatrixError, ValidationError
+from repro.solvers import JacobiSolver
+from repro.solvers.result import StopReason
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+from tests.conftest import truncated_poisson
+
+
+class TestCorrectness:
+    def test_birth_death_analytic(self, birth_death_matrix):
+        result = JacobiSolver(birth_death_matrix, tol=1e-12, damping=0.6,
+                              max_iterations=50_000).solve()
+        assert result.converged
+        np.testing.assert_allclose(result.x, truncated_poisson(4.0, 30),
+                                   atol=1e-9)
+
+    def test_bipartite_oscillation_needs_damping(self, birth_death_matrix):
+        """Plain Jacobi oscillates on the bipartite chain; damped converges."""
+        plain = JacobiSolver(birth_death_matrix, tol=1e-10,
+                             max_iterations=20_000).solve()
+        damped = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                              max_iterations=20_000).solve()
+        assert not plain.converged
+        assert damped.converged
+
+    def test_probability_vector_maintained(self, tiny_toggle_matrix):
+        result = JacobiSolver(tiny_toggle_matrix, tol=1e-9, damping=0.7,
+                              max_iterations=50_000).solve()
+        assert result.x.min() >= 0
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_custom_x0(self, birth_death_matrix):
+        n = birth_death_matrix.shape[0]
+        x0 = np.zeros(n)
+        x0[0] = 1.0
+        result = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                              max_iterations=50_000).solve(x0)
+        np.testing.assert_allclose(result.x, truncated_poisson(4.0, 30),
+                                   atol=1e-7)
+
+    def test_steady_start_converges_immediately(self, birth_death_matrix):
+        p = truncated_poisson(4.0, 30)
+        result = JacobiSolver(birth_death_matrix, tol=1e-8,
+                              check_interval=10).solve(p)
+        assert result.converged
+        assert result.iterations <= 10
+
+
+class TestBackends:
+    @pytest.mark.parametrize("build", [
+        CSRMatrix,
+        ELLDIAMatrix,
+        lambda A: WarpedELLMatrix(A, separate_diagonal=True),
+    ])
+    def test_format_backend_matches_fast(self, build, birth_death_matrix):
+        fmt = build(birth_death_matrix)
+        fast = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                            max_iterations=20_000).solve()
+        via_fmt = JacobiSolver(fmt, step="format", tol=1e-10, damping=0.6,
+                               max_iterations=20_000).solve()
+        assert fast.converged and via_fmt.converged
+        np.testing.assert_allclose(via_fmt.x, fast.x, atol=1e-9)
+
+    def test_format_backend_requires_capability(self, birth_death_matrix):
+        with pytest.raises(ValidationError, match="jacobi_step"):
+            JacobiSolver(birth_death_matrix, step="format")
+
+    def test_unknown_backend(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            JacobiSolver(birth_death_matrix, step="magic")
+
+
+class TestDamping:
+    def test_damped_step_blend(self, birth_death_matrix, rng):
+        x = rng.random(birth_death_matrix.shape[0])
+        full = JacobiSolver(birth_death_matrix).step_once(x)
+        half = JacobiSolver(birth_death_matrix, damping=0.5).step_once(x)
+        np.testing.assert_allclose(half, 0.5 * x + 0.5 * full, rtol=1e-12)
+
+    def test_damping_factors_agree_on_fixed_point(self, birth_death_matrix):
+        a = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                         max_iterations=50_000).solve()
+        b = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.9,
+                         max_iterations=50_000).solve()
+        assert a.converged and b.converged
+        np.testing.assert_allclose(a.x, b.x, atol=1e-8)
+
+    @pytest.mark.parametrize("omega", [0.0, 1.5, -0.2])
+    def test_range_validated(self, birth_death_matrix, omega):
+        with pytest.raises(ValidationError):
+            JacobiSolver(birth_death_matrix, damping=omega)
+
+
+class TestStoppingIntegration:
+    def test_max_iterations_reported(self, tiny_toggle_matrix):
+        result = JacobiSolver(tiny_toggle_matrix, tol=1e-15,
+                              max_iterations=50, check_interval=25,
+                              stagnation_tol=None).solve()
+        assert result.stop_reason is StopReason.MAX_ITERATIONS
+        assert result.iterations == 50
+
+    def test_history_recorded(self, birth_death_matrix):
+        result = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                              check_interval=50,
+                              max_iterations=20_000).solve()
+        assert len(result.residual_history) >= 1
+        iterations = [it for it, _ in result.residual_history]
+        assert iterations == sorted(iterations)
+
+    def test_residual_is_normalized_metric(self, birth_death_matrix):
+        result = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                              max_iterations=20_000).solve()
+        A = birth_death_matrix
+        norm = abs(A).sum(axis=1).max() * np.abs(result.x).max()
+        expected = np.abs(A @ result.x).max() / norm
+        assert result.residual == pytest.approx(expected, rel=1e-9)
+
+
+class TestValidation:
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            JacobiSolver(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_rectangular_rejected(self):
+        import scipy.sparse as sp
+        with pytest.raises(ValidationError):
+            JacobiSolver(sp.random(3, 4, density=0.9, random_state=0))
+
+    def test_wrong_x0_length(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            JacobiSolver(birth_death_matrix).solve(np.ones(7) / 7)

@@ -1,0 +1,47 @@
+"""Unit + property tests for probability renormalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.solvers.normalization import renormalize, uniform_probability
+
+
+class TestRenormalize:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50)
+           .filter(lambda v: sum(v) > 0))
+    def test_property_simplex(self, values):
+        out = renormalize(np.array(values))
+        assert out.min() >= 0
+        assert out.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_clips_noise(self):
+        out = renormalize(np.array([-1e-12, 0.5, 0.5]))
+        assert out.min() >= 0.0
+
+    def test_preserves_ratios(self):
+        out = renormalize(np.array([1.0, 3.0]))
+        assert out.tolist() == [0.25, 0.75]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            renormalize(np.array([np.nan, 1.0]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValidationError, match="mass"):
+            renormalize(np.zeros(3))
+
+    def test_no_clip_mode(self):
+        out = renormalize(np.array([-1.0, 3.0]), clip=False)
+        assert out.tolist() == [-0.5, 1.5]
+
+
+class TestUniform:
+    def test_values(self):
+        u = uniform_probability(4)
+        assert u.tolist() == [0.25] * 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            uniform_probability(0)

@@ -1,0 +1,53 @@
+"""Unit tests for the uniformized power-iteration solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers import JacobiSolver, PowerIterationSolver
+from tests.conftest import truncated_poisson
+
+
+class TestCorrectness:
+    def test_birth_death_analytic(self, birth_death_matrix):
+        result = PowerIterationSolver(birth_death_matrix, tol=1e-11,
+                                      max_iterations=100_000).solve()
+        assert result.converged
+        np.testing.assert_allclose(result.x, truncated_poisson(4.0, 30),
+                                   atol=1e-8)
+
+    def test_agrees_with_jacobi(self, tiny_toggle_matrix):
+        power = PowerIterationSolver(tiny_toggle_matrix, tol=1e-10,
+                                     max_iterations=100_000).solve()
+        # Damped Jacobi: the tiny lattice is near-bipartite for the
+        # plain iteration (see tests/solvers/test_jacobi.py).
+        jacobi = JacobiSolver(tiny_toggle_matrix, tol=1e-10, damping=0.7,
+                              max_iterations=100_000).solve()
+        assert power.converged and jacobi.converged
+        np.testing.assert_allclose(power.x, jacobi.x, atol=1e-8)
+
+    def test_mass_conserved_each_step(self, birth_death_matrix):
+        solver = PowerIterationSolver(birth_death_matrix)
+        x = np.full(31, 1.0 / 31)
+        for _ in range(5):
+            x = solver.S @ x
+            assert x.sum() == pytest.approx(1.0, abs=1e-12)
+            assert x.min() >= 0
+
+
+class TestUniformization:
+    def test_stochastic_matrix(self, birth_death_matrix):
+        solver = PowerIterationSolver(birth_death_matrix)
+        sums = np.asarray(solver.S.sum(axis=0)).ravel()
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+    def test_factor_must_exceed_one(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            PowerIterationSolver(birth_death_matrix,
+                                 uniformization_factor=1.0)
+
+    def test_rectangular_rejected(self):
+        import scipy.sparse as sp
+        with pytest.raises(ValidationError):
+            PowerIterationSolver(sp.random(3, 4, density=0.9,
+                                           random_state=0))

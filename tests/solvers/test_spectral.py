@@ -1,0 +1,62 @@
+"""Tests for the spectral convergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cme.models import load_benchmark_matrix
+from repro.errors import ValidationError
+from repro.solvers import JacobiSolver
+from repro.solvers.spectral import estimate_subdominant
+
+
+class TestEstimate:
+    def test_prediction_matches_measured_on_schnakenberg(self):
+        """A well-separated spectrum: prediction within ~2x of reality."""
+        A = load_benchmark_matrix("schnakenberg", "tiny")
+        est = estimate_subdominant(A, power_steps=300)
+        measured = JacobiSolver(A, tol=1e-8, max_iterations=100_000,
+                                check_interval=10,
+                                stagnation_tol=None).solve()
+        assert measured.converged
+        predicted = est.predicted_iterations(1e-8)
+        assert predicted == pytest.approx(measured.iterations, rel=1.0)
+
+    def test_modulus_orders_convergence_speed(self):
+        """Slower benchmarks carry subdominant modes closer to 1."""
+        moduli = {}
+        for name in ("schnakenberg", "toggle-switch-1"):
+            A = load_benchmark_matrix(name, "tiny")
+            moduli[name] = estimate_subdominant(
+                A, power_steps=200).subdominant_modulus
+        assert moduli["schnakenberg"] < moduli["toggle-switch-1"]
+
+    def test_bipartite_chain_sits_on_the_unit_circle(self,
+                                                     birth_death_matrix):
+        """The birth-death parity mode: |lambda_2| = 1 undamped."""
+        est = estimate_subdominant(birth_death_matrix, power_steps=300)
+        assert est.subdominant_modulus == pytest.approx(1.0, abs=5e-3)
+        assert est.predicted_iterations(1e-8) == float("inf") or \
+            est.predicted_iterations(1e-8) > 1e5
+
+    def test_damping_pulls_the_mode_inside(self, birth_death_matrix):
+        plain = estimate_subdominant(birth_death_matrix, power_steps=300)
+        damped = estimate_subdominant(birth_death_matrix, damping=0.6,
+                                      power_steps=300)
+        assert damped.subdominant_modulus < plain.subdominant_modulus
+        assert damped.predicted_iterations(1e-8) < 5000
+
+
+class TestValidation:
+    def test_bad_damping(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            estimate_subdominant(birth_death_matrix, damping=0.0)
+
+    def test_bad_steps(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            estimate_subdominant(birth_death_matrix, power_steps=3)
+
+    def test_prediction_args(self, birth_death_matrix):
+        est = estimate_subdominant(birth_death_matrix, damping=0.5,
+                                   power_steps=100)
+        with pytest.raises(ValidationError):
+            est.predicted_iterations(0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the stopping criterion (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers.result import StopReason
+from repro.solvers.stopping import StoppingCriterion
+
+
+def make(**kw):
+    defaults = dict(tol=1e-8, max_iterations=1000, stagnation_tol=1e-3,
+                    min_checks_before_stagnation=1, stagnation_patience=2)
+    defaults.update(kw)
+    return StoppingCriterion(10.0, **defaults)
+
+
+class TestNormalizedResidual:
+    def test_paper_formula(self):
+        c = make()
+        r = np.array([0.0, 0.5])
+        x = np.array([2.0, -1.0])
+        # ||r||inf / (||A||inf * ||x||inf) = 0.5 / (10 * 2)
+        assert c.normalized_residual(r, x) == pytest.approx(0.025)
+
+    def test_degenerate_zero(self):
+        c = make()
+        assert c.normalized_residual(np.zeros(2), np.zeros(2)) == 0.0
+
+
+class TestConvergence:
+    def test_converged(self):
+        c = make()
+        stop, res = c.check(10, np.full(3, 1e-9), np.ones(3))
+        assert stop is StopReason.CONVERGED
+        assert res <= 1e-8
+
+    def test_max_iterations(self):
+        c = make(stagnation_tol=None)
+        stop, _ = c.check(1000, np.ones(3), np.ones(3))
+        assert stop is StopReason.MAX_ITERATIONS
+
+    def test_divergence_on_nan(self):
+        c = make()
+        stop, res = c.check(1, np.ones(3), np.array([1.0, np.nan, 1.0]))
+        assert stop is StopReason.DIVERGED
+        assert res == float("inf")
+
+
+class TestStagnation:
+    def test_fires_after_patience(self):
+        c = make()
+        # Check 1 sets the best; check 2 starts the streak (min_checks=1).
+        stop, _ = c.check(1, np.full(3, 0.1), np.ones(3))
+        assert stop is None
+        stop, _ = c.check(2, np.full(3, 0.1), np.ones(3))
+        assert stop is None
+        # Patience = 2 consecutive stagnant checks -> fires on check 3.
+        stop, _ = c.check(3, np.full(3, 0.1), np.ones(3))
+        assert stop is StopReason.STAGNATED
+
+    def test_oscillation_tolerated_while_envelope_improves(self):
+        """Residuals bouncing around a decreasing envelope must not stop."""
+        c = make(stagnation_patience=3)
+        residuals = [0.1, 0.12, 0.05, 0.07, 0.02, 0.03, 0.008]
+        for i, r in enumerate(residuals, start=1):
+            stop, _ = c.check(i, np.full(3, r), np.ones(3))
+            assert stop is None, f"stopped at check {i} (res {r})"
+
+    def test_improvement_resets_streak(self):
+        c = make(stagnation_patience=2)
+        seq = [0.1, 0.1, 0.05, 0.05, 0.02]
+        for i, r in enumerate(seq, start=1):
+            stop, _ = c.check(i, np.full(3, r), np.ones(3))
+            assert stop is None
+
+    def test_disabled(self):
+        c = make(stagnation_tol=None)
+        for i in range(1, 20):
+            stop, _ = c.check(i, np.full(3, 0.1), np.ones(3))
+            assert stop is None
+
+    def test_reset(self):
+        c = make()
+        for i in range(1, 4):
+            c.check(i, np.full(3, 0.1), np.ones(3))
+        c.reset()
+        stop, _ = c.check(1, np.full(3, 0.1), np.ones(3))
+        assert stop is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        dict(tol=0), dict(max_iterations=0)])
+    def test_bad_parameters(self, kw):
+        with pytest.raises(ValidationError):
+            make(**kw)
+
+    def test_negative_norm(self):
+        with pytest.raises(ValidationError):
+            StoppingCriterion(-1.0)

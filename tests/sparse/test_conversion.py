@@ -1,0 +1,44 @@
+"""Unit tests for format conversion and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ValidationError
+from repro.sparse.base import as_csr
+from repro.sparse.conversion import FORMAT_REGISTRY, from_scipy, to_scipy
+
+
+class TestFromScipy:
+    @pytest.mark.parametrize("name", sorted(FORMAT_REGISTRY))
+    def test_every_format_builds_and_roundtrips(self, name, random_square):
+        fmt = from_scipy(random_square, name)
+        assert abs(to_scipy(fmt) - random_square).max() < 1e-15
+
+    def test_kwargs_forwarded(self, random_square):
+        fmt = from_scipy(random_square, "sell", slice_size=64)
+        assert fmt.slice_size == 64
+
+    def test_unknown_format(self, random_square):
+        with pytest.raises(FormatError, match="unknown format"):
+            from_scipy(random_square, "nope")
+
+
+class TestAsCsr:
+    def test_dense_input(self):
+        csr = as_csr([[1.0, 0.0], [0.0, 2.0]])
+        assert csr.nnz == 2
+        assert csr.indices.dtype == np.int32
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            as_csr(np.zeros((2, 2, 2)))
+
+    def test_sorted_and_deduplicated(self):
+        import scipy.sparse as sp
+        A = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        csr = as_csr(A)
+        assert csr.nnz == 1
+        assert csr[0, 1] == 3.0
+
+    def test_to_scipy_passthrough(self, random_square):
+        assert to_scipy(random_square).nnz == random_square.nnz

@@ -1,0 +1,64 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_sums_duplicates(self):
+        m = COOMatrix([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+        assert m.nnz == 2
+        dense = m.to_scipy().toarray()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 1.0
+
+    def test_cancelling_duplicates_removed(self):
+        m = COOMatrix([0, 0], [0, 0], [2.0, -2.0], (2, 2))
+        assert m.nnz == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(Exception):
+            COOMatrix([2], [0], [1.0], (2, 2))
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(Exception):
+            COOMatrix([-1], [0], [1.0], (2, 2))
+
+    def test_empty(self):
+        m = COOMatrix.empty((3, 4))
+        assert m.nnz == 0
+        assert m.spmv(np.ones(4)).tolist() == [0, 0, 0]
+        assert m.footprint() == 0
+
+
+class TestSpmv:
+    def test_matches_scipy(self, random_square, rng):
+        m = COOMatrix.from_scipy(random_square)
+        x = rng.random(random_square.shape[1])
+        np.testing.assert_allclose(m.spmv(x), random_square @ x, rtol=1e-13)
+
+    def test_rectangular(self):
+        A = sp.random(10, 20, density=0.3, random_state=0, format="csr")
+        m = COOMatrix.from_scipy(A)
+        x = np.arange(20, dtype=float)
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-13)
+
+    def test_duplicate_scatter_accumulates(self):
+        m = COOMatrix([0, 0], [0, 1], [1.0, 2.0], (1, 2))
+        assert m.spmv(np.array([1.0, 1.0]))[0] == 3.0
+
+
+class TestFootprint:
+    def test_bytes_per_nonzero(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        assert m.footprint() == 2 * (8 + 4 + 4)
+
+
+class TestRoundtrip:
+    def test_to_scipy_roundtrip(self, random_square):
+        m = COOMatrix.from_scipy(random_square)
+        diff = (m.to_scipy() - random_square)
+        assert abs(diff).max() == 0

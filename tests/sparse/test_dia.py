@@ -1,0 +1,80 @@
+"""Unit tests for the DIA format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.sparse.dia import DIAMatrix
+
+
+def tridiagonal(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return sp.diags(
+        [rng.random(n - 1), rng.random(n) + 1, rng.random(n - 1)],
+        [-1, 0, 1], format="csr")
+
+
+class TestConstruction:
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(ValidationError, match="distinct"):
+            DIAMatrix([0, 0], np.zeros((2, 3)), (3, 3))
+
+    def test_out_of_bounds_tails_zeroed(self):
+        data = np.ones((1, 3))
+        m = DIAMatrix([1], data, (3, 3))
+        # Row 2 has no column 3; its slot must be zeroed.
+        assert m.data[0, 2] == 0.0
+        assert m.nnz == 2
+
+    def test_from_scipy_all_diagonals(self):
+        A = tridiagonal(10)
+        m = DIAMatrix.from_scipy(A)
+        assert sorted(m.offsets.tolist()) == [-1, 0, 1]
+        assert abs(m.to_scipy() - A).max() == 0
+
+    def test_from_scipy_subset(self):
+        A = tridiagonal(10)
+        m = DIAMatrix.from_scipy(A, offsets=[0])
+        assert m.offsets.tolist() == [0]
+        np.testing.assert_allclose(m.main_diagonal(), A.diagonal())
+
+
+class TestSpmv:
+    def test_matches_scipy(self, rng):
+        A = tridiagonal(64, seed=3)
+        m = DIAMatrix.from_scipy(A)
+        x = rng.random(64)
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-13)
+
+    def test_far_offsets(self, rng):
+        n = 40
+        A = sp.diags([np.ones(n - 7), np.ones(n)], [-7, 0], format="csr")
+        m = DIAMatrix.from_scipy(A)
+        x = rng.random(n)
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-13)
+
+
+class TestBandDensity:
+    def test_full_band(self):
+        m = DIAMatrix.from_scipy(tridiagonal(20), offsets=[-1, 0, 1])
+        assert m.band_density() == pytest.approx(1.0)
+
+    def test_half_band(self):
+        n = 20
+        diag = np.ones(n)
+        diag[::2] = 0.0
+        A = sp.diags([diag], [0], format="csr")
+        m = DIAMatrix.from_scipy(A, offsets=[0])
+        assert m.band_density() == pytest.approx(0.5)
+
+
+class TestFootprint:
+    def test_bytes(self):
+        m = DIAMatrix.from_scipy(tridiagonal(16), offsets=[-1, 0, 1])
+        assert m.footprint() == 3 * 16 * 8 + 3 * 4
+
+    def test_main_diagonal_missing(self):
+        A = sp.diags([np.ones(9)], [1], shape=(10, 10), format="csr")
+        m = DIAMatrix.from_scipy(A)
+        assert (m.main_diagonal() == 0).all()

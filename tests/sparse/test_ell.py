@@ -1,0 +1,90 @@
+"""Unit tests for the ELL format (Section V)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.sparse.ell import PAD_COL, WARP_SIZE, ELLMatrix, csr_to_ell_arrays
+from repro.sparse.base import as_csr
+
+
+class TestLayout:
+    def test_row_padding_to_warp(self):
+        A = sp.eye(33, format="csr")
+        m = ELLMatrix(A)
+        assert m.n_padded == 64
+        assert m.values.shape == (64, 1)
+
+    def test_k_is_longest_row(self, random_square):
+        m = ELLMatrix(random_square)
+        lengths = np.diff(as_csr(random_square).indptr)
+        assert m.k == lengths.max()
+
+    def test_padding_marked(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        m = ELLMatrix(A)
+        assert m.cols[1, 1] == PAD_COL
+        assert m.values[1, 1] == 0.0
+
+    def test_column_order_preserved(self):
+        A = sp.csr_matrix(np.array([[0.0, 5.0, 7.0]]))
+        m = ELLMatrix(A)
+        assert m.cols[0, :2].tolist() == [1, 2]
+        assert m.values[0, :2].tolist() == [5.0, 7.0]
+
+    def test_custom_pad(self):
+        m = ELLMatrix(sp.eye(5, format="csr"), pad_to=8)
+        assert m.n_padded == 8
+
+
+class TestEfficiency:
+    def test_perfect_for_uniform_rows(self):
+        A = sp.diags([np.ones(63), np.ones(64), np.ones(63)],
+                     [-1, 0, 1], format="csr")
+        m = ELLMatrix(A)
+        # Boundary rows have 2 nonzeros, interior 3 -> e slightly < 1.
+        assert 0.9 < m.efficiency() < 1.0
+
+    def test_skewed_row_hurts(self):
+        rows = [np.zeros(64) for _ in range(64)]
+        rows = np.eye(64)
+        rows[0, :] = 1.0  # one dense row
+        m = ELLMatrix(sp.csr_matrix(rows))
+        assert m.efficiency() < 0.05
+
+    def test_empty_matrix(self):
+        m = ELLMatrix(sp.csr_matrix((4, 4)))
+        assert m.efficiency() == 1.0
+        assert m.k == 0
+
+
+class TestSpmv:
+    def test_matches_scipy(self, random_square, rng):
+        m = ELLMatrix(random_square)
+        x = rng.random(random_square.shape[1])
+        np.testing.assert_allclose(m.spmv(x), random_square @ x, rtol=1e-13)
+
+    def test_padding_skipped(self):
+        """Padding slots must not contribute even with poisoned x."""
+        A = sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        m = ELLMatrix(A)
+        x = np.array([1.0, 1.0])
+        np.testing.assert_allclose(m.spmv(x), A @ x)
+
+
+class TestHelpers:
+    def test_csr_to_ell_rejects_small_k(self, random_square):
+        csr = as_csr(random_square)
+        with pytest.raises(FormatError):
+            csr_to_ell_arrays(csr, csr.shape[0], 1)
+
+    def test_active_mask_counts_nnz(self, random_square):
+        m = ELLMatrix(random_square)
+        assert int(m.active_mask().sum()) == m.nnz
+
+
+class TestFootprint:
+    def test_dense_slots(self):
+        m = ELLMatrix(sp.eye(WARP_SIZE, format="csr"))
+        assert m.footprint() == WARP_SIZE * 1 * 12

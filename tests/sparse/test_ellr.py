@@ -1,0 +1,73 @@
+"""Unit tests for the ELLR-T format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gpusim import GTX580, spmv_performance
+from repro.gpusim.executor import spmv_traffic
+from repro.sparse.base import as_csr
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ellr import ELLRMatrix
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """Long rows clustered in the first warp; the rest nearly empty.
+
+    ELLR's saving needs warps whose longest row is short — a long row in
+    *every* warp would force full-k traffic on both formats.
+    """
+    rng = np.random.default_rng(4)
+    lil = sp.eye(256, format="lil")
+    for r in range(16):
+        cols = rng.choice(256, size=12, replace=False)
+        lil[r, cols] = 1.0
+    return as_csr(lil.tocsr())
+
+
+class TestFunctional:
+    def test_spmv_matches_scipy(self, skewed, rng):
+        m = ELLRMatrix(skewed)
+        x = rng.random(256)
+        np.testing.assert_allclose(m.spmv(x), skewed @ x, rtol=1e-13)
+
+    def test_layout_shared_with_ell(self, skewed):
+        r = ELLRMatrix(skewed)
+        e = ELLMatrix(skewed)
+        assert (r.values == e.values).all()
+        assert (r.cols == e.cols).all()
+
+    def test_row_lengths_device_array(self, skewed):
+        m = ELLRMatrix(skewed)
+        assert m.rl.dtype == np.int32
+        assert m.rl[: 256].sum() == skewed.nnz
+        assert (m.rl[256:] == 0).all()
+
+    def test_roundtrip(self, skewed):
+        assert abs(ELLRMatrix(skewed).to_scipy() - skewed).max() == 0
+
+
+class TestTrafficAndPerformance:
+    def test_no_padded_value_traffic(self, skewed):
+        """ELLR's value stream follows warp steps, not n' x k."""
+        ell = spmv_traffic(ELLMatrix(skewed))
+        ellr = spmv_traffic(ELLRMatrix(skewed))
+        assert ellr.breakdown["values"] < ell.breakdown["values"]
+        assert "row_lengths" in ellr.breakdown
+
+    def test_between_ell_and_warped_on_skew(self, skewed):
+        """ELLR saves bandwidth but not storage: it lands in between."""
+        from repro.sparse.warped_ell import WarpedELLMatrix
+        gf = {
+            "ell": spmv_performance(ELLMatrix(skewed), GTX580,
+                                    x_scale=100.0).gflops,
+            "ellr": spmv_performance(ELLRMatrix(skewed), GTX580,
+                                     x_scale=100.0).gflops,
+        }
+        assert gf["ellr"] > gf["ell"]
+
+    def test_footprint_larger_than_ell(self, skewed):
+        """Storage is ELL's plus the rl array — the format's trade-off."""
+        assert (ELLRMatrix(skewed).footprint()
+                == ELLMatrix(skewed).footprint() + ELLRMatrix(skewed).n_padded * 4)

@@ -1,0 +1,110 @@
+"""Property-based cross-format invariants (hypothesis).
+
+For random sparse matrices, every device format must:
+
+* compute the same SpMV as SciPy (bit-level tolerance),
+* round-trip losslessly through ``to_scipy``,
+* report the true nonzero count,
+* and the Jacobi-capable formats must agree on the Jacobi step.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.base import as_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dia import DIAMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+
+@st.composite
+def sparse_matrices(draw, max_n=120):
+    """Random square CSR matrices with a guaranteed nonzero diagonal."""
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.01, 0.25))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=density, random_state=seed, format="csr")
+    A = A + sp.diags(rng.random(n) + 0.5)
+    return as_csr(A)
+
+
+BUILDERS = [
+    ("coo", COOMatrix.from_scipy),
+    ("csr", CSRMatrix),
+    ("dia", DIAMatrix.from_scipy),
+    ("ell", ELLMatrix),
+    ("ell+dia", ELLDIAMatrix),
+    ("sell", lambda A: SlicedELLMatrix(A, slice_size=16)),
+    ("warped", lambda A: WarpedELLMatrix(A, reorder="local", block_size=64)),
+    ("warped+dia", lambda A: WarpedELLMatrix(A, separate_diagonal=True)),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrices())
+def test_spmv_matches_scipy_for_every_format(A):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(A.shape[1])
+    expected = A @ x
+    scale = np.abs(expected).max() + 1.0
+    for name, build in BUILDERS:
+        got = build(A).spmv(x)
+        assert np.abs(got - expected).max() < 1e-11 * scale, name
+
+
+@settings(max_examples=25, deadline=None)
+@given(sparse_matrices())
+def test_roundtrip_and_nnz_for_every_format(A):
+    for name, build in BUILDERS:
+        fmt = build(A)
+        assert abs(fmt.to_scipy() - A).max() < 1e-15, name
+        assert fmt.nnz == A.nnz, name
+        assert fmt.footprint() > 0, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(sparse_matrices(max_n=80))
+def test_jacobi_step_agreement(A):
+    rng = np.random.default_rng(1)
+    x = rng.random(A.shape[0])
+    reference = CSRMatrix(A).jacobi_step(x)
+    for build in (ELLDIAMatrix,
+                  lambda M: WarpedELLMatrix(M, separate_diagonal=True)):
+        got = build(A).jacobi_step(x)
+        scale = np.abs(reference).max() + 1.0
+        assert np.abs(got - reference).max() < 1e-11 * scale
+
+
+@settings(max_examples=20, deadline=None)
+@given(sparse_matrices(max_n=100), st.integers(0, 3))
+def test_warped_reorderings_are_equivalent(A, strategy_index):
+    strategy = ["none", "local", "global", "random"][strategy_index]
+    rng = np.random.default_rng(2)
+    x = rng.random(A.shape[1])
+    expected = A @ x
+    got = WarpedELLMatrix(A, reorder=strategy).spmv(x)
+    scale = np.abs(expected).max() + 1.0
+    assert np.abs(got - expected).max() < 1e-11 * scale
+
+
+@settings(max_examples=15, deadline=None)
+@given(sparse_matrices(max_n=100))
+def test_efficiency_bounds(A):
+    """Slot efficiencies lie in (0, 1]; finer slicing / sorting never hurt."""
+    ell = ELLMatrix(A)
+    s32 = SlicedELLMatrix(A, slice_size=32)
+    s16 = SlicedELLMatrix(A, slice_size=16)
+    warped = WarpedELLMatrix(A, reorder="local")
+    for fmt in (ell, s32, s16, warped):
+        assert 0.0 < fmt.efficiency() <= 1.0
+    # Finer slices never pad more.
+    assert s32.efficiency() >= ell.efficiency() - 1e-12
+    assert s16.efficiency() >= s32.efficiency() - 1e-12
+    # At equal slice size (32), the local sort never pads more.
+    assert warped.efficiency() >= s32.efficiency() - 1e-12

@@ -1,0 +1,85 @@
+"""Unit tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_random_matrix(self, tmp_path, random_square):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(random_square, path)
+        back = read_matrix_market(path)
+        assert back.shape == random_square.shape
+        assert back.nnz == random_square.nnz
+        assert abs(back - random_square).max() < 1e-12
+
+    def test_rate_matrix(self, tmp_path, tiny_toggle_matrix):
+        path = tmp_path / "rate.mtx"
+        write_matrix_market(tiny_toggle_matrix, path)
+        back = read_matrix_market(path)
+        rel = abs(back - tiny_toggle_matrix).max() / \
+            abs(tiny_toggle_matrix).max()
+        assert rel < 1e-12
+
+    def test_one_based_indices_on_disk(self, tmp_path):
+        A = sp.coo_matrix(([3.0], ([0], [1])), shape=(2, 2))
+        path = tmp_path / "one.mtx"
+        write_matrix_market(A, path)
+        body = path.read_text().splitlines()
+        assert body[-1].startswith("1 2 ")
+
+
+class TestReader:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "in.mtx"
+        path.write_text(text)
+        return path
+
+    def test_pattern_field(self, tmp_path):
+        path = self._write(tmp_path,
+                           "%%MatrixMarket matrix coordinate pattern general\n"
+                           "2 2 2\n1 1\n2 2\n")
+        A = read_matrix_market(path)
+        assert A.diagonal().tolist() == [1.0, 1.0]
+
+    def test_symmetric_mirrored(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n1 1 5\n2 1 3\n")
+        A = read_matrix_market(path).toarray()
+        assert A[0, 1] == 3.0 and A[1, 0] == 3.0 and A[0, 0] == 5.0
+
+    def test_comments_skipped(self, tmp_path):
+        path = self._write(tmp_path,
+                           "%%MatrixMarket matrix coordinate real general\n"
+                           "% a comment\n1 1 1\n1 1 2.5\n")
+        assert read_matrix_market(path)[0, 0] == 2.5
+
+    @pytest.mark.parametrize("text,match", [
+        ("", "empty"),
+        ("%%MatrixMarket matrix array real general\n1 1 1\n", "unsupported"),
+        ("%%MatrixMarket matrix coordinate real general\n", "size line"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n",
+         "declared"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n2 1 1\n",
+         "bounds"),
+        ("%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+         "unsupported field"),
+    ])
+    def test_malformed_rejected(self, tmp_path, text, match):
+        path = self._write(tmp_path, text)
+        with pytest.raises(FormatError, match=match):
+            read_matrix_market(path)
+
+    def test_value_precision_roundtrip(self, tmp_path):
+        vals = np.array([1.0 / 3.0, 1e-17, 123456.789])
+        A = sp.coo_matrix((vals, ([0, 1, 2], [0, 1, 2])), shape=(3, 3))
+        path = tmp_path / "p.mtx"
+        write_matrix_market(A, path)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.diagonal(), vals, rtol=1e-12)

@@ -1,0 +1,49 @@
+"""Property-based Matrix Market round-trip (hypothesis)."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sparse.base import as_csr
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+from repro.sparse.stats import matrix_market_size
+
+
+@st.composite
+def small_matrices(draw):
+    n = draw(st.integers(1, 40))
+    m = draw(st.integers(1, 40))
+    nnz = draw(st.integers(0, min(n * m, 60)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, m, size=nnz)
+    # Values spanning many magnitudes, including negatives.
+    vals = rng.standard_normal(nnz) * 10.0 ** rng.integers(-8, 8, size=nnz)
+    return as_csr(sp.coo_matrix((vals, (rows, cols)), shape=(n, m)))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(small_matrices())
+def test_roundtrip_preserves_structure_and_values(tmp_path, A):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(A, path)
+    back = read_matrix_market(path)
+    assert back.shape == A.shape
+    assert back.nnz == A.nnz
+    if A.nnz:
+        diff = abs(back - A)
+        scale = abs(A).max()
+        assert diff.max() <= 1e-12 * scale
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(small_matrices())
+def test_predicted_size_matches_written_bytes(tmp_path, A):
+    """Table I's analytic disk-size formula is byte-exact."""
+    path = tmp_path / "m.mtx"
+    written = write_matrix_market(A, path)
+    assert matrix_market_size(A) == written
+    assert path.stat().st_size == written

@@ -1,0 +1,93 @@
+"""Unit + property tests for the row-reordering strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.sparse.reorder import (
+    displacement,
+    global_row_sort,
+    global_row_sort_fast,
+    identity_permutation,
+    local_rearrangement,
+    random_permutation,
+    slice_padding_overhead,
+)
+
+lengths_strategy = st.lists(st.integers(0, 40), min_size=1, max_size=300)
+
+
+class TestGlobalSort:
+    @given(lengths_strategy)
+    def test_descending_and_stable(self, lengths):
+        lengths = np.array(lengths)
+        perm = global_row_sort(lengths)
+        sorted_lengths = lengths[perm]
+        assert (np.diff(sorted_lengths) <= 0).all()
+        # Stability: equal lengths keep original order.
+        for val in np.unique(lengths):
+            positions = perm[sorted_lengths == val]
+            assert (np.diff(positions) > 0).all()
+
+    @given(lengths_strategy)
+    def test_bucket_sort_matches_argsort(self, lengths):
+        lengths = np.array(lengths)
+        assert (global_row_sort(lengths)
+                == global_row_sort_fast(lengths)).tolist()
+
+    def test_empty(self):
+        assert global_row_sort(np.zeros(0, dtype=int)).size == 0
+
+
+class TestLocalRearrangement:
+    @given(lengths_strategy, st.sampled_from([4, 16, 64]))
+    def test_stays_within_block(self, lengths, block):
+        lengths = np.array(lengths)
+        perm = local_rearrangement(lengths, block_size=block)
+        assert sorted(perm.tolist()) == list(range(len(lengths)))
+        assert (displacement(perm) < block).all()
+
+    @given(lengths_strategy)
+    def test_descending_within_each_block(self, lengths):
+        lengths = np.array(lengths)
+        block = 16
+        perm = local_rearrangement(lengths, block_size=block)
+        rearranged = lengths[perm]
+        for start in range(0, len(lengths), block):
+            seg = rearranged[start:start + block]
+            assert (np.diff(seg) <= 0).all()
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValidationError):
+            local_rearrangement([1, 2], block_size=0)
+
+
+class TestRandomPermutation:
+    def test_deterministic_per_seed(self):
+        a = random_permutation(50, seed=3)
+        b = random_permutation(50, seed=3)
+        assert (a == b).all()
+        assert sorted(a.tolist()) == list(range(50))
+
+
+class TestPaddingOverhead:
+    @given(lengths_strategy)
+    def test_local_sort_never_hurts(self, lengths):
+        lengths = np.array(lengths)
+        n = len(lengths)
+        base = slice_padding_overhead(lengths, identity_permutation(n),
+                                      slice_size=8)
+        local = slice_padding_overhead(
+            lengths, local_rearrangement(lengths, block_size=32),
+            slice_size=8)
+        glob = slice_padding_overhead(lengths, global_row_sort(lengths),
+                                      slice_size=8)
+        assert local <= base
+        assert glob <= local
+
+    def test_known_value(self):
+        # Two slices of 2: lengths (1,3),(2,2) -> slots 6+4, nnz 8 -> 2.
+        lengths = np.array([1, 3, 2, 2])
+        assert slice_padding_overhead(
+            lengths, identity_permutation(4), slice_size=2) == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the sliced ELL format (Section VI)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.sparse.base import as_csr
+from repro.sparse.ell import ELLMatrix, PAD_COL
+from repro.sparse.sliced_ell import SlicedELLMatrix
+
+
+def skewed_matrix(n=200, seed=5):
+    """Rows of length 1 everywhere except a dense stretch (tests slices)."""
+    rng = np.random.default_rng(seed)
+    A = sp.eye(n, format="csr").tolil()
+    for r in range(64, 80):
+        cols = rng.choice(n, size=12, replace=False)
+        A[r, cols] = 1.0
+    return as_csr(A.tocsr())
+
+
+class TestLayout:
+    def test_slice_count(self):
+        m = SlicedELLMatrix(sp.eye(100, format="csr"), slice_size=32)
+        assert m.n_slices == 4
+        assert m.n_padded == 128
+
+    def test_local_k_varies(self):
+        m = SlicedELLMatrix(skewed_matrix(), slice_size=32)
+        assert m.slice_k.max() > m.slice_k.min()
+
+    def test_slice_ptr_monotone(self):
+        m = SlicedELLMatrix(skewed_matrix(), slice_size=64)
+        assert (np.diff(m.slice_ptr) >= 0).all()
+        assert m.slice_ptr[-1] == (m.slice_k * m.slice_size).sum()
+
+    def test_slice_block_shape(self):
+        m = SlicedELLMatrix(skewed_matrix(), slice_size=32)
+        vals, cols = m.slice_block(2)
+        assert vals.shape == (32, int(m.slice_k[2]))
+        assert cols.shape == vals.shape
+
+    def test_rejects_bad_slice_size(self):
+        with pytest.raises(FormatError):
+            SlicedELLMatrix(sp.eye(4, format="csr"), slice_size=0)
+
+
+class TestEfficiency:
+    def test_beats_plain_ell_on_skew(self):
+        A = skewed_matrix()
+        assert (SlicedELLMatrix(A, slice_size=32).efficiency()
+                > ELLMatrix(A).efficiency())
+
+    def test_finer_slices_more_efficient(self):
+        A = skewed_matrix()
+        e32 = SlicedELLMatrix(A, slice_size=32).efficiency()
+        e256 = SlicedELLMatrix(A, slice_size=256).efficiency()
+        assert e32 >= e256
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("slice_size", [32, 64, 256])
+    def test_matches_scipy(self, slice_size, random_square, rng):
+        m = SlicedELLMatrix(random_square, slice_size=slice_size)
+        x = rng.random(random_square.shape[1])
+        np.testing.assert_allclose(m.spmv(x), random_square @ x, rtol=1e-13)
+
+    def test_skewed_matrix(self, rng):
+        A = skewed_matrix()
+        m = SlicedELLMatrix(A, slice_size=32)
+        x = rng.random(A.shape[1])
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-13)
+
+    def test_empty_slices(self):
+        A = sp.csr_matrix((64, 64))
+        m = SlicedELLMatrix(A, slice_size=32)
+        assert m.spmv(np.ones(64)).tolist() == [0.0] * 64
+
+
+class TestRoundtrip:
+    def test_lossless(self, random_square):
+        m = SlicedELLMatrix(random_square, slice_size=64)
+        assert abs(m.to_scipy() - random_square).max() == 0
+
+    def test_padding_cols_marked(self):
+        m = SlicedELLMatrix(skewed_matrix(), slice_size=32)
+        vals, cols = m.slice_block(2)  # the dense-stretch slice
+        pad = cols == PAD_COL
+        assert (vals[pad] == 0).all()
+
+
+class TestFootprint:
+    def test_below_plain_ell(self):
+        A = skewed_matrix()
+        assert (SlicedELLMatrix(A, slice_size=32).footprint()
+                < ELLMatrix(A).footprint())
+
+    def test_exact_accounting(self):
+        m = SlicedELLMatrix(skewed_matrix(), slice_size=32)
+        expected = int(m.slice_ptr[-1]) * 12 + m.n_slices * 8
+        assert m.footprint() == expected

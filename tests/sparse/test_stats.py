@@ -1,0 +1,58 @@
+"""Unit tests for the Table I statistics module."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.base import as_csr
+from repro.sparse.stats import MatrixStats, matrix_market_size, matrix_stats
+from repro.sparse.mmio import write_matrix_market
+
+
+class TestMatrixStats:
+    def test_row_length_metrics(self):
+        A = sp.csr_matrix(np.array([[1.0, 1.0, 0.0],
+                                    [1.0, 0.0, 0.0],
+                                    [1.0, 1.0, 1.0]]))
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.min_nnz_row == 1
+        assert st.max_nnz_row == 3
+        assert st.mean_nnz_row == pytest.approx(2.0)
+        assert st.skew == pytest.approx(0.5)
+        assert st.variability == pytest.approx(st.std_nnz_row / 2.0)
+
+    def test_diag_densities(self):
+        A = sp.diags([np.ones(4), np.ones(5), np.zeros(4)],
+                     [-1, 0, 1], format="csr")
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.diag_density == 1.0
+        assert st.band_density == pytest.approx((4 + 5) / 13)
+
+    def test_ell_efficiency(self):
+        A = sp.eye(32, format="csr")
+        st = matrix_stats(A, disk_bytes=0)
+        assert st.ell_efficiency == pytest.approx(1.0)
+
+    def test_generator_has_full_diagonal(self, tiny_toggle_matrix):
+        st = matrix_stats(tiny_toggle_matrix, disk_bytes=0)
+        assert st.diag_density == 1.0
+
+
+class TestMatrixMarketSize:
+    def test_matches_actual_file(self, tmp_path, random_square):
+        path = tmp_path / "m.mtx"
+        written = write_matrix_market(random_square, path)
+        assert matrix_market_size(random_square) == written
+        assert path.stat().st_size == written
+
+    def test_empty_matrix(self):
+        A = as_csr(sp.csr_matrix((3, 3)))
+        size = matrix_market_size(A)
+        assert size == len(b"%%MatrixMarket matrix coordinate real general\n"
+                           b"3 3 0\n")
+
+    def test_large_indices_width(self, tmp_path):
+        A = sp.coo_matrix(([1.5], ([999], [999])), shape=(1000, 1000))
+        path = tmp_path / "big.mtx"
+        written = write_matrix_market(A, path)
+        assert matrix_market_size(A) == written

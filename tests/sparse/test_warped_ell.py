@@ -1,0 +1,134 @@
+"""Unit tests for the warp-grained sliced ELL (Section VI, Figure 4)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FormatError
+from repro.sparse.base import as_csr
+from repro.sparse.ell import WARP_SIZE
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+
+def variable_matrix(n=300, seed=9):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 9, size=n)
+    rows, cols = [], []
+    for r, ln in enumerate(lengths):
+        cs = rng.choice(n, size=ln, replace=False)
+        cs[0] = r  # keep the diagonal for the Jacobi variant
+        rows += [r] * len(set(cs))
+        cols += sorted(set(cs))
+    vals = rng.random(len(rows)) + 0.5
+    return as_csr(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+
+
+class TestConstruction:
+    def test_slice_is_warp(self, random_square):
+        m = WarpedELLMatrix(random_square)
+        assert m.slice_size == WARP_SIZE
+
+    def test_unknown_reorder_rejected(self, random_square):
+        with pytest.raises(FormatError, match="reorder"):
+            WarpedELLMatrix(random_square, reorder="bogus")
+
+    def test_block_must_be_warp_multiple(self, random_square):
+        with pytest.raises(FormatError, match="multiple"):
+            WarpedELLMatrix(random_square, block_size=100)
+
+    def test_row_ids_is_permutation(self, random_square):
+        m = WarpedELLMatrix(random_square, reorder="local")
+        assert sorted(m.row_ids.tolist()) == list(range(m.shape[0]))
+
+    def test_local_rearrangement_stays_in_block(self):
+        m = WarpedELLMatrix(variable_matrix(), reorder="local",
+                            block_size=64)
+        displacement = np.abs(m.row_ids - np.arange(m.shape[0]))
+        assert displacement.max() < 64
+
+    def test_none_is_identity(self, random_square):
+        m = WarpedELLMatrix(random_square, reorder="none")
+        assert (m.row_ids == np.arange(m.shape[0])).all()
+
+
+class TestEfficiency:
+    def test_local_sort_compacts_padding(self):
+        A = variable_matrix()
+        none = WarpedELLMatrix(A, reorder="none")
+        local = WarpedELLMatrix(A, reorder="local")
+        glob = WarpedELLMatrix(A, reorder="global")
+        assert local.efficiency() >= none.efficiency()
+        assert glob.efficiency() >= local.efficiency() * 0.999
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("reorder", ["none", "local", "global", "random"])
+    def test_matches_scipy(self, reorder, rng):
+        A = variable_matrix(seed=11)
+        m = WarpedELLMatrix(A, reorder=reorder)
+        x = rng.random(A.shape[1])
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-12)
+
+    def test_separate_diagonal_spmv(self, rng):
+        A = variable_matrix(seed=12)
+        m = WarpedELLMatrix(A, separate_diagonal=True)
+        x = rng.random(A.shape[1])
+        np.testing.assert_allclose(m.spmv(x), A @ x, rtol=1e-12)
+
+
+class TestSeparateDiagonal:
+    def test_requires_square(self):
+        A = sp.random(8, 9, density=0.5, random_state=0)
+        with pytest.raises(FormatError):
+            WarpedELLMatrix(A, separate_diagonal=True)
+
+    def test_main_diagonal_restored(self):
+        A = variable_matrix(seed=13)
+        m = WarpedELLMatrix(A, separate_diagonal=True)
+        np.testing.assert_allclose(m.main_diagonal(), A.diagonal())
+
+    def test_jacobi_step_formula(self, rng):
+        A = variable_matrix(seed=14)
+        m = WarpedELLMatrix(A, separate_diagonal=True)
+        x = rng.random(A.shape[0])
+        d = A.diagonal()
+        expected = -(A @ x - d * x) / d
+        np.testing.assert_allclose(m.jacobi_step(x), expected, rtol=1e-12)
+
+    def test_jacobi_requires_flag(self, random_square):
+        m = WarpedELLMatrix(random_square)
+        with pytest.raises(FormatError, match="separate_diagonal"):
+            m.jacobi_step(np.ones(m.shape[0]))
+
+
+class TestRoundtripAndFootprint:
+    @pytest.mark.parametrize("reorder", ["none", "local", "global", "random"])
+    def test_lossless(self, reorder):
+        A = variable_matrix(seed=15)
+        m = WarpedELLMatrix(A, reorder=reorder)
+        assert abs(m.to_scipy() - A).max() < 1e-15
+
+    def test_lossless_with_diagonal(self):
+        A = variable_matrix(seed=16)
+        m = WarpedELLMatrix(A, separate_diagonal=True)
+        assert abs(m.to_scipy() - A).max() < 1e-15
+
+    def test_nnz_counts_diagonal(self):
+        A = variable_matrix(seed=17)
+        m = WarpedELLMatrix(A, separate_diagonal=True)
+        assert m.nnz == A.nnz
+
+    def test_footprint_components(self):
+        A = variable_matrix(seed=18)
+        m = WarpedELLMatrix(A, reorder="local", separate_diagonal=True)
+        expected = (int(m.slice_ptr[-1]) * 12 + m.n_slices * 8
+                    + m.shape[0] * 4          # row ids
+                    + m.shape[0] * 8)         # diagonal values
+        assert m.footprint() == expected
+
+    def test_smaller_than_sliced_256_on_variable_rows(self):
+        A = variable_matrix(seed=19)
+        warped = WarpedELLMatrix(A, reorder="local")
+        sliced = SlicedELLMatrix(A, slice_size=256)
+        assert warped.footprint() < sliced.footprint()

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = make_parser().parse_args(["solve"])
+        assert args.model == "toggle-switch"
+        assert args.tol == 1e-8
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["stats", "--benchmark", "nope"])
+
+
+class TestSolve:
+    def test_toggle(self, capsys):
+        rc = main(["solve", "--model", "toggle-switch",
+                   "--max-protein", "14", "--tol", "1e-8",
+                   "--damping", "0.8", "--no-heatmap"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert "modes:" in out
+
+    def test_brusselator(self, capsys):
+        rc = main(["solve", "--model", "brusselator", "--max-x", "20",
+                   "--max-y", "10", "--max-iterations", "20000",
+                   "--no-heatmap"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean copy numbers" in out
+
+    def test_heatmap_rendered(self, capsys):
+        main(["solve", "--model", "toggle-switch", "--max-protein", "10",
+              "--damping", "0.8"])
+        out = capsys.readouterr().out
+        assert "A (up) vs B (right)" in out
+
+
+class TestStats:
+    def test_benchmark(self, capsys):
+        rc = main(["stats", "--benchmark", "brusselator",
+                   "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "d{-1,0,+1}" in out
+
+    def test_mtx_file(self, capsys, tmp_path, random_square):
+        from repro.sparse.mmio import write_matrix_market
+        path = tmp_path / "m.mtx"
+        write_matrix_market(random_square, path)
+        rc = main(["stats", "--mtx", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "257" in out
+
+
+class TestSpmv:
+    def test_all_formats(self, capsys):
+        rc = main(["spmv", "--benchmark", "schnakenberg",
+                   "--scale", "tiny", "--x-scale", "100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("csr", "ell", "warped-ell"):
+            assert name in out
+
+    def test_single_format(self, capsys):
+        rc = main(["spmv", "--benchmark", "schnakenberg",
+                   "--scale", "tiny", "--format", "ell"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ell" in out and "csr " not in out
+
+
+class TestExport:
+    def test_roundtrip(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.mtx"
+        rc = main(["export", "--benchmark", "toggle-switch-1",
+                   "--scale", "tiny", "--out", str(out_path)])
+        assert rc == 0
+        from repro.sparse.mmio import read_matrix_market
+        from repro.cme.models import load_benchmark_matrix
+        back = read_matrix_market(out_path)
+        original = load_benchmark_matrix("toggle-switch-1", "tiny")
+        assert back.nnz == original.nnz
+
+
+class TestSweep:
+    def test_sweep_runs(self, capsys):
+        rc = main(["sweep", "--model", "toggle-switch",
+                   "--max-protein", "10", "--vary", "degA=0.8,1.2",
+                   "--damping", "0.8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rate:degA" in out
+        assert "2 conditions" in out
+
+    def test_bad_vary_spec(self, capsys):
+        rc = main(["sweep", "--model", "toggle-switch",
+                   "--max-protein", "8", "--vary", "degA"])
+        assert rc == 2
+        assert "bad --vary" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep workload."""
+
+import numpy as np
+import pytest
+
+from repro.cme.models.toggle_switch import toggle_switch
+from repro.errors import ValidationError
+from repro.sweep import ParameterSweep
+
+
+@pytest.fixture(scope="module")
+def base_network():
+    return toggle_switch(max_protein=12)
+
+
+class TestGrid:
+    def test_cartesian_product(self, base_network):
+        sweep = ParameterSweep(base_network,
+                               {"degA": [0.5, 1.0], "degB": [1.0, 2.0, 3.0]})
+        conditions = sweep.conditions()
+        assert len(conditions) == 6
+        assert {"degA", "degB"} == set(conditions[0])
+
+    def test_unknown_reaction_rejected(self, base_network):
+        with pytest.raises(ValidationError, match="unknown"):
+            ParameterSweep(base_network, {"nope": [1.0]})
+
+    def test_empty_grid_rejected(self, base_network):
+        with pytest.raises(ValidationError):
+            ParameterSweep(base_network, {})
+        with pytest.raises(ValidationError):
+            ParameterSweep(base_network, {"degA": []})
+
+
+class TestRun:
+    def test_every_condition_solved(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [0.8, 1.2]})
+        points = sweep.run(tol=1e-8, max_iterations=100_000,
+                           solver_kwargs={"damping": 0.8})
+        assert len(points) == 2
+        for point in points:
+            assert point.result.residual < 1e-6
+            assert point.landscape.p.sum() == pytest.approx(1.0)
+            assert point.solve_seconds > 0
+
+    def test_rates_actually_move_the_answer(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [0.5, 2.0]})
+        slow_decay, fast_decay = sweep.run(
+            tol=1e-9, solver_kwargs={"damping": 0.8})
+        assert (slow_decay.landscape.mean_counts()["A"]
+                > fast_decay.landscape.mean_counts()["A"])
+
+    def test_shared_state_space(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [0.9, 1.1]})
+        a, b = sweep.run(tol=1e-8, solver_kwargs={"damping": 0.8})
+        assert a.landscape.space.states is b.landscape.space.states
+
+    def test_progress_callback(self, base_network):
+        seen = []
+        sweep = ParameterSweep(base_network, {"degA": [1.0]})
+        sweep.run(tol=1e-7, solver_kwargs={"damping": 0.8},
+                  progress=seen.append)
+        assert len(seen) == 1
+
+    def test_no_reuse_mode(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [1.0]},
+                               reuse_state_space=False)
+        (point,) = sweep.run(tol=1e-7, solver_kwargs={"damping": 0.8})
+        assert point.result.residual < 1e-5
+
+
+class TestReporting:
+    def test_table_before_run_rejected(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [1.0]})
+        with pytest.raises(ValidationError):
+            sweep.table()
+
+    def test_table_renders_all_conditions(self, base_network):
+        sweep = ParameterSweep(base_network, {"degA": [0.8, 1.2]})
+        sweep.run(tol=1e-7, solver_kwargs={"damping": 0.8})
+        text = sweep.table().render()
+        assert "rate:degA" in text
+        assert text.count("\n") > 4
+        assert sweep.total_solve_seconds() > 0

@@ -1,0 +1,84 @@
+"""Unit + correctness tests for the transient (uniformization) solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.solvers import JacobiSolver
+from repro.transient import transient_solve, transient_sweep
+from tests.conftest import truncated_poisson
+
+
+def point_mass(n, i=0):
+    p = np.zeros(n)
+    p[i] = 1.0
+    return p
+
+
+class TestBasics:
+    def test_t_zero_identity(self, birth_death_matrix):
+        p0 = point_mass(31, 4)
+        r = transient_solve(birth_death_matrix, p0, 0.0)
+        assert (r.p == p0).all()
+        assert r.terms == 0
+
+    def test_probability_preserved(self, birth_death_matrix):
+        r = transient_solve(birth_death_matrix, point_mass(31), 2.5)
+        assert r.p.min() >= 0
+        assert r.p.sum() == pytest.approx(1.0)
+
+    def test_truncation_controlled(self, birth_death_matrix):
+        r = transient_solve(birth_death_matrix, point_mass(31), 5.0,
+                            tol=1e-12)
+        assert r.truncation_error < 1e-11
+
+    def test_validation(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            transient_solve(birth_death_matrix, point_mass(31), -1.0)
+        with pytest.raises(ValidationError):
+            transient_solve(birth_death_matrix, np.ones(5) / 5, 1.0)
+
+
+class TestAgainstReferences:
+    def test_matches_dense_expm(self, birth_death_matrix):
+        from scipy.linalg import expm
+        t = 0.7
+        p0 = point_mass(31, 2)
+        exact = expm(birth_death_matrix.toarray() * t) @ p0
+        r = transient_solve(birth_death_matrix, p0, t, tol=1e-12)
+        np.testing.assert_allclose(r.p, exact, atol=1e-10)
+
+    def test_long_time_reaches_steady_state(self, birth_death_matrix):
+        steady = truncated_poisson(4.0, 30)
+        r = transient_solve(birth_death_matrix, point_mass(31, 30), 50.0)
+        np.testing.assert_allclose(r.p, steady, atol=1e-8)
+
+    def test_agrees_with_jacobi_on_toggle(self, tiny_toggle_matrix):
+        steady = JacobiSolver(tiny_toggle_matrix, tol=1e-10,
+                              max_iterations=100_000).solve().x
+        n = tiny_toggle_matrix.shape[0]
+        r = transient_solve(tiny_toggle_matrix, point_mass(n), 200.0,
+                            tol=1e-10)
+        assert 0.5 * np.abs(r.p - steady).sum() < 1e-3
+
+
+class TestSemigroup:
+    def test_two_short_steps_equal_one_long(self, birth_death_matrix):
+        p0 = point_mass(31, 1)
+        one = transient_solve(birth_death_matrix, p0, 2.0, tol=1e-13)
+        half = transient_solve(birth_death_matrix, p0, 1.0, tol=1e-13)
+        two = transient_solve(birth_death_matrix, half.p, 1.0, tol=1e-13)
+        np.testing.assert_allclose(two.p, one.p, atol=1e-10)
+
+
+class TestSweep:
+    def test_monotone_relaxation(self, birth_death_matrix):
+        steady = truncated_poisson(4.0, 30)
+        results = transient_sweep(birth_death_matrix, point_mass(31),
+                                  [0.5, 2.0, 8.0, 32.0])
+        distances = [0.5 * np.abs(r.p - steady).sum() for r in results]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_rejects_decreasing_times(self, birth_death_matrix):
+        with pytest.raises(ValidationError):
+            transient_sweep(birth_death_matrix, point_mass(31), [2.0, 1.0])

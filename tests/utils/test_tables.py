@@ -1,0 +1,51 @@
+"""Unit tests for the table renderer and byte formatter."""
+
+import pytest
+
+from repro.utils.tables import Table, format_si_bytes
+
+
+class TestFormatSiBytes:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0 B"),
+        (512, "512 B"),
+        (1024, "1.00 KiB"),
+        (1536, "1.50 KiB"),
+        (1024 ** 2, "1.00 MiB"),
+        (3 * 1024 ** 3, "3.00 GiB"),
+    ])
+    def test_values(self, value, expected):
+        assert format_si_bytes(value) == expected
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        t = Table(["a", "b"], title="T")
+        t.add_row([1, 2.5])
+        text = t.render()
+        assert "T" in text
+        assert "| a" in text
+        assert "2.500" in text
+
+    def test_rejects_wrong_width(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_column_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["long-name-here", 1])
+        t.add_row(["x", 2])
+        lines = t.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all rendered lines share one width"
+
+    def test_float_formats(self):
+        t = Table(["v"])
+        t.add_row([1234567.0])
+        t.add_row([0.0000001])
+        t.add_row([0.0])
+        text = t.render()
+        assert "1.235e+06" in text
+        assert "1.000e-07" in text
+        assert "| 0" in text
