@@ -12,7 +12,12 @@ Commands
     Write a benchmark rate matrix to a Matrix Market file.
 ``sweep``
     Grid-sweep reaction rates and solve each condition (the paper's
-    motivating exploratory workload).
+    motivating exploratory workload); ``--workers`` routes it through
+    the solve service with caching and warm starting.
+``serve``
+    Exercise :mod:`repro.serve` directly: run a rate grid through the
+    concurrent solve service and report cache hit rates, warm-start
+    iteration savings, and latency percentiles.
 ``experiments``
     Run the full table/figure harness (see
     :mod:`repro.experiments.runner`).
@@ -124,24 +129,66 @@ def cmd_export(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    from repro.sweep import ParameterSweep
-    network = build_model(args)
+def parse_grid(specs) -> dict | None:
+    """``name=v1,v2,...`` specs to a sweep grid (None on a bad spec)."""
     grid = {}
-    for spec in args.vary:
+    for spec in specs:
         name, _, values = spec.partition("=")
         if not values:
             print(f"bad --vary spec {spec!r}; expected name=v1,v2,...",
                   file=sys.stderr)
-            return 2
+            return None
         grid[name] = [float(v) for v in values.split(",")]
+    return grid
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import ParameterSweep
+    network = build_model(args)
+    grid = parse_grid(args.vary)
+    if grid is None:
+        return 2
     sweep = ParameterSweep(network, grid)
     kwargs = {"damping": args.damping} if args.damping is not None else {}
     sweep.run(tol=args.tol, max_iterations=args.max_iterations,
-              solver_kwargs=kwargs)
+              solver_kwargs=kwargs, workers=args.workers,
+              cache=not args.no_cache, warm_start=args.warm_start)
     print(sweep.table().render())
     print(f"{len(sweep.points)} conditions in "
           f"{sweep.total_solve_seconds():.2f}s")
+    if sweep.service_report is not None:
+        print()
+        print(sweep.service_report)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import SolutionCache, SolveService
+    from repro.sweep import ParameterSweep
+    network = build_model(args)
+    grid = parse_grid(args.vary)
+    if grid is None:
+        return 2
+    kwargs = {"damping": args.damping} if args.damping is not None else {}
+    cache = (SolutionCache(disk_dir=args.cache_dir)
+             if args.cache_dir else True)
+    service = SolveService(
+        network, workers=args.workers, cache=cache,
+        warm_start=not args.cold, warm_audit_interval=args.audit_interval,
+        queue_capacity=args.queue_capacity, timeout_s=args.timeout,
+        retries=args.retries, tol=args.tol,
+        max_iterations=args.max_iterations, solver_options=kwargs)
+    try:
+        for pass_no in range(1, args.passes + 1):
+            sweep = ParameterSweep(network, grid)
+            sweep.run(tol=args.tol, max_iterations=args.max_iterations,
+                      solver_kwargs=kwargs, service=service)
+            print(f"pass {pass_no}: {len(sweep.points)} conditions in "
+                  f"{sweep.total_solve_seconds():.2f}s solve time")
+        print()
+        print(service.render_metrics())
+    finally:
+        service.close()
     return 0
 
 
@@ -195,7 +242,44 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-8)
     p.add_argument("--max-iterations", type=int, default=200_000)
     p.add_argument("--damping", type=float, default=None)
+    p.add_argument("--workers", type=int, default=None,
+                   help="route through the solve service with N workers")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the solution cache (served runs)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed each solve from nearby conditions "
+                        "(served runs)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("serve", help="run a grid through the solve service")
+    p.add_argument("--model", choices=MODELS, default="toggle-switch")
+    p.add_argument("--max-protein", type=int, default=20)
+    p.add_argument("--max-x", type=int, default=40)
+    p.add_argument("--max-y", type=int, default=20)
+    p.add_argument("--max-monomer", type=int, default=6)
+    p.add_argument("--max-dimer", type=int, default=3)
+    p.add_argument("--vary", action="append", required=True,
+                   metavar="REACTION=V1,V2,...",
+                   help="rate grid, repeatable")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-iterations", type=int, default=200_000)
+    p.add_argument("--damping", type=float, default=None)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--cold", action="store_true",
+                   help="disable warm starting")
+    p.add_argument("--audit-interval", type=int, default=8,
+                   help="audit every Nth warm start against a cold "
+                        "solve (0 disables)")
+    p.add_argument("--passes", type=int, default=2,
+                   help="sweep the grid this many times (later passes "
+                        "exercise the cache)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist solutions to this directory")
+    p.add_argument("--queue-capacity", type=int, default=1024)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-attempt solve budget in seconds")
+    p.add_argument("--retries", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stats", help="matrix structure statistics")
     _add_matrix_source(p, benchmark_names())

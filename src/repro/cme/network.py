@@ -9,6 +9,8 @@ integer arrays the enumerator and rate-matrix assembler consume:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -125,7 +127,10 @@ class ReactionNetwork:
         """A copy with some reaction rates replaced.
 
         This is the paper's motivating exploratory workload: the same
-        network solved under many rate conditions (Section I).
+        network solved under many rate conditions (Section I).  Custom
+        propensity functions are carried over unchanged, so a varied
+        network keeps the exact dynamics of the base model except for
+        the overridden mass-action rates.
         """
         new_reactions = []
         unknown = set(overrides) - {r.name for r in self.reactions}
@@ -133,9 +138,55 @@ class ReactionNetwork:
             raise ValidationError(f"unknown reactions {sorted(unknown)}")
         for rxn in self.reactions:
             rate = overrides.get(rxn.name, rxn.rate)
-            new_reactions.append(Reaction(rxn.name, rxn.reactants,
-                                          rxn.products, rate))
+            new_reactions.append(Reaction(
+                rxn.name, rxn.reactants, rxn.products, rate,
+                propensity_fn=rxn.propensity_fn,
+                strictly_positive=rxn.strictly_positive))
         return ReactionNetwork(self.species, new_reactions, name=self.name)
+
+    # -- canonical identity --------------------------------------------------
+
+    def canonical_payload(self) -> dict:
+        """A deterministic, JSON-serializable description of the model.
+
+        Species stay in declared order (the order *is* semantic: it
+        defines the microstate vector layout and hence the meaning of
+        any probability vector over the enumerated space).  Reactions
+        are sorted by name because reaction order only permutes the DFS
+        enumeration, never the distribution itself.  A custom
+        propensity function is identified by its ``__name__`` (closures
+        cannot be hashed structurally), so models that vary a parameter
+        *inside* a custom propensity must encode it in the function
+        name or the reaction rate to remain distinguishable.
+        """
+        species = [[s.name, int(s.max_count), int(s.initial_count)]
+                   for s in self.species]
+        reactions = []
+        for r in sorted(self.reactions, key=lambda r: r.name):
+            fn = (getattr(r.propensity_fn, "__name__", "custom")
+                  if r.propensity_fn is not None else None)
+            reactions.append([
+                r.name,
+                sorted((n, int(c)) for n, c in r.reactants.items()),
+                sorted((n, int(c)) for n, c in r.products.items()),
+                float(r.rate),
+                fn,
+                bool(r.strictly_positive),
+            ])
+        return {"species": species, "reactions": reactions}
+
+    def canonical_signature(self) -> str:
+        """A stable content hash of the model (cache-key basis).
+
+        Invariant to reaction ordering and to dict insertion order in
+        reactant/product maps; sensitive to every rate, stoichiometry,
+        species buffer, initial count, and custom-propensity identity.
+        The network ``name`` is a display label and does not
+        participate.
+        """
+        payload = json.dumps(self.canonical_payload(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
         """Human-readable model summary (used by the examples)."""

@@ -56,3 +56,31 @@ class SingularMatrixError(ReproError):
 
 class DeviceModelError(ReproError):
     """The GPU/CPU performance model was configured inconsistently."""
+
+
+class SolveJobError(ReproError):
+    """A solve job failed in the serving layer (:mod:`repro.serve`).
+
+    Carries the job's cache ``key`` and the number of ``attempts``
+    consumed so operators can correlate failures with metrics and
+    cached artifacts.
+    """
+
+    def __init__(self, message: str, *, key: str | None = None,
+                 attempts: int | None = None) -> None:
+        self.key = key
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class JobRejectedError(SolveJobError):
+    """Backpressure: the bounded queue was full under the reject policy
+    (or a blocking submit timed out waiting for space)."""
+
+
+class JobTimeoutError(SolveJobError):
+    """A solve attempt exceeded its per-job wall-clock budget."""
+
+
+class JobCancelledError(SolveJobError):
+    """The job was cancelled before a worker completed it."""

@@ -1,0 +1,116 @@
+"""Service observability: counters, latency percentiles, savings.
+
+One :class:`ServiceMetrics` instance per service, updated from submit
+paths and worker threads under a single lock (every update is a handful
+of scalar ops — contention is negligible next to a solve).  The
+:meth:`~ServiceMetrics.snapshot` is a plain dict suitable for logging
+or assertions; :meth:`~ServiceMetrics.render` produces the CLI table.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.utils.tables import Table
+
+#: Retain at most this many recent latency samples for percentiles.
+LATENCY_WINDOW = 4096
+
+COUNTER_NAMES = (
+    "submitted",        # jobs admitted (including coalesced + cache hits)
+    "cache_hits",       # served directly from the cache at submit time
+    "coalesced",        # deduplicated onto an in-flight job (single-flight)
+    "scheduled",        # actually enqueued for a worker
+    "completed",        # solved by a worker
+    "failed",           # terminal failures after the retry budget
+    "rejected",         # backpressure rejections
+    "retried",          # retry attempts consumed
+    "warm_started",     # solves seeded from a neighbor
+    "cold_started",     # solves from the uniform vector
+)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class ServiceMetrics:
+    """Thread-safe counters and histograms for a solve service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in COUNTER_NAMES}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._warm_audits = 0
+        self._warm_iterations_saved = 0
+        self._queue_depth_fn = None
+
+    # -- updates ------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def record_warm_audit(self, *, cold_iterations: int,
+                          warm_iterations: int) -> None:
+        """Record one measured warm-vs-cold comparison (may be negative)."""
+        with self._lock:
+            self._warm_audits += 1
+            self._warm_iterations_saved += cold_iterations - warm_iterations
+
+    def bind_queue_depth(self, fn) -> None:
+        """Attach a live queue-depth gauge (called at snapshot time)."""
+        self._queue_depth_fn = fn
+
+    # -- reads --------------------------------------------------------------
+
+    def snapshot(self, *, cache_stats=None) -> dict:
+        """A point-in-time dict of every counter, gauge and percentile."""
+        with self._lock:
+            out = dict(self._counters)
+            latencies = sorted(self._latencies)
+            out["warm_start_audits"] = self._warm_audits
+            out["warm_start_iterations_saved"] = self._warm_iterations_saved
+        out["queue_depth"] = (self._queue_depth_fn()
+                              if self._queue_depth_fn is not None else 0)
+        out["latency_count"] = len(latencies)
+        for name, q in (("latency_p50_s", 0.50), ("latency_p90_s", 0.90),
+                        ("latency_p99_s", 0.99)):
+            out[name] = percentile(latencies, q)
+        if cache_stats is not None:
+            out["cache_lookup_hits"] = cache_stats.hits
+            out["cache_lookup_misses"] = cache_stats.misses
+            out["cache_evictions"] = cache_stats.evictions
+            out["cache_disk_hits"] = cache_stats.disk_hits
+            out["cache_hit_rate"] = round(cache_stats.hit_rate, 4)
+        return out
+
+    def render(self, *, cache_stats=None, title: str = "serve metrics") -> str:
+        """The snapshot as a printable two-column table."""
+        snap = self.snapshot(cache_stats=cache_stats)
+        table = Table(["metric", "value"], title=title)
+        for name in COUNTER_NAMES:
+            table.add_row([name, snap[name]])
+        table.add_row(["queue_depth", snap["queue_depth"]])
+        table.add_row(["warm_start_iterations_saved",
+                       snap["warm_start_iterations_saved"]])
+        for name in ("latency_p50_s", "latency_p90_s", "latency_p99_s"):
+            table.add_row([name, f"{snap[name]:.4f}"])
+        if cache_stats is not None:
+            table.add_row(["cache_hit_rate", snap["cache_hit_rate"]])
+            table.add_row(["cache_evictions", snap["cache_evictions"]])
+        return table.render()

@@ -1,0 +1,236 @@
+"""Bounded priority scheduling with backpressure, timeouts and retries.
+
+The queue is the service's admission-control point: it holds at most
+``capacity`` pending jobs and applies one of two policies when full —
+
+``reject``
+    :func:`BoundedPriorityQueue.put` raises
+    :class:`~repro.errors.JobRejectedError` immediately (load shedding;
+    the caller sees the failure and can back off).
+``block``
+    The submitting thread waits for space (producer-side throttling),
+    optionally bounded by ``put_timeout`` after which the submit is
+    rejected anyway.
+
+Workers pull the lowest-``priority`` job (FIFO within a priority) and
+run it through the service's execute callable.  A *retryable* failure —
+per-attempt timeout or a convergence failure — is re-attempted in place
+up to the retry budget; the final failure surfaces to the job as a
+:class:`~repro.errors.SolveJobError` with the original error chained.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import threading
+import time
+
+from repro.errors import (
+    ConvergenceError,
+    JobRejectedError,
+    JobTimeoutError,
+    SolveJobError,
+    ValidationError,
+)
+from repro.serve.jobs import JobState, SolveJob, _QueueItem
+
+#: Errors worth a second attempt; anything else fails the job at once.
+RETRYABLE_ERRORS = (JobTimeoutError, ConvergenceError)
+
+
+class QueuePolicy(enum.Enum):
+    """What a full queue does to new submissions."""
+
+    REJECT = "reject"
+    BLOCK = "block"
+
+
+class BoundedPriorityQueue:
+    """A thread-safe priority queue with a hard capacity."""
+
+    def __init__(self, capacity: int = 1024,
+                 policy: QueuePolicy | str = QueuePolicy.REJECT,
+                 *, put_timeout: float | None = None):
+        if capacity <= 0:
+            raise ValidationError(
+                f"queue capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.policy = QueuePolicy(policy)
+        self.put_timeout = put_timeout
+        self._heap: list[_QueueItem] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def put(self, job: SolveJob) -> None:
+        """Enqueue *job*, applying the backpressure policy when full."""
+        with self._lock:
+            if self._closed:
+                raise JobRejectedError("queue is closed", key=job.key)
+            if len(self._heap) >= self.capacity:
+                if self.policy is QueuePolicy.REJECT:
+                    raise JobRejectedError(
+                        f"queue full ({self.capacity} pending jobs)",
+                        key=job.key)
+                deadline = (None if self.put_timeout is None
+                            else time.monotonic() + self.put_timeout)
+                while len(self._heap) >= self.capacity and not self._closed:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        raise JobRejectedError(
+                            f"queue still full after {self.put_timeout}s",
+                            key=job.key)
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise JobRejectedError("queue is closed", key=job.key)
+            self._seq += 1
+            heapq.heappush(self._heap,
+                           _QueueItem(job.priority, self._seq, job))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> SolveJob | None:
+        """Pop the highest-priority job; ``None`` on timeout/closed-empty."""
+        with self._lock:
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            item = heapq.heappop(self._heap)
+            self._not_full.notify()
+            return item.job
+
+    def close(self) -> None:
+        """Stop accepting jobs and wake all waiters."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+
+class SolveScheduler:
+    """A worker pool draining a :class:`BoundedPriorityQueue`.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(job) -> SolveOutcome`` — provided by the service; runs
+        one attempt and may raise.
+    workers:
+        Thread count.
+    retries:
+        Extra attempts after the first, consumed only by
+        :data:`RETRYABLE_ERRORS`.
+    on_retry, on_done:
+        Optional metrics hooks; ``on_done(job, error_or_None)`` fires
+        exactly once per job after its terminal transition.
+    """
+
+    def __init__(self, execute, *, workers: int = 1,
+                 queue: BoundedPriorityQueue | None = None,
+                 retries: int = 0, on_retry=None, on_done=None,
+                 name: str = "solve"):
+        if workers <= 0:
+            raise ValidationError(f"workers must be positive, got {workers}")
+        if retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {retries}")
+        self.execute = execute
+        self.queue = queue if queue is not None else BoundedPriorityQueue()
+        self.retries = int(retries)
+        self.on_retry = on_retry
+        self.on_done = on_done
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"{name}-worker-{i}")
+            for i in range(int(workers))
+        ]
+        for t in self._threads:
+            t.start()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def submit(self, job: SolveJob) -> None:
+        """Admit *job* (may raise :class:`JobRejectedError`)."""
+        job.submitted_at = time.perf_counter()
+        self.queue.put(job)
+
+    def close(self, *, wait: bool = True, timeout: float = 30.0) -> None:
+        """Drain-free shutdown: stop workers, cancel whatever remains."""
+        self._stop.set()
+        self.queue.close()
+        if wait:
+            for t in self._threads:
+                t.join(timeout)
+        while True:
+            job = self.queue.get(timeout=0)
+            if job is None:
+                break
+            job.cancel()
+
+    # -- worker internals ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                continue
+            if job.state is JobState.CANCELLED:
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: SolveJob) -> None:
+        if not job.mark_running():
+            return
+        job.started_at = time.perf_counter()
+        max_attempts = 1 + self.retries
+        error: SolveJobError | None = None
+        for attempt in range(1, max_attempts + 1):
+            job.attempts = attempt
+            try:
+                outcome = self.execute(job)
+            except RETRYABLE_ERRORS as exc:
+                error = self._as_job_error(exc, job)
+                if attempt < max_attempts and self.on_retry is not None:
+                    self.on_retry(job, exc)
+                continue
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                error = self._as_job_error(exc, job)
+                break
+            job.finished_at = time.perf_counter()
+            job.finish(outcome)
+            if self.on_done is not None:
+                self.on_done(job, None)
+            return
+        job.finished_at = time.perf_counter()
+        assert error is not None
+        job.fail(error)
+        if self.on_done is not None:
+            self.on_done(job, error)
+
+    @staticmethod
+    def _as_job_error(exc: Exception, job: SolveJob) -> SolveJobError:
+        if isinstance(exc, SolveJobError):
+            exc.key = exc.key or job.key
+            exc.attempts = job.attempts
+            return exc
+        wrapped = SolveJobError(
+            f"job {job.id} failed after {job.attempts} attempt(s): {exc}",
+            key=job.key, attempts=job.attempts)
+        wrapped.__cause__ = exc
+        return wrapped

@@ -1,0 +1,430 @@
+"""The solve service façade: cache + warm start + scheduler in one.
+
+:class:`SolveService` turns the repo's one-shot ``solve_steady_state``
+into a job-serving layer for the paper's exploratory workload — many
+rate conditions of one network:
+
+*   The state space is enumerated **once** per service (rate changes
+    never alter reachability for strictly-positive propensities, the
+    same structure-reuse the serial sweep exploits) and shared across
+    all worker threads; assembled rate matrices are memoized per rate
+    condition so retries and repeated conditions skip assembly.
+*   Submissions are **content-addressed**: a request's cache key is
+    checked first (hit → the job completes synchronously, no queue
+    space consumed), then deduplicated onto any in-flight job with the
+    same key (**single-flight** — concurrent identical submits solve
+    once), and only then admitted to the bounded queue.
+*   Completed solves feed the :class:`~repro.serve.cache.SolutionCache`
+    and the :class:`~repro.serve.warmstart.WarmStartIndex`, so later
+    neighbors start from a converged nearby landscape instead of the
+    uniform vector.
+
+Example
+-------
+>>> from repro import toggle_switch
+>>> from repro.serve import SolveService
+>>> with SolveService(toggle_switch(max_protein=12), workers=4,
+...                   warm_start=True) as svc:          # doctest: +SKIP
+...     jobs = [svc.submit({"degA": d}) for d in (0.5, 1.0, 2.0)]
+...     outcomes = [j.result() for j in jobs]
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+from repro.cme.landscape import ProbabilityLandscape
+from repro.cme.network import ReactionNetwork
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.statespace import StateSpace, enumerate_state_space
+from repro.errors import JobTimeoutError, SolveJobError, ValidationError
+from repro.serve.cache import CacheEntry, SolutionCache, state_space_layout
+from repro.serve.jobs import SolveJob, SolveOutcome, SolveRequest
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.scheduler import (
+    BoundedPriorityQueue,
+    QueuePolicy,
+    SolveScheduler,
+)
+from repro.serve.warmstart import WarmStartIndex, blend_donors
+from repro.solvers import JacobiSolver
+from repro.solvers.result import StopReason
+
+#: Assembled matrices memoized per service (CSR of a small sweep point
+#: is a few MB; 64 conditions bound the worst case while covering any
+#: realistic retry/duplicate pattern).
+MATRIX_MEMO_ENTRIES = 64
+
+
+class _Workspace:
+    """Per-service shared solve state: state space + matrix memo."""
+
+    def __init__(self, network: ReactionNetwork, *, reuse_state_space: bool,
+                 max_states: int):
+        self.network = network
+        self.reuse_state_space = reuse_state_space
+        self.max_states = max_states
+        self._lock = threading.Lock()
+        self._space: StateSpace | None = None
+        self._layout: str | None = None
+        self._matrices: OrderedDict[str, object] = OrderedDict()
+
+    def space(self) -> StateSpace:
+        """The base network's state space, enumerated once."""
+        with self._lock:
+            if self._space is None:
+                self._space = enumerate_state_space(
+                    self.network, max_states=self.max_states)
+                self._layout = state_space_layout(self._space.states)
+            return self._space
+
+    def layout(self) -> str:
+        self.space()
+        assert self._layout is not None
+        return self._layout
+
+    def space_for(self, request: SolveRequest) -> StateSpace:
+        """The (possibly rebound) state space for one request.
+
+        With ``reuse_state_space`` the shared DFS state list is rebound
+        to the varied network so propensities use the new rates over
+        identical state indices — bitwise the same construction as the
+        serial sweep.  Without it, each condition enumerates afresh.
+        """
+        varied = request.varied_network()
+        if not self.reuse_state_space:
+            return enumerate_state_space(varied, max_states=self.max_states)
+        base = self.space()
+        if not request.overrides:
+            return base
+        return StateSpace(network=varied, states=base.states)
+
+    def matrix(self, request: SolveRequest):
+        """The assembled rate matrix for one request (memoized)."""
+        memo_key = request.cache_key()
+        with self._lock:
+            A = self._matrices.get(memo_key)
+            if A is not None:
+                self._matrices.move_to_end(memo_key)
+                return A
+        A = build_rate_matrix(self.space_for(request))
+        with self._lock:
+            self._matrices[memo_key] = A
+            while len(self._matrices) > MATRIX_MEMO_ENTRIES:
+                self._matrices.popitem(last=False)
+        return A
+
+
+class SolveService:
+    """Concurrent, cached, warm-starting steady-state solve service.
+
+    Parameters
+    ----------
+    network:
+        The base reaction network every request varies.
+    workers:
+        Worker-thread count (NumPy/SciPy release the GIL inside the
+        SpMV kernels, so threads overlap the hot loop).
+    cache:
+        ``True`` (default) for an in-memory cache, ``False``/``None``
+        to disable, or a preconfigured :class:`SolutionCache` (e.g.
+        with a disk directory) to share across services/runs.
+    warm_start:
+        Seed each solve from the inverse-distance-weighted blend of the
+        ``warm_neighbors`` nearest already-solved rate points.
+    warm_neighbors:
+        Donor count for the blend.  More than one matters for bistable
+        networks, where a single asymmetric donor excites the slow
+        switching mode (see :mod:`repro.serve.warmstart`).
+    queue_capacity, queue_policy, put_timeout:
+        Backpressure configuration (see :mod:`repro.serve.scheduler`).
+    timeout_s:
+        Optional per-attempt wall-clock budget; an expired attempt
+        raises :class:`~repro.errors.JobTimeoutError` and consumes a
+        retry.
+    retries:
+        Extra attempts per job after the first.
+    warm_audit_interval:
+        Every Nth warm-started solve is *audited*: the uniform-start
+        solve runs alongside on the same system and the measured
+        iteration difference feeds the
+        ``warm_start_iterations_saved`` metric.  Audits cost one extra
+        solve each, so the default samples 1 in 8; set ``1`` to audit
+        every warm start, ``0`` to disable auditing.
+    tol, max_iterations, solver_options:
+        Request defaults (overridable per submit).
+    reuse_state_space, max_states:
+        State-space handling, as in :class:`repro.sweep.ParameterSweep`.
+    """
+
+    def __init__(self, network: ReactionNetwork, *, workers: int = 1,
+                 cache: SolutionCache | bool | None = True,
+                 warm_start: bool = False,
+                 warm_neighbors: int = 2,
+                 queue_capacity: int = 1024,
+                 queue_policy: QueuePolicy | str = QueuePolicy.REJECT,
+                 put_timeout: float | None = None,
+                 timeout_s: float | None = None,
+                 retries: int = 0,
+                 warm_audit_interval: int = 8,
+                 tol: float = 1e-8, max_iterations: int = 200_000,
+                 solver_options: Mapping | None = None,
+                 reuse_state_space: bool = True,
+                 max_states: int = 5_000_000):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValidationError("timeout_s must be positive")
+        self.network = network
+        if isinstance(cache, SolutionCache):
+            self.cache: SolutionCache | None = cache
+        elif cache:
+            self.cache = SolutionCache()
+        else:
+            self.cache = None
+        self.warm_start = bool(warm_start)
+        if self.warm_start and self.cache is None:
+            raise ValidationError(
+                "warm_start needs the solution cache for donor vectors")
+        if warm_neighbors <= 0:
+            raise ValidationError("warm_neighbors must be positive")
+        self.warm_neighbors = int(warm_neighbors)
+        if warm_audit_interval < 0:
+            raise ValidationError("warm_audit_interval must be >= 0")
+        self.warm_audit_interval = int(warm_audit_interval)
+        self._warm_count = itertools.count()
+        self.timeout_s = timeout_s
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.solver_options = dict(solver_options or {})
+        self.metrics = ServiceMetrics()
+        self._workspace = _Workspace(network,
+                                     reuse_state_space=reuse_state_space,
+                                     max_states=max_states)
+        self._warm_index = WarmStartIndex() if self.warm_start else None
+        self._inflight: dict[str, SolveJob] = {}
+        self._lock = threading.Lock()
+        self._job_seq = itertools.count(1)
+        self._closed = False
+        queue = BoundedPriorityQueue(queue_capacity, queue_policy,
+                                     put_timeout=put_timeout)
+        self._scheduler = SolveScheduler(
+            self._execute, workers=workers, queue=queue, retries=retries,
+            on_retry=lambda job, exc: self.metrics.incr("retried"),
+            on_done=self._on_done)
+        self.metrics.bind_queue_depth(lambda: self._scheduler.queue_depth)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop workers; pending jobs are cancelled."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._scheduler.close(wait=wait)
+
+    # -- submission ---------------------------------------------------------
+
+    def request(self, overrides: Mapping[str, float] | None = None, *,
+                tol: float | None = None, max_iterations: int | None = None,
+                solver_options: Mapping | None = None) -> SolveRequest:
+        """Build a request with this service's defaults filled in."""
+        return SolveRequest(
+            self.network, overrides,
+            tol=self.tol if tol is None else tol,
+            max_iterations=(self.max_iterations if max_iterations is None
+                            else max_iterations),
+            solver_options=(self.solver_options if solver_options is None
+                            else solver_options))
+
+    def submit(self, overrides: Mapping[str, float] | None = None, *,
+               priority: int = 0, tol: float | None = None,
+               max_iterations: int | None = None,
+               solver_options: Mapping | None = None) -> SolveJob:
+        """Admit one solve; returns a job to block on.
+
+        Cache hits complete the returned job synchronously; a submit
+        whose key matches an in-flight job returns *that* job
+        (single-flight).  A full queue raises
+        :class:`~repro.errors.JobRejectedError` (or blocks, per
+        policy).
+        """
+        if self._closed:
+            raise SolveJobError("service is closed")
+        req = self.request(overrides, tol=tol, max_iterations=max_iterations,
+                           solver_options=solver_options)
+        key = req.cache_key()
+        self.metrics.incr("submitted")
+
+        if self.cache is not None:
+            entry = self.cache.get(key, layout=self._workspace.layout())
+            if entry is not None:
+                job = self._new_job(req, priority)
+                job.finish(self._outcome_from_entry(req, entry))
+                self.metrics.incr("cache_hits")
+                self.metrics.observe_latency(0.0)
+                return job
+
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None and not inflight.done():
+                self.metrics.incr("coalesced")
+                return inflight
+            job = self._new_job(req, priority)
+            self._inflight[key] = job
+        try:
+            self._scheduler.submit(job)
+        except SolveJobError:
+            with self._lock:
+                if self._inflight.get(key) is job:
+                    del self._inflight[key]
+            self.metrics.incr("rejected")
+            job.cancel()
+            raise
+        self.metrics.incr("scheduled")
+        return job
+
+    def solve(self, overrides: Mapping[str, float] | None = None,
+              **kwargs) -> SolveOutcome:
+        """Submit and block for the outcome (convenience wrapper)."""
+        return self.submit(overrides, **kwargs).result()
+
+    def map(self, conditions: Iterable[Mapping[str, float]],
+            *, progress=None) -> list[SolveOutcome]:
+        """Solve many conditions; outcomes come back in input order.
+
+        Jobs are all admitted up front (subject to backpressure) and
+        gathered in order, so workers overlap while callers still see
+        deterministic, input-ordered results.  ``progress(outcome)``
+        fires per condition in input order.
+        """
+        jobs = [self.submit(cond) for cond in conditions]
+        outcomes = []
+        for job in jobs:
+            outcome = job.result()
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return outcomes
+
+    # -- execution (worker threads) ------------------------------------------
+
+    def _execute(self, job: SolveJob) -> SolveOutcome:
+        req = job.request
+        t0 = time.perf_counter()
+        A = self._workspace.matrix(req)
+        space = self._workspace.space_for(req)
+
+        x0 = None
+        warm = False
+        if self._warm_index is not None and self.cache is not None:
+            hints = self._warm_index.select_donors(req.log_rate_vector(),
+                                                   k=self.warm_neighbors,
+                                                   exclude_key=job.key)
+            donors, distances = [], []
+            for hint in hints:
+                entry = self.cache.peek(hint.key,
+                                        layout=self._workspace.layout())
+                if entry is not None:
+                    donors.append(entry.p)
+                    distances.append(hint.distance)
+            if donors:
+                x0 = blend_donors(donors, distances)
+                warm = True
+
+        solver = JacobiSolver(A, tol=req.tol,
+                              max_iterations=req.max_iterations,
+                              **req.solver_options)
+        result = solver.solve(x0=x0, time_budget_s=self.timeout_s)
+        if result.stop_reason is StopReason.TIMED_OUT:
+            raise JobTimeoutError(
+                f"job {job.id} exceeded its {self.timeout_s}s budget after "
+                f"{result.iterations} iterations", key=job.key)
+
+        if warm:
+            self.metrics.incr("warm_started")
+            self._maybe_audit(solver, result)
+        else:
+            self.metrics.incr("cold_started")
+
+        layout = self._workspace.layout()
+        if self.cache is not None:
+            self.cache.put(CacheEntry(
+                key=job.key, p=result.x, iterations=result.iterations,
+                residual=result.residual,
+                stop_reason=result.stop_reason.value,
+                runtime_s=result.runtime_s, layout=layout))
+        if self._warm_index is not None:
+            self._warm_index.add(job.key, req.log_rate_vector(),
+                                 result.iterations)
+
+        return SolveOutcome(
+            result=result,
+            landscape=ProbabilityLandscape(space, result.x),
+            key=job.key, cached=False, warm_started=warm,
+            solve_seconds=time.perf_counter() - t0)
+
+    def _maybe_audit(self, solver: JacobiSolver, warm_result) -> None:
+        """Measure one warm start against the uniform start, sampled.
+
+        Runs the cold solve on the *same* system and records the
+        observed iteration difference — a measurement, not a model, so
+        the savings metric stays honest even though cold cost varies
+        across the grid.  The audit result is discarded; it cannot
+        affect the job's answer.
+        """
+        if self.warm_audit_interval == 0:
+            return
+        if next(self._warm_count) % self.warm_audit_interval != 0:
+            return
+        cold = solver.solve(time_budget_s=self.timeout_s)
+        if cold.stop_reason is StopReason.TIMED_OUT:
+            return
+        self.metrics.record_warm_audit(
+            cold_iterations=cold.iterations,
+            warm_iterations=warm_result.iterations)
+
+    def _on_done(self, job: SolveJob, error: SolveJobError | None) -> None:
+        with self._lock:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+        self.metrics.incr("failed" if error is not None else "completed")
+        if job.started_at is not None and job.finished_at is not None:
+            self.metrics.observe_latency(job.finished_at - job.started_at)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _new_job(self, req: SolveRequest, priority: int) -> SolveJob:
+        # next() on itertools.count is atomic in CPython, so this is
+        # safe to call both with and without the service lock held.
+        return SolveJob(req, job_id=next(self._job_seq), priority=priority)
+
+    def _outcome_from_entry(self, req: SolveRequest,
+                            entry: CacheEntry) -> SolveOutcome:
+        result = entry.to_result()
+        space = self._workspace.space_for(req)
+        return SolveOutcome(
+            result=result,
+            landscape=ProbabilityLandscape(space, result.x),
+            key=entry.key, cached=True, warm_started=False,
+            solve_seconds=0.0)
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot with cache stats merged in."""
+        return self.metrics.snapshot(
+            cache_stats=self.cache.stats if self.cache is not None else None)
+
+    def render_metrics(self) -> str:
+        """Printable metrics table (the CLI's ``serve`` output)."""
+        return self.metrics.render(
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            title=f"serve metrics · {self.network.name}")

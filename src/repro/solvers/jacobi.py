@@ -132,15 +132,37 @@ class JacobiSolver:
 
     # -- solve -----------------------------------------------------------------
 
-    def solve(self, x0=None) -> SolverResult:
-        """Iterate from *x0* (uniform by default) until the criterion fires."""
+    def solve(self, x0=None, *, time_budget_s: float | None = None) -> SolverResult:
+        """Iterate from *x0* (uniform by default) until the criterion fires.
+
+        Parameters
+        ----------
+        x0:
+            Optional initial guess (e.g. a warm start from a nearby rate
+            condition's steady state).  It must have length ``n``, be
+            finite and non-negative, and carry positive mass; it is
+            renormalized onto the probability simplex before iterating.
+        time_budget_s:
+            Optional wall-clock budget.  Checked at every residual
+            check; on expiry the solve returns with
+            :attr:`StopReason.TIMED_OUT` instead of raising, so callers
+            can inspect the partial iterate.
+        """
         if x0 is None:
             x = uniform_probability(self.n)
         else:
-            x = renormalize(np.asarray(x0, dtype=np.float64))
+            x = np.asarray(x0, dtype=np.float64)
             if x.shape != (self.n,):
                 raise ValidationError(
                     f"x0 must have length {self.n}, got {x.shape}")
+            if not np.all(np.isfinite(x)):
+                raise ValidationError("x0 contains non-finite entries")
+            if np.any(x < 0.0):
+                raise ValidationError("x0 contains negative entries")
+            x = renormalize(x)
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise ValidationError(
+                f"time_budget_s must be positive, got {time_budget_s}")
 
         criterion = StoppingCriterion(
             self.matrix_inf_norm, tol=self.tol,
@@ -151,6 +173,18 @@ class JacobiSolver:
         iteration = 0
         reason = StopReason.MAX_ITERATIONS
         residual = float("inf")
+        if x0 is not None:
+            # A warm start may already satisfy the tolerance (e.g. a
+            # cached neighbor with identical dynamics); charge one
+            # residual evaluation instead of a full check interval.
+            residual = criterion.normalized_residual(self.A @ x, x)
+            if residual <= self.tol:
+                history.append((0, residual))
+                return SolverResult(
+                    x=renormalize(x), iterations=0, residual=residual,
+                    stop_reason=StopReason.CONVERGED,
+                    residual_history=history,
+                    runtime_s=time.perf_counter() - t0)
         while True:
             budget = min(self.check_interval,
                          self.max_iterations - iteration)
@@ -167,6 +201,10 @@ class JacobiSolver:
             history.append((iteration, residual))
             if stop is not None:
                 reason = stop
+                break
+            if (time_budget_s is not None
+                    and time.perf_counter() - t0 >= time_budget_s):
+                reason = StopReason.TIMED_OUT
                 break
             if iteration >= self.max_iterations:
                 reason = StopReason.MAX_ITERATIONS

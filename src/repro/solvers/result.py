@@ -19,6 +19,9 @@ class StopReason(enum.Enum):
     MAX_ITERATIONS = "max-iterations"
     #: The iterate became non-finite (overflow/NaN).
     DIVERGED = "diverged"
+    #: A wall-clock budget expired before any other criterion fired
+    #: (used by the serving layer's per-job timeouts).
+    TIMED_OUT = "timed-out"
 
 
 @dataclass

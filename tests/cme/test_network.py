@@ -92,3 +92,79 @@ class TestDescribe:
     def test_contains_everything(self):
         text = simple_network().describe()
         assert "syn" in text and "∅" in text and "0..10" in text
+
+
+class TestCanonicalSignature:
+    def _reactions(self):
+        return [Reaction("syn", {}, {"A": 1}, 2.0),
+                Reaction("conv", {"A": 2}, {"B": 1}, 0.5),
+                Reaction("deg", {"B": 1}, {}, 1.0)]
+
+    def _species(self):
+        return [Species("A", 10), Species("B", 5)]
+
+    def test_stable(self):
+        assert (simple_network().canonical_signature()
+                == simple_network().canonical_signature())
+
+    def test_reaction_order_invariant(self):
+        """Reaction order only permutes the DFS; the model is the same."""
+        reordered = ReactionNetwork(self._species(),
+                                    list(reversed(self._reactions())))
+        assert (reordered.canonical_signature()
+                == simple_network().canonical_signature())
+
+    def test_reactant_dict_order_invariant(self):
+        a = ReactionNetwork(self._species(),
+                            [Reaction("r", {"A": 1, "B": 1}, {"A": 2}, 1.0)])
+        b = ReactionNetwork(self._species(),
+                            [Reaction("r", {"B": 1, "A": 1}, {"A": 2}, 1.0)])
+        assert a.canonical_signature() == b.canonical_signature()
+
+    def test_species_order_is_semantic(self):
+        """Species order defines the state layout, so it must distinguish."""
+        swapped = ReactionNetwork(list(reversed(self._species())),
+                                  self._reactions())
+        assert (swapped.canonical_signature()
+                != simple_network().canonical_signature())
+
+    def test_sensitive_to_rates_and_buffers(self):
+        base = simple_network().canonical_signature()
+        assert (simple_network().with_rates({"syn": 3.0})
+                .canonical_signature() != base)
+        bigger = ReactionNetwork([Species("A", 11), Species("B", 5)],
+                                 self._reactions())
+        assert bigger.canonical_signature() != base
+
+    def test_name_is_cosmetic(self):
+        a = ReactionNetwork(self._species(), self._reactions(), name="x")
+        b = ReactionNetwork(self._species(), self._reactions(), name="y")
+        assert a.canonical_signature() == b.canonical_signature()
+
+    def test_custom_propensity_identified_by_name(self):
+        def hill_fn(state):
+            return 1.0
+
+        with_fn = ReactionNetwork(
+            self._species(),
+            [Reaction("syn", {}, {"A": 1}, 2.0, propensity_fn=hill_fn,
+                      strictly_positive=True)])
+        without = ReactionNetwork(self._species(),
+                                  [Reaction("syn", {}, {"A": 1}, 2.0)])
+        assert (with_fn.canonical_signature()
+                != without.canonical_signature())
+
+
+class TestWithRatesPreservesPropensities:
+    def test_custom_fn_carried_over(self):
+        def doubled(state):
+            return 2.0
+
+        net = ReactionNetwork(
+            [Species("A", 10)],
+            [Reaction("syn", {}, {"A": 1}, 2.0, propensity_fn=doubled,
+                      strictly_positive=True)])
+        varied = net.with_rates({"syn": 5.0})
+        assert varied.reactions[0].rate == 5.0
+        assert varied.reactions[0].propensity_fn is doubled
+        assert varied.reactions[0].strictly_positive

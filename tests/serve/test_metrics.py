@@ -1,0 +1,77 @@
+"""Tests for service metrics accounting and rendering."""
+
+import pytest
+
+from repro.serve import ServiceMetrics
+from repro.serve.cache import CacheStats
+from repro.serve.metrics import percentile
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert percentile(values, 0.5) == pytest.approx(1.5)
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 3.0
+
+
+class TestCounters:
+    def test_incr_and_snapshot(self):
+        m = ServiceMetrics()
+        m.incr("submitted")
+        m.incr("submitted")
+        m.incr("cache_hits")
+        snap = m.snapshot()
+        assert snap["submitted"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["failed"] == 0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceMetrics().incr("made_up")
+
+    def test_latency_percentiles(self):
+        m = ServiceMetrics()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            m.observe_latency(v)
+        snap = m.snapshot()
+        assert snap["latency_count"] == 4
+        assert snap["latency_p50_s"] == pytest.approx(0.25)
+        assert snap["latency_p99_s"] <= 0.4
+
+    def test_warm_audit_accumulates(self):
+        m = ServiceMetrics()
+        m.record_warm_audit(cold_iterations=500, warm_iterations=400)
+        m.record_warm_audit(cold_iterations=300, warm_iterations=350)
+        snap = m.snapshot()
+        assert snap["warm_start_audits"] == 2
+        assert snap["warm_start_iterations_saved"] == 50
+
+    def test_queue_depth_gauge(self):
+        m = ServiceMetrics()
+        assert m.snapshot()["queue_depth"] == 0
+        m.bind_queue_depth(lambda: 7)
+        assert m.snapshot()["queue_depth"] == 7
+
+
+class TestRendering:
+    def test_render_lists_every_counter(self):
+        m = ServiceMetrics()
+        m.incr("completed", 3)
+        text = m.render(cache_stats=CacheStats(hits=3, misses=1),
+                        title="test metrics")
+        assert "test metrics" in text
+        assert "completed" in text
+        assert "cache_hit_rate" in text
+        assert "0.75" in text
+
+    def test_snapshot_merges_cache_stats(self):
+        snap = ServiceMetrics().snapshot(
+            cache_stats=CacheStats(hits=1, misses=3, evictions=2))
+        assert snap["cache_lookup_hits"] == 1
+        assert snap["cache_hit_rate"] == 0.25
+        assert snap["cache_evictions"] == 2

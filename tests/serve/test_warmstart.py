@@ -1,0 +1,110 @@
+"""Tests for the warm-start index and donor blending."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import WarmStartIndex
+from repro.serve.warmstart import blend_donors
+
+
+def filled_index(points):
+    index = WarmStartIndex()
+    for key, coords in points.items():
+        index.add(key, np.asarray(coords, dtype=float), iterations=100)
+    return index
+
+
+class TestIndex:
+    def test_nearest_first(self):
+        index = filled_index({"far": [3.0, 0.0], "near": [1.0, 0.0],
+                              "mid": [2.0, 0.0]})
+        hints = index.suggest(np.zeros(2), k=2)
+        assert [h.key for h in hints] == ["near", "mid"]
+        assert hints[0].distance == pytest.approx(1.0)
+
+    def test_exclude_key(self):
+        index = filled_index({"self": [0.0], "other": [1.0]})
+        hints = index.suggest(np.zeros(1), k=1, exclude_key="self")
+        assert [h.key for h in hints] == ["other"]
+
+    def test_duplicate_keys_ignored(self):
+        index = WarmStartIndex()
+        index.add("a", np.zeros(2), 10)
+        index.add("a", np.ones(2), 20)
+        assert len(index) == 1
+
+    def test_dimension_mismatch_skipped(self):
+        index = filled_index({"2d": [1.0, 0.0]})
+        index.add("3d", np.zeros(3), 10)
+        hints = index.suggest(np.zeros(2), k=5)
+        assert [h.key for h in hints] == ["2d"]
+
+    def test_fifo_bound(self):
+        index = WarmStartIndex(max_points=2)
+        for i in range(4):
+            index.add(f"k{i}", np.array([float(i)]), 10)
+        assert len(index) == 2
+        hints = index.suggest(np.zeros(1), k=4)
+        assert {h.key for h in hints} == {"k2", "k3"}
+
+    def test_empty_index(self):
+        assert WarmStartIndex().suggest(np.zeros(2), k=3) == []
+
+    def test_k_validated(self):
+        with pytest.raises(ValidationError):
+            WarmStartIndex().suggest(np.zeros(1), k=0)
+
+
+class TestCenteredSelection:
+    def test_prefers_bracketing_pair(self):
+        # Four solved points on a line left of and around the query at 0:
+        # plain 2-NN picks {-1, -2} (one-sided); the centered stencil
+        # pairs the nearest donor with the opposite-side +3.
+        index = filled_index({"m1": [-1.0], "m2": [-2.0], "m3": [-3.0],
+                              "p3": [3.0]})
+        nearest = index.suggest(np.zeros(1), k=2)
+        assert {h.key for h in nearest} == {"m1", "m2"}
+        centered = index.select_donors(np.zeros(1), k=2)
+        assert {h.key for h in centered} == {"m1", "p3"}
+
+    def test_falls_back_to_nearest_when_one_sided(self):
+        index = filled_index({"m1": [-1.0], "m2": [-2.0]})
+        hints = index.select_donors(np.zeros(1), k=2)
+        assert {h.key for h in hints} == {"m1", "m2"}
+
+    def test_single_donor(self):
+        index = filled_index({"only": [1.0]})
+        hints = index.select_donors(np.zeros(1), k=2)
+        assert [h.key for h in hints] == ["only"]
+
+
+class TestBlending:
+    def test_equal_distances_average(self):
+        out = blend_donors([np.array([1.0, 0.0]), np.array([0.0, 1.0])],
+                           [0.5, 0.5])
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_closer_donor_dominates(self):
+        out = blend_donors([np.array([1.0, 0.0]), np.array([0.0, 1.0])],
+                           [0.1, 10.0])
+        assert out[0] > 0.9
+
+    def test_zero_distance_donor_wins(self):
+        out = blend_donors([np.array([1.0, 0.0]), np.array([0.0, 1.0])],
+                           [0.0, 1.0])
+        np.testing.assert_allclose(out, [1.0, 0.0], atol=1e-10)
+
+    def test_convex_combination_stays_normalized(self):
+        rng = np.random.default_rng(0)
+        donors = [rng.random(6) for _ in range(3)]
+        donors = [d / d.sum() for d in donors]
+        out = blend_donors(donors, [1.0, 2.0, 3.0])
+        assert out.sum() == pytest.approx(1.0)
+        assert out.min() >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            blend_donors([], [])
+        with pytest.raises(ValidationError):
+            blend_donors([np.ones(2)], [1.0, 2.0])

@@ -144,3 +144,79 @@ class TestValidation:
     def test_wrong_x0_length(self, birth_death_matrix):
         with pytest.raises(ValidationError):
             JacobiSolver(birth_death_matrix).solve(np.ones(7) / 7)
+
+
+class TestWarmStartValidation:
+    def test_negative_x0_rejected(self, birth_death_matrix):
+        n = birth_death_matrix.shape[0]
+        x0 = np.ones(n)
+        x0[3] = -0.1
+        with pytest.raises(ValidationError, match="negative"):
+            JacobiSolver(birth_death_matrix).solve(x0)
+
+    def test_non_finite_x0_rejected(self, birth_death_matrix):
+        n = birth_death_matrix.shape[0]
+        for bad in (np.nan, np.inf):
+            x0 = np.ones(n)
+            x0[0] = bad
+            with pytest.raises(ValidationError, match="finite"):
+                JacobiSolver(birth_death_matrix).solve(x0)
+
+    def test_zero_mass_x0_rejected(self, birth_death_matrix):
+        n = birth_death_matrix.shape[0]
+        with pytest.raises(ValidationError):
+            JacobiSolver(birth_death_matrix).solve(np.zeros(n))
+
+    def test_unnormalized_x0_renormalized(self, birth_death_matrix):
+        """An unscaled but shape-correct guess converges to the same answer."""
+        solver = JacobiSolver(birth_death_matrix, tol=1e-10, damping=0.6,
+                              max_iterations=50_000)
+        reference = solver.solve()
+        scaled = solver.solve(1000.0 * reference.x)
+        np.testing.assert_allclose(scaled.x, reference.x, atol=1e-9)
+        assert scaled.iterations <= reference.iterations
+
+
+class TestWarmStartRegression:
+    def test_nearby_toggle_solution_converges_faster(self):
+        """A converged neighbor distribution beats the uniform start."""
+        from repro.cme.models.toggle_switch import toggle_switch
+        from repro.cme.ratematrix import build_rate_matrix
+        from repro.cme.statespace import StateSpace, enumerate_state_space
+
+        base = toggle_switch(max_protein=12)
+        space = enumerate_state_space(base)
+        opts = dict(tol=1e-10, damping=0.8, check_interval=10,
+                    max_iterations=100_000)
+        donor = JacobiSolver(build_rate_matrix(space), **opts).solve()
+
+        varied = base.with_rates({"degA": 0.95, "degB": 1.05})
+        A = build_rate_matrix(StateSpace(network=varied, states=space.states))
+        solver = JacobiSolver(A, **opts)
+        cold = solver.solve()
+        warm = solver.solve(x0=donor.x)
+        assert cold.converged and warm.converged
+        assert warm.iterations < cold.iterations
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-8)
+
+
+class TestTimeBudget:
+    def test_expiry_reports_timed_out(self, tiny_toggle_matrix):
+        result = JacobiSolver(tiny_toggle_matrix, tol=1e-15,
+                              check_interval=10, stagnation_tol=None,
+                              max_iterations=10_000_000).solve(
+                                  time_budget_s=1e-6)
+        assert result.stop_reason is StopReason.TIMED_OUT
+        assert 0 < result.iterations < 10_000_000
+        assert result.x.sum() == pytest.approx(1.0), \
+            "partial iterate still a distribution"
+
+    def test_generous_budget_converges(self, birth_death_matrix):
+        result = JacobiSolver(birth_death_matrix, tol=1e-8, damping=0.6,
+                              max_iterations=50_000).solve(
+                                  time_budget_s=60.0)
+        assert result.converged
+
+    def test_budget_validated(self, birth_death_matrix):
+        with pytest.raises(ValidationError, match="time_budget_s"):
+            JacobiSolver(birth_death_matrix).solve(time_budget_s=0.0)

@@ -108,3 +108,40 @@ class TestSweep:
                    "--max-protein", "8", "--vary", "degA"])
         assert rc == 2
         assert "bad --vary" in capsys.readouterr().err
+
+    def test_served_sweep_prints_metrics(self, capsys):
+        rc = main(["sweep", "--model", "toggle-switch",
+                   "--max-protein", "10", "--vary", "degA=0.8,1.0,1.2",
+                   "--damping", "0.8", "--workers", "2", "--warm-start"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rate:degA" in out
+        assert "serve metrics" in out
+        assert "warm_start_iterations_saved" in out
+
+
+class TestServe:
+    def test_two_passes_hit_cache(self, capsys):
+        rc = main(["serve", "--model", "toggle-switch",
+                   "--max-protein", "10", "--vary", "degA=0.8,1.2",
+                   "--damping", "0.8", "--workers", "2",
+                   "--passes", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pass 2" in out
+        assert "cache_hit_rate" in out
+        assert "| 0.500" in out, "second pass fully cache-served"
+
+    def test_disk_cache_dir(self, capsys, tmp_path):
+        rc = main(["serve", "--model", "toggle-switch",
+                   "--max-protein", "8", "--vary", "degA=1.0",
+                   "--damping", "0.8", "--passes", "1",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert list(tmp_path.glob("*.npz")), "solution persisted to disk"
+
+    def test_bad_vary_spec(self, capsys):
+        rc = main(["serve", "--model", "toggle-switch",
+                   "--max-protein", "8", "--vary", "oops"])
+        assert rc == 2
+        assert "bad --vary" in capsys.readouterr().err

@@ -82,3 +82,91 @@ class TestReporting:
         assert "rate:degA" in text
         assert text.count("\n") > 4
         assert sweep.total_solve_seconds() > 0
+
+
+from repro.sweep import axis_refinement_depths, coarse_to_fine_levels  # noqa: E402
+
+OPTS = {"damping": 0.8, "check_interval": 10}
+
+
+class TestCoarseToFineOrder:
+    def test_axis_depths(self):
+        assert axis_refinement_depths(1) == [0]
+        assert axis_refinement_depths(2) == [0, 0]
+        assert axis_refinement_depths(3) == [0, 1, 0]
+        assert axis_refinement_depths(5) == [0, 2, 1, 2, 0]
+
+    def test_levels_partition_the_grid(self):
+        levels = coarse_to_fine_levels((5, 5))
+        flat = [i for level in levels for i in level]
+        assert sorted(flat) == list(range(25))
+        assert [len(level) for level in levels] == [4, 5, 16]
+
+    def test_corners_first(self):
+        levels = coarse_to_fine_levels((3, 3))
+        assert sorted(levels[0]) == [0, 2, 6, 8], "corners are level 0"
+        assert 4 in levels[1], "the center point is the next level"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            axis_refinement_depths(0)
+        with pytest.raises(ValidationError):
+            coarse_to_fine_levels(())
+
+
+class TestServedRun:
+    def test_parallel_matches_serial(self, base_network):
+        grid = {"degA": [0.8, 1.2], "degB": [0.9, 1.1]}
+        serial = ParameterSweep(base_network, grid)
+        serial.run(tol=1e-10, solver_kwargs=OPTS)
+        served = ParameterSweep(base_network, grid)
+        served.run(tol=1e-10, solver_kwargs=OPTS, workers=2)
+        assert serial.service_snapshot is None
+        assert served.service_snapshot is not None
+        for a, b in zip(serial.points, served.points):
+            assert a.overrides == b.overrides
+            assert np.max(np.abs(a.result.x - b.result.x)) < 1e-12
+
+    def test_progress_fires_in_canonical_order(self, base_network):
+        seen = []
+        sweep = ParameterSweep(base_network, {"degA": [0.8, 1.0, 1.2]})
+        sweep.run(tol=1e-8, solver_kwargs=OPTS, workers=2,
+                  progress=lambda p: seen.append(p.overrides["degA"]))
+        assert seen == [0.8, 1.0, 1.2]
+
+    def test_acceptance_grid(self, base_network):
+        """The serving acceptance scenario: a 5x5 rate grid.
+
+        Warm-started concurrent results must match the serial
+        uniform-start sweep to 1e-12, with measured iteration savings,
+        and a re-run must be at least 90% cache-served.
+        """
+        values = [0.8, 0.9, 1.0, 1.1, 1.2]
+        grid = {"degA": values, "degB": values}
+        serial = ParameterSweep(base_network, grid)
+        serial.run(tol=1e-14, solver_kwargs=OPTS)
+
+        from repro.serve import SolveService
+        service = SolveService(base_network, workers=4, cache=True,
+                               warm_start=True, warm_audit_interval=1,
+                               tol=1e-14, solver_options=OPTS)
+        try:
+            served = ParameterSweep(base_network, grid)
+            served.run(tol=1e-14, solver_kwargs=OPTS, service=service)
+            for a, b in zip(serial.points, served.points):
+                assert np.max(np.abs(a.result.x - b.result.x)) < 1e-12
+
+            snap = served.service_snapshot
+            assert snap["warm_started"] > 0
+            assert snap["warm_start_audits"] > 0
+            assert snap["warm_start_iterations_saved"] > 0
+
+            before = service.snapshot()["cache_hits"]
+            rerun = ParameterSweep(base_network, grid)
+            rerun.run(tol=1e-14, solver_kwargs=OPTS, service=service)
+            hits = service.snapshot()["cache_hits"] - before
+            assert hits / 25 >= 0.9
+            for a, b in zip(serial.points, rerun.points):
+                assert np.max(np.abs(a.result.x - b.result.x)) < 1e-12
+        finally:
+            service.close()
