@@ -28,6 +28,6 @@ def test_figure2_regeneration(benchmark, report_sink):
 def test_bench_end_to_end_solve(benchmark):
     def solve():
         return solve_steady_state(toggle_switch(max_protein=25),
-                                  tol=1e-8)[1]
+                                  tol=1e-8)
     result = benchmark.pedantic(solve, rounds=2, iterations=1)
     assert result.residual < 1e-6

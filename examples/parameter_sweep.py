@@ -39,7 +39,8 @@ def main() -> None:
             network = toggle_switch(max_protein=40, hill=hill,
                                     synthesis_rate=synthesis)
             t0 = time.perf_counter()
-            landscape, result = solve_steady_state(network, tol=1e-9)
+            result = solve_steady_state(network, tol=1e-9)
+            landscape = result.landscape
             elapsed = time.perf_counter() - t0
             total += elapsed
             modes = landscape.grid_modes("A", "B")
@@ -52,8 +53,8 @@ def main() -> None:
           f"the GPU.")
 
     # The sweep's scientific content: cooperativity creates bistability.
-    uni = solve_steady_state(toggle_switch(max_protein=40, hill=1.0))[0]
-    bi = solve_steady_state(toggle_switch(max_protein=40, hill=2.5))[0]
+    uni = solve_steady_state(toggle_switch(max_protein=40, hill=1.0)).landscape
+    bi = solve_steady_state(toggle_switch(max_protein=40, hill=2.5)).landscape
     assert len(bi.grid_modes("A", "B")) >= 2
     print(f"hill=1.0 -> {len(uni.grid_modes('A', 'B'))} mode(s); "
           f"hill=2.5 -> {len(bi.grid_modes('A', 'B'))} modes (bistable).")

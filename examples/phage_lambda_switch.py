@@ -32,7 +32,8 @@ def commitment(landscape) -> tuple[float, float]:
 def main() -> None:
     print("=== balanced circuit")
     network = phage_lambda(max_monomer=10, max_dimer=4)
-    landscape, result = solve_steady_state(network, tol=1e-9)
+    result = solve_steady_state(network, tol=1e-9)
+    landscape = result.landscape
     ci, cro = commitment(landscape)
     means = landscape.mean_counts()
     print(f"{result.stop_reason.value} in {result.iterations} iterations; "
@@ -42,7 +43,7 @@ def main() -> None:
     print("\n=== tilted toward lysogeny (stronger activated CI synthesis)")
     lysogenic = phage_lambda(max_monomer=10, max_dimer=4,
                              activated_ci_rate=24.0, cro_rate=5.0)
-    land_lys, _ = solve_steady_state(lysogenic, tol=1e-9)
+    land_lys = solve_steady_state(lysogenic, tol=1e-9).landscape
     ci_l, cro_l = commitment(land_lys)
     print(f"P(CI side) = {ci_l:.3f}, P(Cro side) = {cro_l:.3f}")
     assert ci_l > ci, "raising CI synthesis must shift mass toward lysogeny"

@@ -19,7 +19,8 @@ def main() -> None:
     print(network.describe())
     print()
 
-    landscape, result = solve_steady_state(network, tol=1e-10)
+    result = solve_steady_state(network, tol=1e-10)
+    landscape = result.landscape
     print(f"state space          : {landscape.space.size} microstates")
     print(f"solver               : {result.stop_reason.value} after "
           f"{result.iterations} iterations "

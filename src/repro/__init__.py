@@ -33,7 +33,15 @@ from repro.cme.models import (
     schnakenberg,
     toggle_switch,
 )
-from repro.solvers import JacobiSolver, PowerIterationSolver, SolverResult
+from repro.errors import ValidationError
+from repro.solvers import (
+    GaussSeidelSolver,
+    JacobiSolver,
+    PowerIterationSolver,
+    SolverResult,
+    SteadyStateSolver,
+    StopReason,
+)
 from repro.sparse import (
     CSRMatrix,
     COOMatrix,
@@ -61,8 +69,12 @@ __all__ = [
     "schnakenberg",
     "phage_lambda",
     "JacobiSolver",
+    "GaussSeidelSolver",
     "PowerIterationSolver",
+    "SteadyStateSolver",
     "SolverResult",
+    "StopReason",
+    "ValidationError",
     "COOMatrix",
     "CSRMatrix",
     "DIAMatrix",
@@ -78,32 +90,123 @@ __all__ = [
 ]
 
 
-def solve_steady_state(network, *, tol: float = 1e-8,
+#: Aliases accepted by :func:`solve_steady_state`'s ``format`` argument
+#: on top of :data:`repro.sparse.conversion.FORMAT_REGISTRY` keys.
+_FORMAT_ALIASES = {
+    "sliced_ell": "sell",
+    "sliced-ell": "sell",
+    "ell_dia": "ell+dia",
+    "ell-dia": "ell+dia",
+    "warped_ell": "warped-ell",
+    "sell_c_sigma": "sell-c-sigma",
+}
+
+
+def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
+                       format: str | None = None,
+                       tol: float = 1e-8,
                        max_iterations: int = 500_000,
+                       x0=None,
+                       time_budget_s: float | None = None,
+                       hooks=None,
                        solver_kwargs: dict | None = None,
-                       max_states: int = 5_000_000):
-    """Enumerate, assemble and solve a network's steady state in one call.
+                       max_states: int = 5_000_000,
+                       **options) -> SolverResult:
+    """The steady-state front door: one call from model to answer.
+
+    Routes a :class:`ReactionNetwork` through enumeration, rate-matrix
+    assembly and (optional) device-format conversion into the chosen
+    solver — the pipeline the CLI, the examples and the serving layer
+    all share instead of hand-rolling it.  A raw matrix (SciPy sparse,
+    dense, or any :class:`repro.sparse.base.SparseFormat`) skips the
+    CME stages and is solved directly.
+
+    Every stage emits a tracing span when a recorder is installed
+    (see :mod:`repro.telemetry`).
 
     Parameters
     ----------
-    network:
-        A :class:`ReactionNetwork`.
+    network_or_matrix:
+        A :class:`ReactionNetwork`, or the generator matrix itself.
+    method:
+        ``"jacobi"`` (the paper's solver), ``"gauss-seidel"`` or
+        ``"power"``.
+    format:
+        Optional device sparse format to hold the system in before
+        solving — any :data:`~repro.sparse.conversion.FORMAT_REGISTRY`
+        key (``"ell"``, ``"sell"``, ``"warped-ell"``, ...) or alias
+        (``"sliced_ell"``, ``"ell_dia"``).  ``None`` solves straight
+        from CSR.
     tol, max_iterations:
-        Jacobi stopping parameters (paper defaults scaled to typical
+        Stopping parameters (paper defaults scaled to typical
         reproduction sizes).
-    solver_kwargs:
-        Extra :class:`JacobiSolver` options (e.g. ``damping=0.7``).
+    x0, time_budget_s, hooks:
+        Forwarded to :meth:`~repro.solvers.base.IterativeSolverBase.solve`
+        — warm start, wall-clock budget, instrumentation hooks.
+    solver_kwargs, **options:
+        Extra solver-constructor options (e.g. ``damping=0.7``,
+        ``uniformization_factor=1.1``); ``solver_kwargs`` is the
+        pre-1.1 spelling and is merged with ``options``.
     max_states:
         Enumeration safety cap.
 
     Returns
     -------
-    (ProbabilityLandscape, SolverResult)
-        The steady-state landscape and the solver diagnostics.
+    SolverResult
+        The solver diagnostics; for network inputs,
+        ``result.landscape`` carries the
+        :class:`ProbabilityLandscape`.  (Unpacking the result as the
+        pre-1.1 ``(landscape, result)`` pair still works but emits a
+        :class:`DeprecationWarning`.)
     """
-    space = enumerate_state_space(network, max_states=max_states)
-    A = build_rate_matrix(space)
-    solver = JacobiSolver(A, tol=tol, max_iterations=max_iterations,
-                          **(solver_kwargs or {}))
-    result = solver.solve()
-    return ProbabilityLandscape(space, result.x), result
+    from repro.solvers import SOLVER_REGISTRY
+    from repro.sparse.conversion import FORMAT_REGISTRY, from_scipy
+    from repro.telemetry import tracing
+
+    method_key = str(method).lower().replace("_", "-")
+    if method_key not in SOLVER_REGISTRY:
+        raise ValidationError(
+            f"unknown method {method!r}; expected one of "
+            f"{sorted(SOLVER_REGISTRY)}")
+    solver_cls = SOLVER_REGISTRY[method_key]
+
+    space = None
+    with tracing.span("solve_steady_state", method=method_key):
+        if isinstance(network_or_matrix, ReactionNetwork):
+            with tracing.span("enumerate",
+                              network=network_or_matrix.name) as sp:
+                space = enumerate_state_space(network_or_matrix,
+                                              max_states=max_states)
+                sp.set_attribute("states", len(space.states))
+            with tracing.span("assemble") as sp:
+                A = build_rate_matrix(space)
+                sp.set_attribute("nnz", int(A.nnz))
+        else:
+            A = network_or_matrix
+
+        if format is not None:
+            name = str(format).lower()
+            name = _FORMAT_ALIASES.get(name, name)
+            if name not in FORMAT_REGISTRY:
+                raise ValidationError(
+                    f"unknown format {format!r}; expected one of "
+                    f"{sorted(FORMAT_REGISTRY)} or aliases "
+                    f"{sorted(_FORMAT_ALIASES)}")
+            with tracing.span("convert", format=name):
+                from repro.sparse.conversion import to_scipy
+                matrix = from_scipy(to_scipy(A), name)
+                if solver_cls is not JacobiSolver:
+                    # Only the Jacobi solver consumes device formats
+                    # natively; the others iterate on CSR.
+                    matrix = matrix.to_scipy()
+        else:
+            matrix = A
+
+        merged = {**(solver_kwargs or {}), **options}
+        solver = solver_cls(matrix, tol=tol, max_iterations=max_iterations,
+                            **merged)
+        result = solver.solve(x0=x0, time_budget_s=time_budget_s,
+                              hooks=hooks)
+    if space is not None:
+        result.landscape = ProbabilityLandscape(space, result.x)
+    return result

@@ -18,6 +18,10 @@ Commands
     Exercise :mod:`repro.serve` directly: run a rate grid through the
     concurrent solve service and report cache hit rates, warm-start
     iteration savings, and latency percentiles.
+``profile``
+    Trace one full solve pipeline (enumeration, assembly, format
+    conversion, modeled GPU kernels, solver iterations) to
+    Chrome-trace JSON plus a Prometheus-style metrics report.
 ``experiments``
     Run the full table/figure harness (see
     :mod:`repro.experiments.runner`).
@@ -65,9 +69,10 @@ def cmd_solve(args) -> int:
     kwargs = {}
     if args.damping is not None:
         kwargs["damping"] = args.damping
-    landscape, result = solve_steady_state(
+    result = solve_steady_state(
         network, tol=args.tol, max_iterations=args.max_iterations,
-        solver_kwargs=kwargs)
+        **kwargs)
+    landscape = result.landscape
     print(f"\n{result.stop_reason.value} after {result.iterations} "
           f"iterations (residual {result.residual:.3e}, "
           f"{result.runtime_s:.2f}s)")
@@ -192,6 +197,83 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import os
+
+    from repro import solve_steady_state
+    from repro.cme.ratematrix import build_rate_matrix
+    from repro.cme.statespace import enumerate_state_space
+    from repro.errors import FormatError
+    from repro.gpusim import GTX580, jacobi_performance, spmv_performance
+    from repro.sparse.conversion import from_scipy
+    from repro.telemetry import (
+        MetricsRegistry,
+        MultiHooks,
+        RecordingHooks,
+        TelemetryHooks,
+        TraceRecorder,
+        tracing,
+    )
+
+    network = build_model(args)
+    recorder = TraceRecorder()
+    registry = MetricsRegistry()
+    recording = RecordingHooks()
+    # Damping is a Jacobi-only knob (the default tames the toggle
+    # switch's bipartite oscillation).
+    kwargs = ({"damping": args.damping}
+              if args.method == "jacobi" and args.damping is not None
+              else {})
+
+    with tracing.recording(recorder):
+        with tracing.span("profile", model=args.model, method=args.method):
+            with tracing.span("enumerate", network=network.name) as sp:
+                space = enumerate_state_space(network)
+                sp.set_attribute("states", len(space.states))
+            with tracing.span("assemble") as sp:
+                A = build_rate_matrix(space)
+                sp.set_attribute("nnz", int(A.nnz))
+            with tracing.span("convert", format=args.format):
+                fmt = from_scipy(A, args.format)
+            spmv_performance(fmt, GTX580)
+            try:
+                jacobi_performance(fmt, GTX580,
+                                   check_interval=50, normalize_interval=10)
+            except FormatError:
+                # The fused Jacobi kernel only models ELL+DIA-style
+                # layouts; profile it on that conversion instead.
+                jacobi_performance(from_scipy(A, "ell+dia"), GTX580,
+                                   check_interval=50, normalize_interval=10)
+            hooks = MultiHooks(
+                recording,
+                TelemetryHooks(recorder, registry,
+                               prefix=args.method.replace("-", "_"),
+                               trace_every=args.trace_every))
+            result = solve_steady_state(
+                A, method=args.method, tol=args.tol,
+                max_iterations=args.max_iterations, hooks=hooks, **kwargs)
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    metrics_path = os.path.join(args.out, "metrics.prom")
+    recorder.write(trace_path)
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        fh.write(registry.render_prometheus())
+
+    print(f"{network.name}: {len(space.states)} states, {A.nnz} nonzeros")
+    print(f"{result.stop_reason.value} after {result.iterations} "
+          f"iterations (residual {result.residual:.3e}, "
+          f"{result.runtime_s:.2f}s)")
+    if recording.iterations:
+        per_it = recording.total_seconds() / recording.iterations
+        print(f"measured {per_it * 1e6:.1f} us/iteration over "
+              f"{recording.iterations} hooked iterations")
+    print(f"wrote {trace_path} ({len(recorder)} spans; open in "
+          f"chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.runner import run_all, write_markdown
     results = run_all(args.scale)
@@ -296,6 +378,28 @@ def make_parser() -> argparse.ArgumentParser:
     _add_matrix_source(p, benchmark_names())
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("profile",
+                       help="trace a full solve pipeline to Chrome-trace "
+                            "JSON plus a metrics report")
+    p.add_argument("--model", choices=MODELS, default="toggle-switch")
+    p.add_argument("--max-protein", type=int, default=16)
+    p.add_argument("--max-x", type=int, default=40)
+    p.add_argument("--max-y", type=int, default=20)
+    p.add_argument("--max-monomer", type=int, default=6)
+    p.add_argument("--max-dimer", type=int, default=3)
+    p.add_argument("--method", choices=("jacobi", "gauss-seidel", "power"),
+                   default="jacobi")
+    p.add_argument("--format", choices=FORMATS[1:], default="warped-ell",
+                   help="device format profiled by the kernel models")
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-iterations", type=int, default=200_000)
+    p.add_argument("--damping", type=float, default=0.8)
+    p.add_argument("--trace-every", type=int, default=25,
+                   help="emit a solver-iteration span every N iterations")
+    p.add_argument("--out", default="profile-out",
+                   help="directory for trace.json and metrics.prom")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("experiments", help="run the table/figure harness")
     p.add_argument("--scale", choices=("tiny", "small", "bench"),

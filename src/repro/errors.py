@@ -54,6 +54,22 @@ class SingularMatrixError(ReproError):
     """A matrix required to be invertible (e.g. the Jacobi diagonal) is not."""
 
 
+class SingularSystemError(SingularMatrixError):
+    """The steady-state system cannot be iterated on: a diagonal entry
+    is exactly zero (an absorbing state under the splitting), so the
+    Jacobi/Gauss-Seidel preconditioner does not exist.
+
+    This is a property of the *system*, not of the attempt — retrying
+    the same solve can never succeed, which is why the serving layer
+    maps it to a terminal (non-retryable) job failure.  The offending
+    row indices (capped at the first few) ride along in ``rows``.
+    """
+
+    def __init__(self, message: str, *, rows=None) -> None:
+        self.rows = list(rows) if rows is not None else []
+        super().__init__(message)
+
+
 class DeviceModelError(ReproError):
     """The GPU/CPU performance model was configured inconsistently."""
 

@@ -31,6 +31,7 @@ from repro.gpusim.kernels.sliced import (
 )
 from repro.gpusim.perfmodel import PerfEstimate, estimate_performance
 from repro.sparse.base import SparseFormat
+from repro.telemetry import tracing
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.dia import DIAMatrix
@@ -96,10 +97,31 @@ def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
     ``x_scale`` is the problem-size normalization of
     :func:`repro.gpusim.perfmodel.estimate_performance` (pass
     ``paper_n / n`` when the matrix is a scaled-down stand-in).
+
+    When a :mod:`repro.telemetry` recorder is installed, each call
+    emits a ``gpusim.spmv`` span carrying the kernel name, coalesced
+    transaction count, modeled kernel time, occupancy and the
+    limiting pipeline.
     """
-    report = spmv_traffic(matrix, precision=precision,
-                          block_size=block_size, csr_kernel=csr_kernel)
-    return estimate_performance(report, device, x_scale=x_scale)
+    with tracing.span("gpusim.spmv", format=type(matrix).__name__,
+                      device=device.name) as sp:
+        report = spmv_traffic(matrix, precision=precision,
+                              block_size=block_size, csr_kernel=csr_kernel)
+        perf = estimate_performance(report, device, x_scale=x_scale)
+        _annotate_span(sp, report, perf)
+        return perf
+
+
+def _annotate_span(sp, report: TrafficReport, perf: PerfEstimate) -> None:
+    """Attach the kernel model's headline numbers to a tracing span."""
+    sp.set_attribute("kernel", report.kernel_name)
+    sp.set_attribute("block_size", report.block_size)
+    sp.set_attribute("transactions", report.gather.transactions)
+    sp.set_attribute("streamed_bytes", report.streamed_bytes)
+    sp.set_attribute("modeled_time_us", perf.time_s * 1e6)
+    sp.set_attribute("gflops", perf.gflops)
+    sp.set_attribute("occupancy", perf.occupancy.ratio)
+    sp.set_attribute("limiting", perf.limiting_resource)
 
 
 def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
@@ -108,12 +130,20 @@ def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
                        check_interval: int = 0,
                        normalize_interval: int = 0,
                        x_scale: float = 1.0) -> PerfEstimate:
-    """Modeled per-iteration Jacobi performance on *device*."""
-    report = jacobi_traffic(matrix, precision=precision,
-                            block_size=block_size,
-                            check_interval=check_interval,
-                            normalize_interval=normalize_interval)
-    return estimate_performance(report, device, x_scale=x_scale)
+    """Modeled per-iteration Jacobi performance on *device*.
+
+    Emits a ``gpusim.jacobi`` span (kernel, transactions, modeled
+    time, occupancy) when a telemetry recorder is installed.
+    """
+    with tracing.span("gpusim.jacobi", format=type(matrix).__name__,
+                      device=device.name) as sp:
+        report = jacobi_traffic(matrix, precision=precision,
+                                block_size=block_size,
+                                check_interval=check_interval,
+                                normalize_interval=normalize_interval)
+        perf = estimate_performance(report, device, x_scale=x_scale)
+        _annotate_span(sp, report, perf)
+        return perf
 
 
 def run_spmv(matrix: SparseFormat, x: np.ndarray) -> np.ndarray:

@@ -1,21 +1,31 @@
-"""Service observability: counters, latency percentiles, savings.
+"""Service observability — a façade over :mod:`repro.telemetry`.
 
-One :class:`ServiceMetrics` instance per service, updated from submit
-paths and worker threads under a single lock (every update is a handful
-of scalar ops — contention is negligible next to a solve).  The
-:meth:`~ServiceMetrics.snapshot` is a plain dict suitable for logging
-or assertions; :meth:`~ServiceMetrics.render` produces the CLI table.
+:class:`ServiceMetrics` keeps its pre-1.1 surface (``incr`` /
+``observe_latency`` / ``snapshot`` / ``render``) but every update now
+lands in a :class:`repro.telemetry.metrics.MetricsRegistry`: counters
+become ``serve_<name>_total``, latencies the
+``serve_latency_seconds`` histogram, queue depth a bound gauge, and
+the per-stage timings (queue wait / solve / cache) the
+``serve_stage_<stage>_seconds`` histograms.  Pass a shared registry to
+co-locate service metrics with solver/gpusim telemetry in one
+Prometheus exposition (:meth:`ServiceMetrics.render_prometheus`);
+by default each service gets its own registry so instances stay
+independent.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    percentile as percentile,
+)
+# Pre-1.1 alias: the bounded percentile window now lives in telemetry.
+from repro.telemetry.metrics import SAMPLE_WINDOW as LATENCY_WINDOW
 from repro.utils.tables import Table
 
-#: Retain at most this many recent latency samples for percentiles.
-LATENCY_WINDOW = 4096
+__all__ = ["COUNTER_NAMES", "LATENCY_WINDOW", "STAGE_NAMES",
+           "ServiceMetrics", "percentile"]
 
 COUNTER_NAMES = (
     "submitted",        # jobs admitted (including coalesced + cache hits)
@@ -30,67 +40,91 @@ COUNTER_NAMES = (
     "cold_started",     # solves from the uniform vector
 )
 
-
-def percentile(sorted_values: list[float], q: float) -> float:
-    """Linear-interpolated percentile of an already-sorted list."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    pos = (len(sorted_values) - 1) * q
-    lo = int(pos)
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+#: Pipeline stages timed per job (see :class:`SolveService`).
+STAGE_NAMES = ("queue", "solve", "cache")
 
 
 class ServiceMetrics:
-    """Thread-safe counters and histograms for a solve service."""
+    """Thread-safe counters, gauges and histograms for a solve service.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters = {name: 0 for name in COUNTER_NAMES}
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
-        self._warm_audits = 0
-        self._warm_iterations_saved = 0
-        self._queue_depth_fn = None
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` to register instruments in; a
+        fresh private registry by default.  Sharing one registry across
+        services (or with solver/gpusim telemetry) merges everything
+        into a single exposition.
+    prefix:
+        Metric-name prefix (``serve`` → ``serve_submitted_total`` ...).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, *,
+                 prefix: str = "serve") -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            name: self.registry.counter(f"{prefix}_{name}_total",
+                                        f"serve jobs {name}")
+            for name in COUNTER_NAMES
+        }
+        self._latency = self.registry.histogram(
+            f"{prefix}_latency_seconds",
+            "job latency from worker start to finish")
+        self._stages = {
+            stage: self.registry.histogram(
+                f"{prefix}_stage_{stage}_seconds",
+                f"time spent in the {stage} stage",
+                buckets=DEFAULT_BUCKETS)
+            for stage in STAGE_NAMES
+        }
+        self._queue_depth = self.registry.gauge(
+            f"{prefix}_queue_depth", "jobs waiting for a worker")
+        self._warm_audits = self.registry.counter(
+            f"{prefix}_warm_start_audits_total",
+            "measured warm-vs-cold comparisons")
+        self._warm_saved = self.registry.gauge(
+            f"{prefix}_warm_start_iterations_saved",
+            "net iterations saved by warm starting (audited sample)")
 
     # -- updates ------------------------------------------------------------
 
     def incr(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] += amount
+        """Increment one of :data:`COUNTER_NAMES` (KeyError otherwise)."""
+        self._counters[name].inc(amount)
 
     def observe_latency(self, seconds: float) -> None:
-        with self._lock:
-            self._latencies.append(float(seconds))
+        self._latency.observe(seconds)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one *stage* duration (a key of :data:`STAGE_NAMES`)."""
+        self._stages[stage].observe(seconds)
 
     def record_warm_audit(self, *, cold_iterations: int,
                           warm_iterations: int) -> None:
         """Record one measured warm-vs-cold comparison (may be negative)."""
-        with self._lock:
-            self._warm_audits += 1
-            self._warm_iterations_saved += cold_iterations - warm_iterations
+        self._warm_audits.inc()
+        self._warm_saved.inc(cold_iterations - warm_iterations)
 
     def bind_queue_depth(self, fn) -> None:
         """Attach a live queue-depth gauge (called at snapshot time)."""
-        self._queue_depth_fn = fn
+        self._queue_depth.set_function(fn)
 
     # -- reads --------------------------------------------------------------
 
     def snapshot(self, *, cache_stats=None) -> dict:
         """A point-in-time dict of every counter, gauge and percentile."""
-        with self._lock:
-            out = dict(self._counters)
-            latencies = sorted(self._latencies)
-            out["warm_start_audits"] = self._warm_audits
-            out["warm_start_iterations_saved"] = self._warm_iterations_saved
-        out["queue_depth"] = (self._queue_depth_fn()
-                              if self._queue_depth_fn is not None else 0)
-        out["latency_count"] = len(latencies)
+        out = {name: c.value for name, c in self._counters.items()}
+        out["warm_start_audits"] = self._warm_audits.value
+        out["warm_start_iterations_saved"] = self._warm_saved.value
+        out["queue_depth"] = self._queue_depth.value
+        out["latency_count"] = self._latency.count
         for name, q in (("latency_p50_s", 0.50), ("latency_p90_s", 0.90),
                         ("latency_p99_s", 0.99)):
-            out[name] = percentile(latencies, q)
+            out[name] = self._latency.quantile(q)
+        for stage, hist in self._stages.items():
+            out[f"stage_{stage}_p50_s"] = hist.quantile(0.50)
+            out[f"stage_{stage}_count"] = hist.count
         if cache_stats is not None:
             out["cache_lookup_hits"] = cache_stats.hits
             out["cache_lookup_misses"] = cache_stats.misses
@@ -110,7 +144,14 @@ class ServiceMetrics:
                        snap["warm_start_iterations_saved"]])
         for name in ("latency_p50_s", "latency_p90_s", "latency_p99_s"):
             table.add_row([name, f"{snap[name]:.4f}"])
+        for stage in STAGE_NAMES:
+            table.add_row([f"stage_{stage}_p50_s",
+                           f"{snap[f'stage_{stage}_p50_s']:.4f}"])
         if cache_stats is not None:
             table.add_row(["cache_hit_rate", snap["cache_hit_rate"]])
             table.add_row(["cache_evictions", snap["cache_evictions"]])
         return table.render()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the backing registry."""
+        return self.registry.render_prometheus()

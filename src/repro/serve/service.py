@@ -41,7 +41,12 @@ from repro.cme.landscape import ProbabilityLandscape
 from repro.cme.network import ReactionNetwork
 from repro.cme.ratematrix import build_rate_matrix
 from repro.cme.statespace import StateSpace, enumerate_state_space
-from repro.errors import JobTimeoutError, SolveJobError, ValidationError
+from repro.errors import (
+    JobTimeoutError,
+    SingularSystemError,
+    SolveJobError,
+    ValidationError,
+)
 from repro.serve.cache import CacheEntry, SolutionCache, state_space_layout
 from repro.serve.jobs import SolveJob, SolveOutcome, SolveRequest
 from repro.serve.metrics import ServiceMetrics
@@ -53,6 +58,7 @@ from repro.serve.scheduler import (
 from repro.serve.warmstart import WarmStartIndex, blend_donors
 from repro.solvers import JacobiSolver
 from repro.solvers.result import StopReason
+from repro.telemetry import tracing
 
 #: Assembled matrices memoized per service (CSR of a small sweep point
 #: is a few MB; 64 conditions bound the worst case while covering any
@@ -159,6 +165,11 @@ class SolveService:
         Request defaults (overridable per submit).
     reuse_state_space, max_states:
         State-space handling, as in :class:`repro.sweep.ParameterSweep`.
+    metrics_registry:
+        Optional shared :class:`repro.telemetry.MetricsRegistry` to
+        register the service's counters/histograms in (one exposition
+        across services and solver/gpusim telemetry); a private
+        registry by default.
     """
 
     def __init__(self, network: ReactionNetwork, *, workers: int = 1,
@@ -174,7 +185,8 @@ class SolveService:
                  tol: float = 1e-8, max_iterations: int = 200_000,
                  solver_options: Mapping | None = None,
                  reuse_state_space: bool = True,
-                 max_states: int = 5_000_000):
+                 max_states: int = 5_000_000,
+                 metrics_registry=None):
         if timeout_s is not None and timeout_s <= 0:
             raise ValidationError("timeout_s must be positive")
         self.network = network
@@ -199,7 +211,7 @@ class SolveService:
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.solver_options = dict(solver_options or {})
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(metrics_registry)
         self._workspace = _Workspace(network,
                                      reuse_state_space=reuse_state_space,
                                      max_states=max_states)
@@ -321,57 +333,79 @@ class SolveService:
     def _execute(self, job: SolveJob) -> SolveOutcome:
         req = job.request
         t0 = time.perf_counter()
-        A = self._workspace.matrix(req)
-        space = self._workspace.space_for(req)
+        with tracing.span("serve.execute", job=job.id,
+                          key=job.key[:12]) as ex_span:
+            with tracing.span("serve.assemble"):
+                A = self._workspace.matrix(req)
+                space = self._workspace.space_for(req)
 
-        x0 = None
-        warm = False
-        if self._warm_index is not None and self.cache is not None:
-            hints = self._warm_index.select_donors(req.log_rate_vector(),
-                                                   k=self.warm_neighbors,
-                                                   exclude_key=job.key)
-            donors, distances = [], []
-            for hint in hints:
-                entry = self.cache.peek(hint.key,
-                                        layout=self._workspace.layout())
-                if entry is not None:
-                    donors.append(entry.p)
-                    distances.append(hint.distance)
-            if donors:
-                x0 = blend_donors(donors, distances)
-                warm = True
+            x0 = None
+            warm = False
+            if self._warm_index is not None and self.cache is not None:
+                hints = self._warm_index.select_donors(
+                    req.log_rate_vector(), k=self.warm_neighbors,
+                    exclude_key=job.key)
+                donors, distances = [], []
+                for hint in hints:
+                    entry = self.cache.peek(hint.key,
+                                            layout=self._workspace.layout())
+                    if entry is not None:
+                        donors.append(entry.p)
+                        distances.append(hint.distance)
+                if donors:
+                    x0 = blend_donors(donors, distances)
+                    warm = True
 
-        solver = JacobiSolver(A, tol=req.tol,
-                              max_iterations=req.max_iterations,
-                              **req.solver_options)
-        result = solver.solve(x0=x0, time_budget_s=self.timeout_s)
-        if result.stop_reason is StopReason.TIMED_OUT:
-            raise JobTimeoutError(
-                f"job {job.id} exceeded its {self.timeout_s}s budget after "
-                f"{result.iterations} iterations", key=job.key)
+            # A zero diagonal is a property of the system, not of this
+            # attempt — surface it as a terminal SolveJobError so the
+            # scheduler never burns retries on it.
+            try:
+                solver = JacobiSolver(A, tol=req.tol,
+                                      max_iterations=req.max_iterations,
+                                      **req.solver_options)
+            except SingularSystemError as exc:
+                raise SolveJobError(
+                    f"job {job.id} is unsolvable: {exc}",
+                    key=job.key) from exc
+            solve_t0 = time.perf_counter()
+            with tracing.span("serve.solve", warm=warm):
+                result = solver.solve(x0=x0, time_budget_s=self.timeout_s)
+            self.metrics.observe_stage(
+                "solve", time.perf_counter() - solve_t0)
+            ex_span.set_attribute("iterations", result.iterations)
+            ex_span.set_attribute("stop_reason", result.stop_reason.value)
+            if result.stop_reason is StopReason.TIMED_OUT:
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded its {self.timeout_s}s budget "
+                    f"after {result.iterations} iterations", key=job.key)
 
-        if warm:
-            self.metrics.incr("warm_started")
-            self._maybe_audit(solver, result)
-        else:
-            self.metrics.incr("cold_started")
+            if warm:
+                self.metrics.incr("warm_started")
+                self._maybe_audit(solver, result)
+            else:
+                self.metrics.incr("cold_started")
 
-        layout = self._workspace.layout()
-        if self.cache is not None:
-            self.cache.put(CacheEntry(
-                key=job.key, p=result.x, iterations=result.iterations,
-                residual=result.residual,
-                stop_reason=result.stop_reason.value,
-                runtime_s=result.runtime_s, layout=layout))
-        if self._warm_index is not None:
-            self._warm_index.add(job.key, req.log_rate_vector(),
-                                 result.iterations)
+            layout = self._workspace.layout()
+            cache_t0 = time.perf_counter()
+            with tracing.span("serve.cache_put"):
+                if self.cache is not None:
+                    self.cache.put(CacheEntry(
+                        key=job.key, p=result.x,
+                        iterations=result.iterations,
+                        residual=result.residual,
+                        stop_reason=result.stop_reason.value,
+                        runtime_s=result.runtime_s, layout=layout))
+            self.metrics.observe_stage(
+                "cache", time.perf_counter() - cache_t0)
+            if self._warm_index is not None:
+                self._warm_index.add(job.key, req.log_rate_vector(),
+                                     result.iterations)
 
-        return SolveOutcome(
-            result=result,
-            landscape=ProbabilityLandscape(space, result.x),
-            key=job.key, cached=False, warm_started=warm,
-            solve_seconds=time.perf_counter() - t0)
+            return SolveOutcome(
+                result=result,
+                landscape=ProbabilityLandscape(space, result.x),
+                key=job.key, cached=False, warm_started=warm,
+                solve_seconds=time.perf_counter() - t0)
 
     def _maybe_audit(self, solver: JacobiSolver, warm_result) -> None:
         """Measure one warm start against the uniform start, sampled.
@@ -398,6 +432,9 @@ class SolveService:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
         self.metrics.incr("failed" if error is not None else "completed")
+        if job.started_at is not None and job.submitted_at is not None:
+            self.metrics.observe_stage(
+                "queue", job.started_at - job.submitted_at)
         if job.started_at is not None and job.finished_at is not None:
             self.metrics.observe_latency(job.finished_at - job.started_at)
 

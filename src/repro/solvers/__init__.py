@@ -16,16 +16,27 @@
 from repro.solvers.result import SolverResult, StopReason
 from repro.solvers.stopping import StoppingCriterion
 from repro.solvers.normalization import renormalize
+from repro.solvers.base import IterativeSolverBase, SteadyStateSolver
 from repro.solvers.jacobi import JacobiSolver
 from repro.solvers.gauss_seidel import GaussSeidelSolver
 from repro.solvers.power import PowerIterationSolver
 from repro.solvers.gmres import gmres_steady_state
 from repro.solvers.spectral import SpectralEstimate, estimate_subdominant
 
+#: Method-name registry used by :func:`repro.solve_steady_state`.
+SOLVER_REGISTRY = {
+    "jacobi": JacobiSolver,
+    "gauss-seidel": GaussSeidelSolver,
+    "power": PowerIterationSolver,
+}
+
 __all__ = [
     "SolverResult",
     "StopReason",
     "StoppingCriterion",
+    "SteadyStateSolver",
+    "IterativeSolverBase",
+    "SOLVER_REGISTRY",
     "renormalize",
     "JacobiSolver",
     "GaussSeidelSolver",

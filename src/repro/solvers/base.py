@@ -1,0 +1,248 @@
+"""The unified steady-state solver API (protocol + shared loop).
+
+Every solver in :mod:`repro.solvers` presents the same front:
+
+* constructed from ``matrix`` (plus solver-specific options);
+* ``solve(x0=None, *, time_budget_s=None, hooks=None) -> SolverResult``.
+
+:class:`SteadyStateSolver` is the structural protocol that front-door
+code (:func:`repro.solve_steady_state`, the serve layer, the sweep)
+programs against; :class:`IterativeSolverBase` is the shared
+batch-iterate / renormalize / residual-check loop from Section IV that
+Jacobi, Gauss-Seidel and power iteration all run — each subclass only
+supplies :meth:`~IterativeSolverBase.step_once` and its constructor.
+
+Centralizing the loop means every solver gets, identically:
+
+* wall-clock budgets (``time_budget_s`` →
+  :attr:`~repro.solvers.result.StopReason.TIMED_OUT`);
+* the instrumentation hook protocol
+  (:class:`repro.telemetry.hooks.SolverHooks`) — ``on_iteration`` fires
+  exactly once per iteration, ``on_stop`` exactly once per solve, and
+  the ``hooks=None`` default runs the original uninstrumented inner
+  loop (zero added work);
+* a tracing span per solve
+  (:func:`repro.telemetry.tracing.span`, a no-op unless a recorder is
+  installed);
+* the warm-start fast path: a caller-supplied ``x0`` already within
+  tolerance returns immediately with ``iterations=0``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.solvers.normalization import renormalize, uniform_probability
+from repro.solvers.result import SolverResult, StopReason
+from repro.solvers.stopping import StoppingCriterion
+from repro.telemetry import tracing
+
+
+@runtime_checkable
+class SteadyStateSolver(Protocol):
+    """Structural interface of every steady-state solver.
+
+    Conformance (checked by ``tests/solvers/test_protocol.py`` against
+    all concrete solvers): construction from ``matrix``, a system size
+    ``n``, and the unified ``solve`` signature.
+    """
+
+    n: int
+
+    def solve(self, x0=None, *, time_budget_s: float | None = None,
+              hooks=None) -> SolverResult: ...
+
+
+class IterativeSolverBase:
+    """The shared iterate / renormalize / check loop (Section IV).
+
+    Subclasses set (in their constructor):
+
+    ``A``
+        The generator as SciPy CSR — used for residual evaluation.
+    ``n``
+        System size.
+    ``tol, max_iterations, check_interval, stagnation_tol``
+        Stopping parameters (see :class:`StoppingCriterion`).
+    ``normalize_interval``
+        Renormalize the iterate every this many steps; ``None`` for
+        norm-preserving iterations (power iteration) that only
+        renormalize at residual checks against floating-point drift.
+    ``matrix_inf_norm``
+        ``||A||_inf``, precomputed.
+
+    and implement :meth:`step_once`.
+    """
+
+    #: Name used for the per-solve tracing span and hook events.
+    span_name = "solver"
+
+    A: object
+    n: int
+    tol: float
+    max_iterations: int
+    check_interval: int
+    normalize_interval: int | None
+    stagnation_tol: float | None
+    matrix_inf_norm: float
+
+    def _init_common(self, A, *, tol: float, max_iterations: int,
+                     check_interval: int,
+                     normalize_interval: int | None,
+                     stagnation_tol: float | None) -> None:
+        """Validate and store the loop parameters shared by all solvers."""
+        if A.shape[0] != A.shape[1]:
+            raise ValidationError("steady-state solve needs a square matrix")
+        if check_interval <= 0:
+            raise ValidationError("intervals must be positive")
+        if normalize_interval is not None and normalize_interval <= 0:
+            raise ValidationError("intervals must be positive")
+        self.A = A
+        self.n = A.shape[0]
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.check_interval = int(check_interval)
+        self.normalize_interval = (None if normalize_interval is None
+                                   else int(normalize_interval))
+        self.stagnation_tol = stagnation_tol
+        self.matrix_inf_norm = float(abs(A).sum(axis=1).max()) \
+            if A.nnz else 0.0
+
+    # -- to be provided by subclasses ----------------------------------------
+
+    def step_once(self, x: np.ndarray) -> np.ndarray:
+        """One iteration of the method (no renormalization)."""
+        raise NotImplementedError
+
+    # -- the unified solve loop ----------------------------------------------
+
+    def _initial_iterate(self, x0) -> np.ndarray:
+        """Validate *x0* and project it onto the probability simplex."""
+        if x0 is None:
+            return uniform_probability(self.n)
+        x = np.asarray(x0, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ValidationError(
+                f"x0 must have length {self.n}, got {x.shape}")
+        if not np.all(np.isfinite(x)):
+            raise ValidationError("x0 contains non-finite entries")
+        if np.any(x < 0.0):
+            raise ValidationError("x0 contains negative entries")
+        return renormalize(x)
+
+    def solve(self, x0=None, *, time_budget_s: float | None = None,
+              hooks=None) -> SolverResult:
+        """Iterate from *x0* (uniform by default) until a criterion fires.
+
+        Parameters
+        ----------
+        x0:
+            Optional initial guess (e.g. a warm start from a nearby
+            rate condition).  Must have length ``n``, be finite and
+            non-negative with positive mass; it is renormalized onto
+            the probability simplex before iterating.  A warm start
+            already within tolerance returns immediately
+            (``iterations=0``), charged one residual evaluation.
+        time_budget_s:
+            Optional wall-clock budget, checked at every residual
+            check; on expiry the solve returns with
+            :attr:`StopReason.TIMED_OUT` instead of raising, so callers
+            can inspect the partial iterate.
+        hooks:
+            Optional :class:`~repro.telemetry.hooks.SolverHooks`.
+            ``on_iteration(k, residual, renormalized)`` fires exactly
+            once per iteration (``residual`` only on check iterations)
+            and ``on_stop(reason)`` exactly once.  ``None`` (default)
+            runs the uninstrumented loop.
+        """
+        x = self._initial_iterate(x0)
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise ValidationError(
+                f"time_budget_s must be positive, got {time_budget_s}")
+
+        criterion = StoppingCriterion(
+            self.matrix_inf_norm, tol=self.tol,
+            max_iterations=self.max_iterations,
+            stagnation_tol=self.stagnation_tol)
+        history: list[tuple[int, float]] = []
+        t0 = time.perf_counter()
+        iteration = 0
+        reason = StopReason.MAX_ITERATIONS
+        residual = float("inf")
+        span = tracing.span(f"{self.span_name}.solve", n=self.n,
+                            method=type(self).__name__)
+        with span:
+            if x0 is not None:
+                # A warm start may already satisfy the tolerance (e.g. a
+                # cached neighbor with identical dynamics); charge one
+                # residual evaluation instead of a full check interval.
+                residual = criterion.normalized_residual(self.A @ x, x)
+                if residual <= self.tol:
+                    history.append((0, residual))
+                    if hooks is not None:
+                        hooks.on_stop(StopReason.CONVERGED)
+                    span.set_attribute("iterations", 0)
+                    return SolverResult(
+                        x=renormalize(x), iterations=0, residual=residual,
+                        stop_reason=StopReason.CONVERGED,
+                        residual_history=history,
+                        runtime_s=time.perf_counter() - t0)
+            norm_every = self.normalize_interval
+            while True:
+                budget = min(self.check_interval,
+                             self.max_iterations - iteration)
+                if hooks is None:
+                    for _ in range(budget):
+                        x = self.step_once(x)
+                        iteration += 1
+                        if (norm_every is not None
+                                and iteration % norm_every == 0):
+                            x = renormalize(x)
+                else:
+                    # The batch's final iteration is reported after the
+                    # residual check below, so its on_iteration call can
+                    # carry the measured residual.
+                    for i in range(budget):
+                        x = self.step_once(x)
+                        iteration += 1
+                        renorm = (norm_every is not None
+                                  and iteration % norm_every == 0)
+                        if renorm:
+                            x = renormalize(x)
+                        if i < budget - 1:
+                            hooks.on_iteration(iteration, None, renorm)
+                if not np.all(np.isfinite(x)):
+                    reason, residual = StopReason.DIVERGED, float("inf")
+                    if hooks is not None:
+                        hooks.on_iteration(iteration, residual, False)
+                    break
+                x = renormalize(x)
+                stop, residual = criterion.check(iteration, self.A @ x, x)
+                history.append((iteration, residual))
+                if hooks is not None:
+                    hooks.on_iteration(iteration, residual, True)
+                if stop is not None:
+                    reason = stop
+                    break
+                if (time_budget_s is not None
+                        and time.perf_counter() - t0 >= time_budget_s):
+                    reason = StopReason.TIMED_OUT
+                    break
+                if iteration >= self.max_iterations:
+                    reason = StopReason.MAX_ITERATIONS
+                    break
+            span.set_attribute("iterations", iteration)
+            span.set_attribute("residual", residual)
+            span.set_attribute("stop_reason", reason.value)
+        runtime = time.perf_counter() - t0
+        if hooks is not None:
+            hooks.on_stop(reason)
+        if reason is not StopReason.DIVERGED:
+            x = renormalize(x)
+        return SolverResult(x=x, iterations=iteration, residual=residual,
+                            stop_reason=reason, residual_history=history,
+                            runtime_s=runtime)

@@ -16,94 +16,47 @@ parallelism-per-iteration.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
-from repro.errors import SingularMatrixError, ValidationError
-from repro.solvers.normalization import renormalize, uniform_probability
-from repro.solvers.result import SolverResult, StopReason
-from repro.solvers.stopping import StoppingCriterion
+from repro.errors import SingularSystemError
+from repro.solvers.base import IterativeSolverBase
 from repro.sparse.base import as_csr
 
 
-class GaussSeidelSolver:
+class GaussSeidelSolver(IterativeSolverBase):
     """Steady-state Gauss-Seidel solver for ``A x = 0``.
 
     Parameters mirror :class:`~repro.solvers.jacobi.JacobiSolver`; each
-    iteration is one forward triangular solve.
+    iteration is one forward triangular solve.  ``solve(x0=None, *,
+    time_budget_s=None, hooks=None)`` is the unified loop from
+    :class:`~repro.solvers.base.IterativeSolverBase`.
     """
+
+    span_name = "gauss_seidel"
 
     def __init__(self, matrix, *, tol: float = 1e-8,
                  max_iterations: int = 100_000,
                  check_interval: int = 50,
                  normalize_interval: int = 10,
                  stagnation_tol: float | None = 1e-6):
-        self.A = as_csr(matrix)
-        if self.A.shape[0] != self.A.shape[1]:
-            raise ValidationError("steady-state solve needs a square matrix")
-        if check_interval <= 0 or normalize_interval <= 0:
-            raise ValidationError("intervals must be positive")
+        A = as_csr(matrix)
+        self._init_common(A, tol=tol, max_iterations=max_iterations,
+                          check_interval=check_interval,
+                          normalize_interval=normalize_interval,
+                          stagnation_tol=stagnation_tol)
         diag = self.A.diagonal()
-        if np.any(diag == 0.0):
-            raise SingularMatrixError(
-                "Gauss-Seidel needs a nonzero diagonal")
-        self.n = self.A.shape[0]
-        lower = sp.tril(self.A, k=0, format="csr")
-        self.lower = as_csr(lower)
+        zero_rows = np.flatnonzero(diag == 0.0)
+        if zero_rows.size:
+            raise SingularSystemError(
+                "Gauss-Seidel needs a nonzero diagonal "
+                f"(zero at rows {zero_rows[:5].tolist()})",
+                rows=zero_rows[:5].tolist())
+        self.lower = as_csr(sp.tril(self.A, k=0, format="csr"))
         self.upper = as_csr(sp.triu(self.A, k=1, format="csr"))
-        self.tol = float(tol)
-        self.max_iterations = int(max_iterations)
-        self.check_interval = int(check_interval)
-        self.normalize_interval = int(normalize_interval)
-        self.stagnation_tol = stagnation_tol
-        self.matrix_inf_norm = float(abs(self.A).sum(axis=1).max()) \
-            if self.A.nnz else 0.0
 
     def step_once(self, x: np.ndarray) -> np.ndarray:
         """One sweep: solve ``(D + L) x' = -U x``."""
         rhs = -(self.upper @ x)
         return spsolve_triangular(self.lower, rhs, lower=True)
-
-    def solve(self, x0=None) -> SolverResult:
-        """Iterate from *x0* (uniform by default) until the criterion fires."""
-        x = (uniform_probability(self.n) if x0 is None
-             else renormalize(np.asarray(x0, dtype=np.float64)))
-        if x.shape != (self.n,):
-            raise ValidationError(f"x0 must have length {self.n}")
-        criterion = StoppingCriterion(
-            self.matrix_inf_norm, tol=self.tol,
-            max_iterations=self.max_iterations,
-            stagnation_tol=self.stagnation_tol)
-        history: list[tuple[int, float]] = []
-        t0 = time.perf_counter()
-        iteration = 0
-        reason = StopReason.MAX_ITERATIONS
-        residual = float("inf")
-        while True:
-            budget = min(self.check_interval,
-                         self.max_iterations - iteration)
-            for _ in range(budget):
-                x = self.step_once(x)
-                iteration += 1
-                if iteration % self.normalize_interval == 0:
-                    x = renormalize(x)
-            if not np.all(np.isfinite(x)):
-                reason, residual = StopReason.DIVERGED, float("inf")
-                break
-            x = renormalize(x)
-            stop, residual = criterion.check(iteration, self.A @ x, x)
-            history.append((iteration, residual))
-            if stop is not None:
-                reason = stop
-                break
-            if iteration >= self.max_iterations:
-                break
-        runtime = time.perf_counter() - t0
-        if reason is not StopReason.DIVERGED:
-            x = renormalize(x)
-        return SolverResult(x=x, iterations=iteration, residual=residual,
-                            stop_reason=reason, residual_history=history,
-                            runtime_s=runtime)

@@ -26,20 +26,16 @@ Two step backends:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.errors import SingularMatrixError, ValidationError
-from repro.solvers.normalization import renormalize, uniform_probability
-from repro.solvers.result import SolverResult, StopReason
-from repro.solvers.stopping import StoppingCriterion
+from repro.errors import SingularSystemError, ValidationError
+from repro.solvers.base import IterativeSolverBase
 from repro.sparse.base import SparseFormat, as_csr
 
 STEP_BACKENDS = ("fast", "format")
 
 
-class JacobiSolver:
+class JacobiSolver(IterativeSolverBase):
     """Steady-state Jacobi solver over any Jacobi-capable format.
 
     Parameters
@@ -70,6 +66,8 @@ class JacobiSolver:
         spectra (oscillatory networks on their limit cycle).
     """
 
+    span_name = "jacobi"
+
     def __init__(self, matrix, *, tol: float = 1e-8,
                  max_iterations: int = 1_000_000,
                  check_interval: int = 100,
@@ -80,7 +78,7 @@ class JacobiSolver:
         if step not in STEP_BACKENDS:
             raise ValidationError(
                 f"unknown step backend {step!r}; expected {STEP_BACKENDS}")
-        if check_interval <= 0 or normalize_interval <= 0:
+        if normalize_interval is None:
             raise ValidationError("intervals must be positive")
         if not (0.0 < damping <= 1.0):
             raise ValidationError(f"damping must be in (0, 1], got {damping}")
@@ -91,27 +89,24 @@ class JacobiSolver:
                 f"{type(matrix).__name__} has no jacobi_step; "
                 f"use step='fast' or a Jacobi-capable format")
         if isinstance(matrix, SparseFormat) or hasattr(matrix, "to_scipy"):
-            self.A = matrix.to_scipy()
+            A = matrix.to_scipy()
         elif hasattr(matrix, "csr") and hasattr(matrix, "dia"):
             # CSRDIABaseline-style split object.
-            self.A = as_csr(matrix.csr.to_scipy() + matrix.dia.to_scipy())
+            A = as_csr(matrix.csr.to_scipy() + matrix.dia.to_scipy())
         else:
-            self.A = as_csr(matrix)
-        if self.A.shape[0] != self.A.shape[1]:
-            raise ValidationError("steady-state solve needs a square matrix")
-        self.n = self.A.shape[0]
+            A = as_csr(matrix)
+        self._init_common(A, tol=tol, max_iterations=max_iterations,
+                          check_interval=check_interval,
+                          normalize_interval=normalize_interval,
+                          stagnation_tol=stagnation_tol)
         self.diagonal = self.A.diagonal().astype(np.float64)
-        if np.any(self.diagonal == 0.0):
-            raise SingularMatrixError(
-                "Jacobi iteration needs a nonzero diagonal")
-        self.tol = float(tol)
-        self.max_iterations = int(max_iterations)
-        self.check_interval = int(check_interval)
-        self.normalize_interval = int(normalize_interval)
-        self.stagnation_tol = stagnation_tol
+        zero_rows = np.flatnonzero(self.diagonal == 0.0)
+        if zero_rows.size:
+            raise SingularSystemError(
+                "Jacobi iteration needs a nonzero diagonal "
+                f"(zero at rows {zero_rows[:5].tolist()})",
+                rows=zero_rows[:5].tolist())
         self.step_backend = step
-        self.matrix_inf_norm = float(abs(self.A).sum(axis=1).max()) \
-            if self.A.nnz else 0.0
 
     # -- steps -----------------------------------------------------------------
 
@@ -130,88 +125,5 @@ class JacobiSolver:
             return (1.0 - self.damping) * x + self.damping * new
         return new
 
-    # -- solve -----------------------------------------------------------------
-
-    def solve(self, x0=None, *, time_budget_s: float | None = None) -> SolverResult:
-        """Iterate from *x0* (uniform by default) until the criterion fires.
-
-        Parameters
-        ----------
-        x0:
-            Optional initial guess (e.g. a warm start from a nearby rate
-            condition's steady state).  It must have length ``n``, be
-            finite and non-negative, and carry positive mass; it is
-            renormalized onto the probability simplex before iterating.
-        time_budget_s:
-            Optional wall-clock budget.  Checked at every residual
-            check; on expiry the solve returns with
-            :attr:`StopReason.TIMED_OUT` instead of raising, so callers
-            can inspect the partial iterate.
-        """
-        if x0 is None:
-            x = uniform_probability(self.n)
-        else:
-            x = np.asarray(x0, dtype=np.float64)
-            if x.shape != (self.n,):
-                raise ValidationError(
-                    f"x0 must have length {self.n}, got {x.shape}")
-            if not np.all(np.isfinite(x)):
-                raise ValidationError("x0 contains non-finite entries")
-            if np.any(x < 0.0):
-                raise ValidationError("x0 contains negative entries")
-            x = renormalize(x)
-        if time_budget_s is not None and time_budget_s <= 0:
-            raise ValidationError(
-                f"time_budget_s must be positive, got {time_budget_s}")
-
-        criterion = StoppingCriterion(
-            self.matrix_inf_norm, tol=self.tol,
-            max_iterations=self.max_iterations,
-            stagnation_tol=self.stagnation_tol)
-        history: list[tuple[int, float]] = []
-        t0 = time.perf_counter()
-        iteration = 0
-        reason = StopReason.MAX_ITERATIONS
-        residual = float("inf")
-        if x0 is not None:
-            # A warm start may already satisfy the tolerance (e.g. a
-            # cached neighbor with identical dynamics); charge one
-            # residual evaluation instead of a full check interval.
-            residual = criterion.normalized_residual(self.A @ x, x)
-            if residual <= self.tol:
-                history.append((0, residual))
-                return SolverResult(
-                    x=renormalize(x), iterations=0, residual=residual,
-                    stop_reason=StopReason.CONVERGED,
-                    residual_history=history,
-                    runtime_s=time.perf_counter() - t0)
-        while True:
-            budget = min(self.check_interval,
-                         self.max_iterations - iteration)
-            for _ in range(budget):
-                x = self.step_once(x)
-                iteration += 1
-                if iteration % self.normalize_interval == 0:
-                    x = renormalize(x)
-            if not np.all(np.isfinite(x)):
-                reason, residual = StopReason.DIVERGED, float("inf")
-                break
-            x = renormalize(x)
-            stop, residual = criterion.check(iteration, self.A @ x, x)
-            history.append((iteration, residual))
-            if stop is not None:
-                reason = stop
-                break
-            if (time_budget_s is not None
-                    and time.perf_counter() - t0 >= time_budget_s):
-                reason = StopReason.TIMED_OUT
-                break
-            if iteration >= self.max_iterations:
-                reason = StopReason.MAX_ITERATIONS
-                break
-        runtime = time.perf_counter() - t0
-        if reason is not StopReason.DIVERGED:
-            x = renormalize(x)
-        return SolverResult(x=x, iterations=iteration, residual=residual,
-                            stop_reason=reason, residual_history=history,
-                            runtime_s=runtime)
+    # ``solve(x0=None, *, time_budget_s=None, hooks=None)`` comes from
+    # IterativeSolverBase — the unified Section IV loop.

@@ -6,47 +6,64 @@ models)" — corresponds to iterating ``x <- S x`` with
 ``S = I + A / Lambda`` (uniformization): ``S`` is a column-stochastic
 matrix whose dominant eigenvector is the CME steady state.  Unlike the
 Jacobi iteration, each step preserves the unit L1 norm exactly, so
-renormalization is only needed against floating-point drift.
+renormalization is only needed against floating-point drift (the
+unified loop renormalizes at residual checks only —
+``normalize_interval=None``).
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ValidationError
-from repro.solvers.normalization import renormalize, uniform_probability
-from repro.solvers.result import SolverResult, StopReason
-from repro.solvers.stopping import StoppingCriterion
+from repro.solvers.base import IterativeSolverBase
 from repro.sparse.base import as_csr
 
 
-class PowerIterationSolver:
+class PowerIterationSolver(IterativeSolverBase):
     """Steady state via power iteration on the uniformized matrix.
 
     Parameters
     ----------
-    A:
+    matrix:
         The rate matrix (generator), anything convertible to CSR.
+        (The pre-1.1 keyword ``A`` still works but is deprecated.)
     uniformization_factor:
         ``Lambda = factor * max exit rate`` (> 1 guards aperiodicity).
     tol, max_iterations, check_interval, stagnation_tol:
         As in :class:`~repro.solvers.jacobi.JacobiSolver`; the residual
-        is measured on the original generator ``A``.
+        is measured on the original generator.  ``solve(x0=None, *,
+        time_budget_s=None, hooks=None)`` is the unified loop.
     """
 
-    def __init__(self, A, *, uniformization_factor: float = 1.05,
+    span_name = "power"
+
+    def __init__(self, matrix=None, *, A=None,
+                 uniformization_factor: float = 1.05,
                  tol: float = 1e-8, max_iterations: int = 1_000_000,
                  check_interval: int = 100,
                  stagnation_tol: float | None = 1e-6):
-        self.A = as_csr(A)
-        if self.A.shape[0] != self.A.shape[1]:
-            raise ValidationError("steady-state solve needs a square matrix")
+        if A is not None:
+            warnings.warn(
+                "PowerIterationSolver(A=...) is deprecated; pass "
+                "matrix=... (the unified SteadyStateSolver signature)",
+                DeprecationWarning, stacklevel=2)
+            if matrix is not None:
+                raise ValidationError(
+                    "pass either matrix or the deprecated A, not both")
+            matrix = A
+        if matrix is None:
+            raise ValidationError("matrix is required")
+        A_csr = as_csr(matrix)
+        self._init_common(A_csr, tol=tol, max_iterations=max_iterations,
+                          check_interval=check_interval,
+                          normalize_interval=None,
+                          stagnation_tol=stagnation_tol)
         if uniformization_factor <= 1.0:
             raise ValidationError("uniformization_factor must exceed 1")
-        self.n = self.A.shape[0]
         exit_rates = -self.A.diagonal()
         lam = float(exit_rates.max())
         if lam <= 0:
@@ -54,48 +71,7 @@ class PowerIterationSolver:
         lam *= uniformization_factor
         self.S = as_csr(sp.eye(self.n, format="csr")
                         + self.A.multiply(1.0 / lam))
-        self.tol = float(tol)
-        self.max_iterations = int(max_iterations)
-        self.check_interval = int(check_interval)
-        self.stagnation_tol = stagnation_tol
-        self.matrix_inf_norm = float(abs(self.A).sum(axis=1).max()) \
-            if self.A.nnz else 0.0
 
-    def solve(self, x0=None) -> SolverResult:
-        """Iterate ``x <- S x`` from *x0* (uniform by default)."""
-        x = (uniform_probability(self.n) if x0 is None
-             else renormalize(np.asarray(x0, dtype=np.float64)))
-        if x.shape != (self.n,):
-            raise ValidationError(f"x0 must have length {self.n}")
-        criterion = StoppingCriterion(
-            self.matrix_inf_norm, tol=self.tol,
-            max_iterations=self.max_iterations,
-            stagnation_tol=self.stagnation_tol)
-        history: list[tuple[int, float]] = []
-        t0 = time.perf_counter()
-        iteration = 0
-        reason = StopReason.MAX_ITERATIONS
-        residual = float("inf")
-        while True:
-            budget = min(self.check_interval,
-                         self.max_iterations - iteration)
-            for _ in range(budget):
-                x = self.S @ x
-                iteration += 1
-            if not np.all(np.isfinite(x)):
-                reason, residual = StopReason.DIVERGED, float("inf")
-                break
-            x = renormalize(x)
-            stop, residual = criterion.check(iteration, self.A @ x, x)
-            history.append((iteration, residual))
-            if stop is not None:
-                reason = stop
-                break
-            if iteration >= self.max_iterations:
-                break
-        runtime = time.perf_counter() - t0
-        if reason is not StopReason.DIVERGED:
-            x = renormalize(x)
-        return SolverResult(x=x, iterations=iteration, residual=residual,
-                            stop_reason=reason, residual_history=history,
-                            runtime_s=runtime)
+    def step_once(self, x: np.ndarray) -> np.ndarray:
+        """One stochastic step ``x <- S x`` (norm-preserving)."""
+        return self.S @ x

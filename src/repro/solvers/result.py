@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,6 +44,12 @@ class SolverResult:
         ``(iteration, residual)`` samples taken at each check.
     runtime_s:
         Wall-clock solve time on this host.
+    landscape:
+        The :class:`~repro.cme.landscape.ProbabilityLandscape` over the
+        enumerated state space, when the solve started from a
+        :class:`~repro.cme.network.ReactionNetwork` (the
+        :func:`repro.solve_steady_state` front door fills this in);
+        ``None`` for raw-matrix solves.
     """
 
     x: np.ndarray
@@ -51,11 +58,31 @@ class SolverResult:
     stop_reason: StopReason
     residual_history: list = field(default_factory=list)
     runtime_s: float = 0.0
+    landscape: object | None = None
 
     @property
     def converged(self) -> bool:
         """True when the tolerance was reached."""
         return self.stop_reason is StopReason.CONVERGED
+
+    # -- legacy (landscape, result) tuple shim -------------------------------
+
+    def _legacy_pair(self) -> tuple:
+        warnings.warn(
+            "unpacking solve_steady_state's return as (landscape, result) "
+            "is deprecated; it now returns a single SolverResult — use "
+            "result.landscape and the result itself",
+            DeprecationWarning, stacklevel=3)
+        return (self.landscape, self)
+
+    def __iter__(self):
+        return iter(self._legacy_pair())
+
+    def __getitem__(self, index):
+        return self._legacy_pair()[index]
+
+    def __len__(self) -> int:
+        return 2
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"SolverResult({self.stop_reason.value}, "

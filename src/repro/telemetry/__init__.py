@@ -1,0 +1,63 @@
+"""repro.telemetry — unified tracing and metrics for the whole pipeline.
+
+Three pieces, one sink each:
+
+* :mod:`repro.telemetry.metrics` — a registry of counters, gauges and
+  histograms with Prometheus text exposition and JSON snapshots;
+* :mod:`repro.telemetry.tracing` — nesting spans with attributes,
+  exported as Chrome-trace JSON (``chrome://tracing`` / Perfetto);
+* :mod:`repro.telemetry.hooks` — the solver instrumentation protocol
+  (``on_iteration`` / ``on_stop``) plus recording/streaming
+  implementations.
+
+The design rule throughout: **zero cost when detached**.  With no
+recorder installed and ``hooks=None``, the solvers run their original
+uninstrumented loops and :func:`repro.telemetry.tracing.span` returns
+a shared no-op singleton.
+
+Quick profile of a solve::
+
+    from repro.telemetry import MetricsRegistry, TelemetryHooks, tracing
+
+    registry = MetricsRegistry()
+    recorder = tracing.TraceRecorder()
+    with tracing.recording(recorder):
+        result = solver.solve(hooks=TelemetryHooks(recorder, registry))
+    recorder.write("trace.json")
+    print(registry.render_prometheus())
+"""
+
+from repro.telemetry import tracing
+from repro.telemetry.hooks import (
+    MultiHooks,
+    NullHooks,
+    RecordingHooks,
+    SolverHooks,
+    TelemetryHooks,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+)
+from repro.telemetry.tracing import TraceRecorder, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MultiHooks",
+    "NullHooks",
+    "RecordingHooks",
+    "SolverHooks",
+    "TelemetryHooks",
+    "TraceRecorder",
+    "get_registry",
+    "percentile",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,210 @@
+"""Solver instrumentation hooks: per-iteration observability.
+
+Section IV of the paper hinges on iteration counts and residual decay;
+adaptive state-space work (Gupta et al. 2017; Dendukuri & Petzold
+2025) turns such per-iteration diagnostics into algorithmic inputs.
+The hook protocol is how a solver exposes them without paying for
+instrumentation when nobody listens: ``solve(hooks=None)`` (the
+default) runs the exact uninstrumented loop; with a hooks object
+attached, the solver calls
+
+* ``on_iteration(k, residual, renormalized)`` — exactly once per
+  iteration.  ``residual`` is the normalized residual when this
+  iteration coincided with a residual check, else ``None``;
+  ``renormalized`` says whether the iterate was renormalized at this
+  step.
+* ``on_stop(reason)`` — exactly once, with the final
+  :class:`~repro.solvers.result.StopReason`.
+
+Implementations here: :class:`RecordingHooks` (in-memory trajectories
+for analysis/tests), :class:`TelemetryHooks` (streams spans into a
+:class:`~repro.telemetry.tracing.TraceRecorder` and counters into a
+:class:`~repro.telemetry.metrics.MetricsRegistry`) and
+:class:`MultiHooks` (fan-out).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.telemetry import tracing
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Histogram buckets for per-iteration step times (sub-millisecond to
+#: seconds — CME iterations span this whole range with problem size).
+ITERATION_SECONDS_BUCKETS = (1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+                             1e-2, 5e-2, 0.1, 0.5, 1.0, 10.0)
+
+
+@runtime_checkable
+class SolverHooks(Protocol):
+    """What a solver calls while iterating (see module docstring)."""
+
+    def on_iteration(self, iteration: int, residual: float | None,
+                     renormalized: bool) -> None: ...
+
+    def on_stop(self, reason) -> None: ...
+
+
+class NullHooks:
+    """A no-op hooks object (useful as a base class or placeholder)."""
+
+    def on_iteration(self, iteration: int, residual: float | None,
+                     renormalized: bool) -> None:
+        pass
+
+    def on_stop(self, reason) -> None:
+        pass
+
+
+class RecordingHooks:
+    """Record the full solve trajectory in memory.
+
+    Attributes
+    ----------
+    iterations:
+        Number of ``on_iteration`` calls observed.
+    residuals:
+        ``(iteration, residual)`` pairs for every residual check.
+    renormalizations:
+        Iteration numbers at which the iterate was renormalized.
+    timestamps:
+        ``time.perf_counter()`` at each iteration (for wall-time
+        analysis via :meth:`iteration_seconds`).
+    stop_reason, stop_calls:
+        The final reason and how many times ``on_stop`` fired
+        (exactly 1 after a completed solve).
+    """
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.residuals: list[tuple[int, float]] = []
+        self.renormalizations: list[int] = []
+        self.timestamps: list[float] = []
+        self.stop_reason = None
+        self.stop_calls = 0
+        self.started_at = time.perf_counter()
+
+    def on_iteration(self, iteration: int, residual: float | None,
+                     renormalized: bool) -> None:
+        self.timestamps.append(time.perf_counter())
+        self.iterations += 1
+        if residual is not None:
+            self.residuals.append((iteration, residual))
+        if renormalized:
+            self.renormalizations.append(iteration)
+
+    def on_stop(self, reason) -> None:
+        self.stop_reason = reason
+        self.stop_calls += 1
+
+    @property
+    def residual_trajectory(self) -> list[float]:
+        """Residual values in check order."""
+        return [r for _, r in self.residuals]
+
+    def iteration_seconds(self) -> list[float]:
+        """Per-iteration wall times (first measured from construction)."""
+        out = []
+        prev = self.started_at
+        for t in self.timestamps:
+            out.append(t - prev)
+            prev = t
+        return out
+
+    def total_seconds(self) -> float:
+        if not self.timestamps:
+            return 0.0
+        return self.timestamps[-1] - self.started_at
+
+
+class TelemetryHooks:
+    """Stream iterations into the shared tracing/metrics layer.
+
+    Every iteration becomes a trace event (duration = measured step
+    wall time) on *recorder*, and updates ``<prefix>_iterations_total``,
+    ``<prefix>_renormalizations_total``, ``<prefix>_residual_checks_total``
+    counters, the ``<prefix>_iteration_seconds`` histogram and the
+    ``<prefix>_residual`` gauge on *registry*.
+
+    Parameters default to the process-wide active recorder and the
+    default registry, so ``solver.solve(hooks=TelemetryHooks())`` inside
+    a :func:`repro.telemetry.tracing.recording` block just works.
+    """
+
+    def __init__(self, recorder: tracing.TraceRecorder | None = None,
+                 registry: MetricsRegistry | None = None, *,
+                 prefix: str = "solver",
+                 trace_every: int = 1) -> None:
+        from repro.telemetry.metrics import get_registry
+        self.recorder = recorder if recorder is not None else tracing.active()
+        self.registry = registry if registry is not None else get_registry()
+        self.prefix = prefix
+        self.trace_every = max(1, int(trace_every))
+        reg = self.registry
+        self._iterations = reg.counter(
+            f"{prefix}_iterations_total", "solver iterations performed")
+        self._renorms = reg.counter(
+            f"{prefix}_renormalizations_total",
+            "probability renormalizations applied")
+        self._checks = reg.counter(
+            f"{prefix}_residual_checks_total", "residual evaluations")
+        self._step_seconds = reg.histogram(
+            f"{prefix}_iteration_seconds", "per-iteration wall time",
+            buckets=ITERATION_SECONDS_BUCKETS)
+        self._residual = reg.gauge(
+            f"{prefix}_residual", "latest normalized residual")
+        self._stops = reg.counter(
+            f"{prefix}_stops_total", "completed solves")
+        self._last_us = (self.recorder.now_us()
+                         if self.recorder is not None else 0.0)
+        self._last_s = time.perf_counter()
+
+    def on_iteration(self, iteration: int, residual: float | None,
+                     renormalized: bool) -> None:
+        now_s = time.perf_counter()
+        self._step_seconds.observe(now_s - self._last_s)
+        self._last_s = now_s
+        self._iterations.inc()
+        if renormalized:
+            self._renorms.inc()
+        if residual is not None:
+            self._checks.inc()
+            self._residual.set(residual)
+        if self.recorder is not None:
+            now_us = self.recorder.now_us()
+            if iteration % self.trace_every == 0 or residual is not None:
+                args = {"iteration": iteration}
+                if residual is not None:
+                    args["residual"] = residual
+                if renormalized:
+                    args["renormalized"] = True
+                self.recorder.add_event(f"{self.prefix}.iteration",
+                                        self._last_us,
+                                        now_us - self._last_us, **args)
+            self._last_us = now_us
+
+    def on_stop(self, reason) -> None:
+        self._stops.inc()
+        if self.recorder is not None:
+            now_us = self.recorder.now_us()
+            self.recorder.add_event(f"{self.prefix}.stop", now_us, 0.0,
+                                    reason=getattr(reason, "value",
+                                                   str(reason)))
+
+
+class MultiHooks:
+    """Fan one hook stream out to several hooks objects."""
+
+    def __init__(self, *hooks) -> None:
+        self.hooks = [h for h in hooks if h is not None]
+
+    def on_iteration(self, iteration: int, residual: float | None,
+                     renormalized: bool) -> None:
+        for h in self.hooks:
+            h.on_iteration(iteration, residual, renormalized)
+
+    def on_stop(self, reason) -> None:
+        for h in self.hooks:
+            h.on_stop(reason)

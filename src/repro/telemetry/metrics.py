@@ -1,0 +1,313 @@
+"""Process-wide metrics: counters, gauges and histograms in a registry.
+
+The registry is the single sink every layer of the pipeline writes
+into — solver hooks, the gpusim performance model and the serving
+layer all share one vocabulary of named metrics, so a ``repro
+profile`` run (or an operator scraping a long-lived service) sees the
+whole system in one report.  Two export surfaces:
+
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition (``# HELP`` / ``# TYPE`` plus samples), suitable for a
+  scrape endpoint or a flat-file report;
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-able dict for
+  logging and test assertions.
+
+Metric instruments are cheap, lock-guarded scalar updates; the hot
+solver loop never touches them unless a recorder/hook is attached
+(see :mod:`repro.telemetry.hooks`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+from repro.errors import ValidationError
+
+#: Retain at most this many recent samples per histogram for
+#: percentile queries (bucket counts are unbounded and exact).
+SAMPLE_WINDOW = 4096
+
+#: Default histogram bucket upper bounds (seconds-flavored, the most
+#: common use); the trailing +inf bucket is implicit.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                   1.0, 5.0, 10.0, 60.0)
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def _valid_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValidationError(
+            f"metric name {name!r} must be non-empty and use only "
+            "alphanumerics, '_' and ':'")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (events, iterations, bytes)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount=1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def sample_lines(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, residual, savings).
+
+    A gauge may instead be *bound* to a callable with
+    :meth:`set_function`, in which case reads evaluate the callable —
+    the pattern for live values owned elsewhere (e.g. a queue's
+    ``__len__``).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+        self._fn = None
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = value
+
+    def inc(self, amount=1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn) -> None:
+        """Bind reads to *fn* (``None`` unbinds back to the stored value)."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self):
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        return fn()
+
+    def sample_lines(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+    def snapshot_value(self):
+        return self.value
+
+
+class Histogram:
+    """A distribution: exact cumulative buckets plus a sample window.
+
+    The bucket counts follow Prometheus semantics (``le`` upper bounds,
+    cumulative at render time, implicit ``+Inf``); the bounded window of
+    recent raw samples additionally supports
+    :meth:`quantile` queries, which Prometheus histograms cannot answer
+    locally but the CLI reports want.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets=DEFAULT_BUCKETS) -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValidationError(f"histogram {name} needs >= 1 bucket")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._window: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+
+    def observe(self, value) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._bucket_counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Percentile over the recent sample window (0 when empty)."""
+        with self._lock:
+            window = sorted(self._window)
+        return percentile(window, q)
+
+    def sample_lines(self) -> list[str]:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total, acc = self._count, 0
+            s = self._sum
+        lines = []
+        for bound, n in zip(self.bounds, counts):
+            acc += n
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {acc}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_fmt(s)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+    def snapshot_value(self):
+        with self._lock:
+            window = sorted(self._window)
+            total, s = self._count, self._sum
+        return {
+            "count": total,
+            "sum": s,
+            "p50": percentile(window, 0.50),
+            "p90": percentile(window, 0.90),
+            "p99": percentile(window, 0.99),
+        }
+
+
+def _fmt(value) -> str:
+    """Prometheus sample formatting: integers bare, floats via repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+class MetricsRegistry:
+    """A named collection of metric instruments with get-or-create
+    semantics: asking twice for the same name returns the same object,
+    asking for an existing name as a different kind raises."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValidationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str):
+        """The registered metric, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time JSON-able dict of every metric's value."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.snapshot_value() for m in metrics}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines = []
+        for m in metrics:
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            lines.extend(m.sample_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> str:
+        """The snapshot serialized as indented JSON."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+#: The process-wide default registry (isolated registries can still be
+#: created directly, e.g. one per service or per test).
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

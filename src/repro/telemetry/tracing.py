@@ -1,0 +1,257 @@
+"""Lightweight tracing spans with Chrome-trace (Perfetto) export.
+
+A span is a named, timed interval with attributes::
+
+    with trace.span("spmv", rows=n) as sp:
+        ...
+        sp.set_attribute("gflops", perf.gflops)
+
+Spans nest (a per-thread stack tracks the enclosing span) and are
+recorded into a :class:`TraceRecorder`; the recorder exports the
+standard Chrome trace-event JSON (``chrome://tracing`` or
+https://ui.perfetto.dev) where nesting is rendered from timestamps per
+thread track.
+
+When no recorder is installed, :func:`span` returns a shared no-op
+singleton — no object allocation, no clock reads — so instrumented
+code costs near-zero by default.  Install a recorder process-wide with
+:func:`install`/:func:`uninstall` or the :func:`recording` context
+manager (what ``repro profile`` does).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "active",
+    "install",
+    "recording",
+    "span",
+    "uninstall",
+]
+
+_state = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+class Span:
+    """One live span: a context manager that records itself on exit."""
+
+    __slots__ = ("recorder", "name", "attrs", "start_us", "_depth")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, attrs: dict):
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.start_us = 0.0
+        self._depth = 0
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach ``key=value`` to the span (shows up under ``args``)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self.start_us = self.recorder._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_us = self.recorder._now_us()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.recorder.add_event(self.name, self.start_us,
+                                end_us - self.start_us,
+                                depth=self._depth, **self.attrs)
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Collects span events and serializes them as a Chrome trace.
+
+    All timestamps are microseconds relative to the recorder's
+    creation, so traces from one run line up on a shared zero.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._t0 = time.perf_counter()
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def now_us(self) -> float:
+        """The current trace-relative timestamp in microseconds."""
+        return self._now_us()
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new (not yet entered) span bound to this recorder."""
+        return Span(self, name, attrs)
+
+    def add_event(self, name: str, start_us: float, dur_us: float,
+                  **attrs) -> None:
+        """Record a complete event directly (used by hooks that measure
+        intervals themselves, e.g. per-iteration timing)."""
+        event = {
+            "name": name,
+            "start_us": float(start_us),
+            "dur_us": max(0.0, float(dur_us)),
+            "tid": threading.get_ident(),
+            "thread": threading.current_thread().name,
+            "args": attrs,
+        }
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[dict]:
+        """A copy of the recorded events (unordered across threads)."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The events in Chrome trace-event format (``ph: "X"``)."""
+        events = self.events
+        trace_events = []
+        threads = {}
+        pid = os.getpid()
+        for ev in events:
+            tid = ev["tid"]
+            if tid not in threads:
+                threads[tid] = ev["thread"]
+            args = {k: _jsonable(v) for k, v in ev["args"].items()}
+            trace_events.append({
+                "name": ev["name"],
+                "ph": "X",
+                "ts": ev["start_us"],
+                "dur": ev["dur_us"],
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        for tid, thread_name in threads.items():
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_name},
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> int:
+        """Write the Chrome trace JSON to *path*; returns bytes written."""
+        payload = json.dumps(self.to_chrome_trace(), indent=1)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        return len(payload)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+#: The process-wide active recorder (None = tracing disabled).
+_active: TraceRecorder | None = None
+_install_lock = threading.Lock()
+
+
+def active() -> TraceRecorder | None:
+    """The installed recorder, or ``None`` when tracing is off."""
+    return _active
+
+
+def install(recorder: TraceRecorder) -> None:
+    """Make *recorder* the process-wide span sink."""
+    global _active
+    with _install_lock:
+        _active = recorder
+
+
+def uninstall() -> None:
+    """Disable tracing (span() goes back to the no-op singleton)."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+class recording:
+    """Context manager: install a recorder for the enclosed block.
+
+    >>> rec = TraceRecorder()
+    >>> with recording(rec):
+    ...     with span("work"):
+    ...         pass
+    >>> len(rec)
+    1
+    """
+
+    def __init__(self, recorder: TraceRecorder) -> None:
+        self.recorder = recorder
+
+    def __enter__(self) -> TraceRecorder:
+        install(self.recorder)
+        return self.recorder
+
+    def __exit__(self, *exc_info) -> bool:
+        uninstall()
+        return False
+
+
+def span(name: str, **attrs):
+    """A span on the active recorder, or the no-op singleton when
+    tracing is disabled — safe (and near-free) to call anywhere."""
+    recorder = _active
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, **attrs)

@@ -61,25 +61,67 @@ class TestThreeWayAgreement:
 
 class TestHighLevelApi:
     def test_solve_steady_state_roundtrip(self):
-        landscape, result = solve_steady_state(
+        result = solve_steady_state(
             toggle_switch(max_protein=20), tol=1e-9)
+        landscape = result.landscape
         assert result.residual < 1e-6
         assert landscape.p.sum() == pytest.approx(1.0)
         assert len(landscape.grid_modes("A", "B")) >= 2
 
     def test_solver_kwargs_forwarded(self):
-        _, result = solve_steady_state(
+        result = solve_steady_state(
             toggle_switch(max_protein=10), tol=1e-9,
             solver_kwargs={"damping": 0.7, "check_interval": 50})
         assert result.converged
+
+    def test_legacy_pair_unpack_warns(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            landscape, result = solve_steady_state(
+                toggle_switch(max_protein=10), tol=1e-9, damping=0.7)
+        assert landscape is result.landscape
+        with pytest.warns(DeprecationWarning):
+            assert result[0] is result.landscape
+
+    def test_method_and_format_routing(self):
+        net = toggle_switch(max_protein=10)
+        jac = solve_steady_state(net, tol=1e-10, damping=0.8,
+                                 format="sliced_ell")
+        gs = solve_steady_state(net, "gauss-seidel", tol=1e-10,
+                                format="warped-ell")
+        pwr = solve_steady_state(net, "power", tol=1e-10)
+        np.testing.assert_allclose(gs.x, jac.x, atol=1e-7)
+        np.testing.assert_allclose(pwr.x, jac.x, atol=1e-7)
+
+    def test_matrix_input_has_no_landscape(self):
+        A = build_rate_matrix(
+            enumerate_state_space(toggle_switch(max_protein=10)))
+        result = solve_steady_state(A, tol=1e-9, damping=0.8)
+        assert result.landscape is None
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_unknown_method_and_format_raise(self):
+        from repro.errors import ValidationError
+        net = toggle_switch(max_protein=8)
+        with pytest.raises(ValidationError, match="unknown method"):
+            solve_steady_state(net, "sor")
+        with pytest.raises(ValidationError, match="unknown format"):
+            solve_steady_state(net, format="banded")
+
+    def test_hooks_reach_the_solver(self):
+        from repro.telemetry import RecordingHooks
+        hooks = RecordingHooks()
+        result = solve_steady_state(toggle_switch(max_protein=10),
+                                    tol=1e-9, damping=0.8, hooks=hooks)
+        assert hooks.iterations == result.iterations
+        assert hooks.stop_calls == 1
 
 
 class TestParameterSensitivity:
     def test_rate_change_moves_the_landscape(self):
         base = schnakenberg(max_x=30, max_y=15)
         hot = base.with_rates({"prodX": base.rates[0] * 2.0})
-        land_base, _ = solve_steady_state(base, tol=1e-9)
-        land_hot, _ = solve_steady_state(hot, tol=1e-9)
+        land_base = solve_steady_state(base, tol=1e-9).landscape
+        land_hot = solve_steady_state(hot, tol=1e-9).landscape
         assert (land_hot.mean_counts()["X"]
                 > land_base.mean_counts()["X"] * 1.3)
 

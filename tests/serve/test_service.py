@@ -28,7 +28,7 @@ class TestBasics:
     def test_solve_matches_direct_solver(self, service, tiny_toggle_network):
         from repro import solve_steady_state
         outcome = service.solve({"degA": 1.2})
-        landscape, result = solve_steady_state(
+        result = solve_steady_state(
             tiny_toggle_network.with_rates({"degA": 1.2}),
             tol=1e-8, solver_kwargs=OPTS)
         np.testing.assert_allclose(outcome.result.x, result.x, atol=1e-10)
@@ -158,6 +158,29 @@ class TestTimeoutsAndRetries:
             assert snap["retried"] == 1
             assert snap["failed"] == 1
             assert snap["completed"] == 0
+
+
+class TestSingularSystems:
+    def test_singular_system_fails_terminally(self):
+        # A pure-death chain: the empty state is absorbing (no outgoing
+        # reactions), so the generator has a zero diagonal there and
+        # the Jacobi split does not exist.  Retries cannot help — the
+        # failure must be terminal and consume exactly one attempt.
+        from repro.cme.network import ReactionNetwork
+        from repro.cme.reaction import Reaction
+        from repro.cme.species import Species
+        dying = ReactionNetwork(
+            [Species("X", max_count=5, initial_count=5)],
+            [Reaction("death", {"X": 1}, {}, 1.0)],
+            name="pure-death")
+        with SolveService(dying, workers=1, retries=2) as svc:
+            with pytest.raises(SolveJobError, match="unsolvable") as excinfo:
+                svc.solve({})
+            assert not isinstance(excinfo.value, JobTimeoutError)
+            assert excinfo.value.attempts == 1
+            snap = svc.snapshot()
+            assert snap["retried"] == 0
+            assert snap["failed"] == 1
 
 
 class TestWarmStart:

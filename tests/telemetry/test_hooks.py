@@ -1,0 +1,112 @@
+"""Hook-protocol behavior on real solves (exactness, cost, streaming)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import GaussSeidelSolver, JacobiSolver
+from repro.telemetry import (
+    MetricsRegistry,
+    MultiHooks,
+    NullHooks,
+    RecordingHooks,
+    SolverHooks,
+    TelemetryHooks,
+)
+from repro.telemetry.tracing import TraceRecorder
+
+
+class TestProtocol:
+    def test_implementations_satisfy_the_protocol(self):
+        for hooks in (NullHooks(), RecordingHooks(), MultiHooks()):
+            assert isinstance(hooks, SolverHooks)
+
+    def test_non_hooks_object_fails_the_protocol(self):
+        assert not isinstance(object(), SolverHooks)
+
+
+class TestRecordingHooks:
+    def test_fires_exactly_once_per_iteration(self, birth_death_matrix):
+        rec = RecordingHooks()
+        result = JacobiSolver(birth_death_matrix, tol=1e-10,
+                              check_interval=25).solve(hooks=rec)
+        assert rec.iterations == result.iterations
+        assert rec.stop_calls == 1
+        assert rec.stop_reason is result.stop_reason
+        # Every recorded check carries the residual of that iteration,
+        # and the last one matches the result.
+        assert rec.residuals
+        assert rec.residuals[-1] == (result.iterations, result.residual)
+
+    def test_residual_trajectory_decreases(self, birth_death_matrix):
+        rec = RecordingHooks()
+        GaussSeidelSolver(birth_death_matrix, tol=1e-12,
+                          check_interval=10).solve(hooks=rec)
+        traj = rec.residual_trajectory
+        assert len(traj) >= 3
+        # Monotone-ish: no check may blow up, and the overall trend
+        # must fall by orders of magnitude.
+        assert all(b <= a * 1.5 for a, b in zip(traj, traj[1:]))
+        assert traj[-1] < traj[0] * 1e-3
+
+    def test_renormalizations_follow_the_interval(self, birth_death_matrix):
+        rec = RecordingHooks()
+        result = JacobiSolver(birth_death_matrix, tol=1e-10,
+                              check_interval=50,
+                              normalize_interval=10).solve(hooks=rec)
+        assert rec.renormalizations
+        assert all(k % 10 == 0 or k == result.iterations
+                   for k in rec.renormalizations)
+
+    def test_wall_time_accounting(self, birth_death_matrix):
+        rec = RecordingHooks()
+        JacobiSolver(birth_death_matrix, tol=1e-10).solve(hooks=rec)
+        steps = rec.iteration_seconds()
+        assert len(steps) == rec.iterations
+        assert all(s >= 0.0 for s in steps)
+        assert rec.total_seconds() == pytest.approx(sum(steps), rel=1e-6)
+
+
+class TestDisabledPath:
+    def test_hooks_none_gives_identical_results(self, birth_death_matrix):
+        plain = JacobiSolver(birth_death_matrix, tol=1e-10).solve()
+        hooked = JacobiSolver(birth_death_matrix, tol=1e-10).solve(
+            hooks=RecordingHooks())
+        assert plain.iterations == hooked.iterations
+        np.testing.assert_array_equal(plain.x, hooked.x)
+
+
+class TestTelemetryHooks:
+    def test_streams_counters_and_spans(self, birth_death_matrix):
+        recorder = TraceRecorder()
+        registry = MetricsRegistry()
+        hooks = TelemetryHooks(recorder, registry, prefix="jac",
+                               trace_every=5)
+        result = JacobiSolver(birth_death_matrix, tol=1e-10,
+                              check_interval=25).solve(hooks=hooks)
+        assert registry.get("jac_iterations_total").value == result.iterations
+        assert registry.get("jac_stops_total").value == 1
+        assert registry.get("jac_residual").value == result.residual
+        assert registry.get("jac_iteration_seconds").count == result.iterations
+        names = {e["name"] for e in recorder.events}
+        assert names == {"jac.iteration", "jac.stop"}
+        # trace_every thins the per-iteration stream.
+        spans = [e for e in recorder.events if e["name"] == "jac.iteration"]
+        assert len(spans) < result.iterations
+
+    def test_default_registry_and_no_recorder(self, birth_death_matrix):
+        registry = MetricsRegistry()
+        hooks = TelemetryHooks(registry=registry, prefix="quiet")
+        JacobiSolver(birth_death_matrix, tol=1e-10).solve(hooks=hooks)
+        assert registry.get("quiet_iterations_total").value > 0
+
+
+class TestMultiHooks:
+    def test_fans_out_and_skips_none(self, birth_death_matrix):
+        a, b = RecordingHooks(), RecordingHooks()
+        multi = MultiHooks(a, None, b)
+        result = JacobiSolver(birth_death_matrix,
+                              tol=1e-10).solve(hooks=multi)
+        assert a.iterations == b.iterations == result.iterations
+        assert a.stop_calls == b.stop_calls == 1

@@ -1,0 +1,127 @@
+"""Counter/gauge/histogram semantics and the registry's exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("events_total")
+        with pytest.raises(ValidationError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValidationError):
+            Counter("bad name")
+        with pytest.raises(ValidationError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+    def test_bound_function_wins_until_set(self):
+        g = Gauge("depth")
+        backing = [7]
+        g.set_function(lambda: backing[0])
+        assert g.value == 7
+        backing[0] = 9
+        assert g.value == 9
+        g.set(1)  # unbinds
+        assert g.value == 1
+
+
+class TestHistogram:
+    def test_count_sum_quantile(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.2, 0.5, 2.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(2.75)
+        assert 0.05 <= h.quantile(0.5) <= 2.0
+
+    def test_prometheus_buckets_are_cumulative(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.2, 0.5, 2.0):
+            h.observe(v)
+        lines = h.sample_lines()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1.0"} 3' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 4' in lines
+        assert "latency_seconds_count 4" in lines
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValidationError, match="bucket"):
+            Histogram("h", buckets=())
+
+
+class TestPercentile:
+    def test_edges_and_interpolation(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.9) == 3.0
+        assert percentile([1.0, 3.0], 0.5) == pytest.approx(2.0)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total")
+        b = reg.counter("jobs_total")
+        assert a is b
+        assert "jobs_total" in reg
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total")
+        with pytest.raises(ValidationError, match="already registered"):
+            reg.gauge("jobs_total")
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c_seconds", buckets=DEFAULT_BUCKETS).observe(0.01)
+        snap = reg.snapshot()
+        assert snap["a_total"] == 2
+        assert snap["b"] == 1.5
+        assert snap["c_seconds"]["count"] == 1
+        assert json.loads(reg.render_json()) == snap
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "things counted").inc()
+        text = reg.render_prometheus()
+        assert "# HELP a_total things counted" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 1" in text
+        assert text.endswith("\n")
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()

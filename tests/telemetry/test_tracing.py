@@ -1,0 +1,97 @@
+"""Span recording, the disabled fast path, and Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import tracing
+from repro.telemetry.tracing import NULL_SPAN, TraceRecorder
+
+
+class TestDisabledPath:
+    def test_span_is_the_shared_noop_singleton(self):
+        assert tracing.active() is None
+        assert tracing.span("anything", rows=3) is NULL_SPAN
+        assert tracing.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with tracing.span("work") as sp:
+            sp.set_attribute("k", 1)  # must not raise or record
+
+
+class TestRecording:
+    def test_spans_record_on_exit_with_attributes(self):
+        rec = TraceRecorder()
+        with tracing.recording(rec):
+            with tracing.span("spmv", rows=10) as sp:
+                sp.set_attribute("gflops", 1.5)
+        (ev,) = rec.events
+        assert ev["name"] == "spmv"
+        assert ev["args"]["rows"] == 10
+        assert ev["args"]["gflops"] == 1.5
+        assert ev["dur_us"] >= 0.0
+
+    def test_recording_uninstalls_on_exit(self):
+        rec = TraceRecorder()
+        with tracing.recording(rec):
+            assert tracing.active() is rec
+        assert tracing.active() is None
+
+    def test_nesting_depth_and_containment(self):
+        rec = TraceRecorder()
+        with tracing.recording(rec):
+            with tracing.span("outer"):
+                with tracing.span("inner"):
+                    pass
+        by_name = {e["name"]: e for e in rec.events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner["args"]["depth"] == 1
+        assert outer["args"]["depth"] == 0
+        assert inner["start_us"] >= outer["start_us"]
+        assert (inner["start_us"] + inner["dur_us"]
+                <= outer["start_us"] + outer["dur_us"])
+
+    def test_exception_annotates_and_propagates(self):
+        rec = TraceRecorder()
+        try:
+            with tracing.recording(rec):
+                with tracing.span("boom"):
+                    raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (ev,) = rec.events
+        assert ev["args"]["error"] == "RuntimeError"
+
+    def test_len_and_clear(self):
+        rec = TraceRecorder()
+        rec.add_event("a", 0.0, 1.0)
+        assert len(rec) == 1
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestChromeExport:
+    def test_trace_is_perfetto_loadable_json(self, tmp_path):
+        rec = TraceRecorder()
+        with tracing.recording(rec):
+            with tracing.span("solve", n=100):
+                pass
+        path = tmp_path / "trace.json"
+        n_bytes = rec.write(path)
+        assert n_bytes > 0
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert complete[0]["name"] == "solve"
+        assert isinstance(complete[0]["ts"], float)
+        assert isinstance(complete[0]["dur"], float)
+        assert complete[0]["args"]["n"] == 100
+        assert meta and meta[0]["name"] == "thread_name"
+
+    def test_non_jsonable_attrs_are_coerced(self):
+        rec = TraceRecorder()
+        rec.add_event("a", 0.0, 1.0, obj=object(), num="nan-ish")
+        args = rec.to_chrome_trace()["traceEvents"][0]["args"]
+        assert isinstance(args["obj"], str)
+        assert args["num"] == "nan-ish"

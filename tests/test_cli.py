@@ -145,3 +145,41 @@ class TestServe:
                    "--max-protein", "8", "--vary", "oops"])
         assert rc == 2
         assert "bad --vary" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+        rc = main(["profile", "--model", "toggle-switch",
+                   "--max-protein", "10", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote" in out
+
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "X"}
+        # The whole pipeline is covered: enumeration, assembly, format
+        # conversion, the modeled GPU kernels and the solver itself.
+        for expected in ("enumerate", "assemble", "convert", "gpusim.spmv",
+                         "gpusim.jacobi", "jacobi.solve", "jacobi.iteration",
+                         "solve_steady_state"):
+            assert expected in names, expected
+
+        metrics = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE jacobi_iterations_total counter" in metrics
+        assert "jacobi_iteration_seconds_bucket" in metrics
+
+    def test_tracing_is_uninstalled_afterwards(self, tmp_path):
+        from repro.telemetry import tracing
+        main(["profile", "--model", "toggle-switch",
+              "--max-protein", "8", "--out", str(tmp_path)])
+        assert tracing.active() is None
+
+    def test_gauss_seidel_method(self, capsys, tmp_path):
+        rc = main(["profile", "--model", "toggle-switch",
+                   "--max-protein", "8", "--method", "gauss-seidel",
+                   "--format", "ell", "--out", str(tmp_path)])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
