@@ -129,8 +129,9 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
     network_or_matrix:
         A :class:`ReactionNetwork`, or the generator matrix itself.
     method:
-        ``"jacobi"`` (the paper's solver), ``"gauss-seidel"`` or
-        ``"power"``.
+        ``"jacobi"`` (the paper's solver), ``"gauss-seidel"``,
+        ``"power"`` or ``"resilient"`` (the self-healing
+        jacobi → gauss-seidel → gmres fallback chain).
     format:
         Optional device sparse format to hold the system in before
         solving — any :data:`~repro.sparse.conversion.FORMAT_REGISTRY`

@@ -63,19 +63,51 @@ def load_matrix(args):
 
 
 def cmd_solve(args) -> int:
+    import contextlib
+
     from repro import solve_steady_state
     network = build_model(args)
     print(network.describe())
     kwargs = {}
     if args.damping is not None:
         kwargs["damping"] = args.damping
-    result = solve_steady_state(
-        network, tol=args.tol, max_iterations=args.max_iterations,
-        **kwargs)
+
+    chaos = contextlib.nullcontext()
+    if args.inject_faults:
+        from repro.resilience import FaultPlan, injecting
+        plan = FaultPlan.load(args.inject_faults)
+        if args.fault_seed is not None:
+            plan = FaultPlan(plan.specs, seed=args.fault_seed,
+                             name=plan.name)
+        print(f"injecting faults: plan {plan.name!r} "
+              f"({len(plan.specs)} spec(s), seed {plan.seed})")
+        chaos = injecting(plan)
+
+    with chaos:
+        result = solve_steady_state(
+            network, args.method, tol=args.tol,
+            max_iterations=args.max_iterations, **kwargs)
     landscape = result.landscape
     print(f"\n{result.stop_reason.value} after {result.iterations} "
           f"iterations (residual {result.residual:.3e}, "
           f"{result.runtime_s:.2f}s)")
+    if result.recovery is not None:
+        rep = result.recovery
+        print(f"recovery: {rep.faults_seen} fault(s) seen, "
+              f"{rep.rollbacks} rollback(s), "
+              f"fallbacks {rep.fallback_chain or ['none']}")
+    if args.recovery_report:
+        import json
+        payload = (result.recovery.to_dict() if result.recovery is not None
+                   else {"events": [], "checkpoints": 0, "rollbacks": 0,
+                         "faults_seen": 0, "fallback_chain": [],
+                         "degraded": False, "recovered": False})
+        payload["stop_reason"] = result.stop_reason.value
+        payload["iterations"] = result.iterations
+        payload["residual"] = result.residual
+        with open(args.recovery_report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"recovery report written to {args.recovery_report}")
     means = {k: round(v, 2) for k, v in landscape.mean_counts().items()}
     print(f"mean copy numbers: {means}")
     if network.n_species == 2:
@@ -308,6 +340,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-8)
     p.add_argument("--max-iterations", type=int, default=200_000)
     p.add_argument("--damping", type=float, default=None)
+    p.add_argument("--method", default="jacobi",
+                   choices=["jacobi", "gauss-seidel", "power", "resilient"],
+                   help="solver method (resilient = jacobi -> gauss-seidel "
+                        "-> gmres fallback chain)")
+    p.add_argument("--inject-faults", metavar="PLAN.json", default=None,
+                   help="run the solve under a seeded fault-injection plan")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="override the fault plan's seed")
+    p.add_argument("--recovery-report", metavar="PATH", default=None,
+                   help="write the solve's RecoveryReport JSON here")
     p.add_argument("--no-heatmap", action="store_true")
     p.set_defaults(func=cmd_solve)
 

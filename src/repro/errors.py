@@ -74,18 +74,38 @@ class DeviceModelError(ReproError):
     """The GPU/CPU performance model was configured inconsistently."""
 
 
+class KernelLaunchError(ReproError):
+    """A (simulated) GPU kernel launch failed.
+
+    Raised by the :mod:`repro.gpusim` dispatch layer when an installed
+    :class:`repro.resilience.faults.FaultInjector` fails a launch on
+    schedule — the reproduction's stand-in for the transient launch
+    and ECC errors a real device driver surfaces.  Launch failures are
+    transient by definition, so the serving layer treats them as
+    retryable.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan was malformed (unknown site/kind, bad
+    schedule, unparseable JSON)."""
+
+
 class SolveJobError(ReproError):
     """A solve job failed in the serving layer (:mod:`repro.serve`).
 
-    Carries the job's cache ``key`` and the number of ``attempts``
-    consumed so operators can correlate failures with metrics and
-    cached artifacts.
+    Carries the job's cache ``key``, the number of ``attempts``
+    consumed, and an optional structured ``failure`` payload (e.g. the
+    failing matrix signature for singular systems) so operators can
+    correlate failures with metrics and cached artifacts.
     """
 
     def __init__(self, message: str, *, key: str | None = None,
-                 attempts: int | None = None) -> None:
+                 attempts: int | None = None,
+                 failure: dict | None = None) -> None:
         self.key = key
         self.attempts = attempts
+        self.failure = dict(failure) if failure is not None else {}
         super().__init__(message)
 
 
@@ -95,8 +115,39 @@ class JobRejectedError(SolveJobError):
 
 
 class JobTimeoutError(SolveJobError):
-    """A solve attempt exceeded its per-job wall-clock budget."""
+    """A solve attempt exceeded its per-job wall-clock budget (or its
+    propagated submission deadline).
+
+    ``iterations`` and ``residual`` carry the partial iterate's stats
+    at expiry, so operators can tell a nearly-converged timeout from a
+    hopeless one.
+    """
+
+    def __init__(self, message: str, *, key: str | None = None,
+                 attempts: int | None = None, failure: dict | None = None,
+                 iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(message, key=key, attempts=attempts,
+                         failure=failure)
 
 
 class JobCancelledError(SolveJobError):
     """The job was cancelled before a worker completed it."""
+
+
+class WorkerCrashError(SolveJobError):
+    """A serve worker died (or was killed by a fault plan) mid-attempt.
+
+    The crash is a property of the *attempt*, not of the job, so the
+    scheduler counts it as retryable and re-runs the job — on another
+    attempt, possibly another worker — under the backoff policy.
+    """
+
+
+class CircuitOpenError(SolveJobError):
+    """The per-solver-method circuit breaker is open: recent attempts
+    failed repeatedly and the service is shedding load on this method
+    until the reset timeout elapses (terminal, not retryable — retrying
+    immediately is exactly what the breaker exists to prevent)."""

@@ -12,6 +12,18 @@ import numpy as np
 
 from repro.errors import FormatError
 from repro.gpusim.device import DeviceSpec, GTX580
+
+
+def _launch_guard(kernel: str) -> None:
+    """Fail this (simulated) launch if a fault plan schedules it.
+
+    The lazy import keeps the dispatch hot path free of any resilience
+    machinery when no injector is installed.
+    """
+    from repro.resilience.faults import active_injector
+    injector = active_injector()
+    if injector is not None and injector.active_for("gpusim.launch"):
+        injector.maybe_fail("gpusim.launch", detail=kernel)
 from repro.gpusim.kernels.base import Precision, TrafficReport
 from repro.gpusim.kernels.csr import (
     csr_scalar_spmv_traffic,
@@ -105,6 +117,7 @@ def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
     """
     with tracing.span("gpusim.spmv", format=type(matrix).__name__,
                       device=device.name) as sp:
+        _launch_guard("spmv")
         report = spmv_traffic(matrix, precision=precision,
                               block_size=block_size, csr_kernel=csr_kernel)
         perf = estimate_performance(report, device, x_scale=x_scale)
@@ -137,6 +150,7 @@ def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
     """
     with tracing.span("gpusim.jacobi", format=type(matrix).__name__,
                       device=device.name) as sp:
+        _launch_guard("jacobi")
         report = jacobi_traffic(matrix, precision=precision,
                                 block_size=block_size,
                                 check_interval=check_interval,
@@ -148,4 +162,5 @@ def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
 
 def run_spmv(matrix: SparseFormat, x: np.ndarray) -> np.ndarray:
     """Execute the format-faithful SpMV (the functional half)."""
+    _launch_guard("run_spmv")
     return matrix.spmv(x)

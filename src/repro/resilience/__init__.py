@@ -1,0 +1,62 @@
+"""Fault injection, self-healing solvers, and serve hardening.
+
+The package has four legs:
+
+- :mod:`repro.resilience.faults` — a deterministic, seeded fault
+  injection framework (:class:`FaultPlan` / :class:`FaultInjector`)
+  that corrupts solver iterates, fails gpusim kernel launches, and
+  kills/stalls serve workers and cache reads on schedule.
+- :mod:`repro.resilience.guardrails` — checkpoint/rollback recovery
+  policy for the shared solver loop, plus the :class:`RecoveryReport`
+  audit trail attached to solver results.
+- :mod:`repro.resilience.resilient` — :class:`ResilientSolver`, the
+  jacobi → gauss-seidel → gmres fallback chain (registered as
+  ``"resilient"`` in :data:`repro.solvers.SOLVER_REGISTRY`).
+- :mod:`repro.resilience.backoff` / :mod:`repro.resilience.circuit` —
+  retry backoff with jitter and the per-method circuit breaker used by
+  :class:`repro.serve.service.SolveService`.
+"""
+
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.faults import (
+    SITE_KINDS,
+    SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    injecting,
+    install,
+    uninstall,
+)
+from repro.resilience.guardrails import (
+    GuardrailPolicy,
+    RecoveryEvent,
+    RecoveryReport,
+)
+from repro.resilience.resilient import DEFAULT_CHAIN, ResilientSolver
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_CHAIN",
+    "HALF_OPEN",
+    "OPEN",
+    "SITES",
+    "SITE_KINDS",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GuardrailPolicy",
+    "RecoveryEvent",
+    "RecoveryReport",
+    "ResilientSolver",
+    "RetryPolicy",
+    "active_injector",
+    "injecting",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,61 @@
+"""Exponential backoff with jitter for retry scheduling.
+
+Fixed retry delays synchronize failures: every attempt that failed
+together retries together, which is how a momentary stall turns into a
+thundering herd against the solve queue.  :class:`RetryPolicy` spaces
+attempt *k* by ``base * multiplier**(k-1)`` capped at ``max_delay_s``,
+then spreads a ±``jitter`` fraction of deterministic (seeded) noise on
+top so concurrent retries decorrelate while chaos runs stay exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff schedule used by the serve scheduler between attempts.
+
+    ``delay(1)`` is the wait before the first retry (i.e. after the
+    first failed attempt).  ``seed=None`` draws OS entropy; any int
+    makes the jitter sequence reproducible.
+    """
+
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    seed: int | None = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False,
+                                default=None)
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValidationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError(f"jitter must be in [0, 1], got "
+                                  f"{self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    def raw_delay(self, attempt: int) -> float:
+        """The un-jittered delay before retry *attempt* (1-based)."""
+        if attempt <= 0:
+            raise ValidationError("attempt is 1-based")
+        return min(self.max_delay_s,
+                   self.base_delay_s * self.multiplier ** (attempt - 1))
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay before retry *attempt* (1-based)."""
+        raw = self.raw_delay(attempt)
+        if self.jitter == 0.0:
+            return raw
+        spread = raw * self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, raw + spread)

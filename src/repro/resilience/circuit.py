@@ -1,0 +1,121 @@
+"""A per-solver-method circuit breaker for the serve path.
+
+When a solver method fails repeatedly — timeouts on every attempt,
+a poisoned parameter region — letting every queued job run the same
+doomed solve wastes worker time and starves healthy traffic.  The
+breaker trips **open** after ``failure_threshold`` consecutive
+failures: attempts fail fast (or fall into degraded mode) until
+``reset_timeout_s`` has elapsed, then a bounded number of
+**half-open** probes test whether the method recovered; one success
+closes the breaker, one failure re-opens it.
+
+The clock is injectable so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ValidationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open → closed state machine.
+
+    Usage::
+
+        if not breaker.allow():
+            ...fail fast / degrade...
+        try:
+            work()
+        except Exception:
+            breaker.record_failure()
+            raise
+        else:
+            breaker.record_success()
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 half_open_probes: int = 1,
+                 clock=time.monotonic,
+                 name: str = "circuit"):
+        if failure_threshold <= 0:
+            raise ValidationError("failure_threshold must be positive")
+        if reset_timeout_s <= 0:
+            raise ValidationError("reset_timeout_s must be positive")
+        if half_open_probes <= 0:
+            raise ValidationError("half_open_probes must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_probes = int(half_open_probes)
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opened_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the next attempt may proceed."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probes_in_flight = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED \
+                    and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {"state": self._state, "failures": self._failures,
+                    "opened_count": self.opened_count}
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self.opened_count += 1
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN \
+                and self._clock() - self._opened_at >= self.reset_timeout_s:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0

@@ -39,6 +39,22 @@ SOLVER_OPTION_KEYS = frozenset({
 })
 
 
+def matrix_signature(A) -> str:
+    """A short content hash of an assembled rate matrix.
+
+    Recorded in a job's ``failure`` payload when the *system* is at
+    fault (e.g. :class:`~repro.errors.SingularSystemError`), so the
+    exact offending matrix can be correlated across logs, retries and
+    cache artifacts without shipping the matrix itself.
+    """
+    h = hashlib.sha256()
+    h.update(repr(A.shape).encode())
+    h.update(str(A.nnz).encode())
+    for part in (A.indptr, A.indices, A.data):
+        h.update(np.ascontiguousarray(part).tobytes())
+    return h.hexdigest()[:16]
+
+
 class SolveRequest:
     """An immutable description of one steady-state solve.
 
@@ -145,7 +161,13 @@ class JobState(enum.Enum):
 
 @dataclass
 class SolveOutcome:
-    """What a finished job hands back to the caller."""
+    """What a finished job hands back to the caller.
+
+    ``degraded=True`` marks an *approximate* answer served from a
+    nearby cached solution under load shedding (saturated queue or an
+    open circuit breaker) — callers needing the exact steady state must
+    resubmit once the service recovers.
+    """
 
     result: SolverResult
     landscape: ProbabilityLandscape
@@ -153,6 +175,7 @@ class SolveOutcome:
     cached: bool = False
     warm_started: bool = False
     solve_seconds: float = 0.0
+    degraded: bool = False
 
 
 class SolveJob:
@@ -172,6 +195,10 @@ class SolveJob:
         self.submitted_at: float | None = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        #: Absolute ``time.perf_counter()`` deadline propagated from
+        #: ``SolveService.submit(deadline_s=...)``; workers clamp the
+        #: solver's ``time_budget_s`` to whatever remains of it.
+        self.deadline_at: float | None = None
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._state = JobState.PENDING
@@ -202,6 +229,11 @@ class SolveJob:
     def exception(self) -> SolveJobError | None:
         """The terminal error, if the job failed (None otherwise)."""
         return self._error
+
+    @property
+    def failure(self) -> dict:
+        """The structured failure payload of a failed job ({} otherwise)."""
+        return dict(self._error.failure) if self._error is not None else {}
 
     # -- transitions (scheduler/service only) --------------------------------
 

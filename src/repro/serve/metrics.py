@@ -38,6 +38,11 @@ COUNTER_NAMES = (
     "retried",          # retry attempts consumed
     "warm_started",     # solves seeded from a neighbor
     "cold_started",     # solves from the uniform vector
+    "degraded",         # approximate answers served under load shedding
+    "breaker_open",     # attempts shed by the open circuit breaker
+    "deadline_expired", # jobs whose propagated deadline lapsed pre/mid-solve
+    "worker_faults",    # injected worker kills/stalls observed
+    "cache_faults",     # injected cache misses observed
 )
 
 #: Pipeline stages timed per job (see :class:`SolveService`).

@@ -30,13 +30,21 @@ from repro.errors import (
     ConvergenceError,
     JobRejectedError,
     JobTimeoutError,
+    KernelLaunchError,
     SolveJobError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro.serve.jobs import JobState, SolveJob, _QueueItem
 
 #: Errors worth a second attempt; anything else fails the job at once.
-RETRYABLE_ERRORS = (JobTimeoutError, ConvergenceError)
+#: Timeouts and convergence failures may clear with a warm(er) start;
+#: worker crashes and kernel-launch failures are properties of the
+#: *attempt* (the next worker/launch is healthy).  Singular systems,
+#: validation errors and open circuit breakers are properties of the
+#: job or the service and never retried.
+RETRYABLE_ERRORS = (JobTimeoutError, ConvergenceError, WorkerCrashError,
+                    KernelLaunchError)
 
 
 class QueuePolicy(enum.Enum):
@@ -134,6 +142,11 @@ class SolveScheduler:
     retries:
         Extra attempts after the first, consumed only by
         :data:`RETRYABLE_ERRORS`.
+    retry_policy:
+        Optional :class:`repro.resilience.backoff.RetryPolicy`; when
+        set, the worker sleeps ``retry_policy.delay(attempt)`` before
+        each re-attempt (exponential backoff with jitter) instead of
+        retrying immediately.  Shutdown interrupts the sleep.
     on_retry, on_done:
         Optional metrics hooks; ``on_done(job, error_or_None)`` fires
         exactly once per job after its terminal transition.
@@ -141,7 +154,8 @@ class SolveScheduler:
 
     def __init__(self, execute, *, workers: int = 1,
                  queue: BoundedPriorityQueue | None = None,
-                 retries: int = 0, on_retry=None, on_done=None,
+                 retries: int = 0, retry_policy=None,
+                 on_retry=None, on_done=None,
                  name: str = "solve"):
         if workers <= 0:
             raise ValidationError(f"workers must be positive, got {workers}")
@@ -150,6 +164,7 @@ class SolveScheduler:
         self.execute = execute
         self.queue = queue if queue is not None else BoundedPriorityQueue()
         self.retries = int(retries)
+        self.retry_policy = retry_policy
         self.on_retry = on_retry
         self.on_done = on_done
         self._stop = threading.Event()
@@ -206,8 +221,13 @@ class SolveScheduler:
                 outcome = self.execute(job)
             except RETRYABLE_ERRORS as exc:
                 error = self._as_job_error(exc, job)
-                if attempt < max_attempts and self.on_retry is not None:
-                    self.on_retry(job, exc)
+                if attempt < max_attempts:
+                    if self.on_retry is not None:
+                        self.on_retry(job, exc)
+                    if self.retry_policy is not None:
+                        # _stop.wait returns early on shutdown, so a
+                        # long backoff never delays close().
+                        self._stop.wait(self.retry_policy.delay(attempt))
                 continue
             except Exception as exc:  # noqa: BLE001 - worker must survive
                 error = self._as_job_error(exc, job)

@@ -42,13 +42,24 @@ from repro.cme.network import ReactionNetwork
 from repro.cme.ratematrix import build_rate_matrix
 from repro.cme.statespace import StateSpace, enumerate_state_space
 from repro.errors import (
+    CircuitOpenError,
+    JobRejectedError,
     JobTimeoutError,
     SingularSystemError,
     SolveJobError,
     ValidationError,
+    WorkerCrashError,
 )
+from repro.resilience.backoff import RetryPolicy
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.faults import active_injector
 from repro.serve.cache import CacheEntry, SolutionCache, state_space_layout
-from repro.serve.jobs import SolveJob, SolveOutcome, SolveRequest
+from repro.serve.jobs import (
+    SolveJob,
+    SolveOutcome,
+    SolveRequest,
+    matrix_signature,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.scheduler import (
     BoundedPriorityQueue,
@@ -56,7 +67,7 @@ from repro.serve.scheduler import (
     SolveScheduler,
 )
 from repro.serve.warmstart import WarmStartIndex, blend_donors
-from repro.solvers import JacobiSolver
+from repro.solvers import SOLVER_REGISTRY, JacobiSolver
 from repro.solvers.result import StopReason
 from repro.telemetry import tracing
 
@@ -154,6 +165,27 @@ class SolveService:
         retry.
     retries:
         Extra attempts per job after the first.
+    retry_policy:
+        Backoff between retry attempts.  ``None`` (default) applies
+        :class:`repro.resilience.backoff.RetryPolicy`'s exponential
+        backoff with jitter; pass ``False`` for the legacy immediate
+        retry, or a configured policy.
+    method:
+        Solver method (a :data:`repro.solvers.SOLVER_REGISTRY` key:
+        ``"jacobi"``, ``"gauss-seidel"``, ``"power"`` or
+        ``"resilient"``).
+    breaker_threshold, breaker_reset_s:
+        Circuit breaker for the solve path: after
+        ``breaker_threshold`` consecutive attempt failures the service
+        sheds further attempts (fail-fast
+        :class:`~repro.errors.CircuitOpenError`, or degraded answers)
+        until ``breaker_reset_s`` elapses and a probe succeeds.
+        ``breaker_threshold=0`` disables the breaker.
+    degraded_mode:
+        When the queue is saturated or the breaker is open, serve the
+        nearest already-solved neighbor's landscape (requires
+        ``warm_start``) as an *approximate* answer flagged
+        ``degraded=True`` instead of failing the submission.
     warm_audit_interval:
         Every Nth warm-started solve is *audited*: the uniform-start
         solve runs alongside on the same system and the measured
@@ -181,6 +213,11 @@ class SolveService:
                  put_timeout: float | None = None,
                  timeout_s: float | None = None,
                  retries: int = 0,
+                 retry_policy: RetryPolicy | bool | None = None,
+                 method: str = "jacobi",
+                 breaker_threshold: int = 5,
+                 breaker_reset_s: float = 30.0,
+                 degraded_mode: bool = False,
                  warm_audit_interval: int = 8,
                  tol: float = 1e-8, max_iterations: int = 200_000,
                  solver_options: Mapping | None = None,
@@ -208,6 +245,27 @@ class SolveService:
         self.warm_audit_interval = int(warm_audit_interval)
         self._warm_count = itertools.count()
         self.timeout_s = timeout_s
+        self.method = str(method).lower().replace("_", "-")
+        if self.method not in SOLVER_REGISTRY:
+            raise ValidationError(
+                f"unknown solver method {method!r}; expected one of "
+                f"{sorted(SOLVER_REGISTRY)}")
+        self._solver_cls = SOLVER_REGISTRY[self.method]
+        if breaker_threshold < 0:
+            raise ValidationError("breaker_threshold must be >= 0")
+        self._breaker = None if breaker_threshold == 0 else CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout_s=breaker_reset_s,
+            name=f"solve.{self.method}")
+        self.degraded_mode = bool(degraded_mode)
+        if self.degraded_mode and not warm_start:
+            raise ValidationError(
+                "degraded_mode needs warm_start for nearest-neighbor "
+                "donor answers")
+        if retry_policy is None:
+            retry_policy = RetryPolicy()
+        elif retry_policy is False:
+            retry_policy = None
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.solver_options = dict(solver_options or {})
@@ -224,6 +282,7 @@ class SolveService:
                                      put_timeout=put_timeout)
         self._scheduler = SolveScheduler(
             self._execute, workers=workers, queue=queue, retries=retries,
+            retry_policy=retry_policy,
             on_retry=lambda job, exc: self.metrics.incr("retried"),
             on_done=self._on_done)
         self.metrics.bind_queue_depth(lambda: self._scheduler.queue_depth)
@@ -261,30 +320,46 @@ class SolveService:
     def submit(self, overrides: Mapping[str, float] | None = None, *,
                priority: int = 0, tol: float | None = None,
                max_iterations: int | None = None,
-               solver_options: Mapping | None = None) -> SolveJob:
+               solver_options: Mapping | None = None,
+               deadline_s: float | None = None) -> SolveJob:
         """Admit one solve; returns a job to block on.
 
         Cache hits complete the returned job synchronously; a submit
         whose key matches an in-flight job returns *that* job
         (single-flight).  A full queue raises
         :class:`~repro.errors.JobRejectedError` (or blocks, per
-        policy).
+        policy) — unless ``degraded_mode`` can serve a nearby
+        approximate answer instead.  ``deadline_s`` propagates an
+        end-to-end deadline into the worker: whatever remains of it
+        when an attempt starts caps the solver's ``time_budget_s``.
         """
         if self._closed:
             raise SolveJobError("service is closed")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive, got {deadline_s}")
         req = self.request(overrides, tol=tol, max_iterations=max_iterations,
                            solver_options=solver_options)
         key = req.cache_key()
         self.metrics.incr("submitted")
 
         if self.cache is not None:
-            entry = self.cache.get(key, layout=self._workspace.layout())
-            if entry is not None:
-                job = self._new_job(req, priority)
-                job.finish(self._outcome_from_entry(req, entry))
-                self.metrics.incr("cache_hits")
-                self.metrics.observe_latency(0.0)
-                return job
+            injector = active_injector()
+            if injector is not None \
+                    and injector.active_for("serve.cache") \
+                    and injector.maybe_fail(
+                        "serve.cache", detail=key[:12]) is not None:
+                # An injected cache fault: skip the lookup, forcing the
+                # cold path this submission.
+                self.metrics.incr("cache_faults")
+            else:
+                entry = self.cache.get(key, layout=self._workspace.layout())
+                if entry is not None:
+                    job = self._new_job(req, priority)
+                    job.finish(self._outcome_from_entry(req, entry))
+                    self.metrics.incr("cache_hits")
+                    self.metrics.observe_latency(0.0)
+                    return job
 
         with self._lock:
             inflight = self._inflight.get(key)
@@ -292,6 +367,8 @@ class SolveService:
                 self.metrics.incr("coalesced")
                 return inflight
             job = self._new_job(req, priority)
+            if deadline_s is not None:
+                job.deadline_at = time.perf_counter() + deadline_s
             self._inflight[key] = job
         try:
             self._scheduler.submit(job)
@@ -300,6 +377,12 @@ class SolveService:
                 if self._inflight.get(key) is job:
                     del self._inflight[key]
             self.metrics.incr("rejected")
+            if self.degraded_mode:
+                outcome = self._degraded_outcome(job)
+                if outcome is not None:
+                    self.metrics.incr("degraded")
+                    job.finish(outcome)
+                    return job
             job.cancel()
             raise
         self.metrics.incr("scheduled")
@@ -331,8 +414,55 @@ class SolveService:
     # -- execution (worker threads) ------------------------------------------
 
     def _execute(self, job: SolveJob) -> SolveOutcome:
+        """One attempt: fault sites and the breaker around the solve."""
+        injector = active_injector()
+        if injector is not None and injector.active_for("serve.worker"):
+            try:
+                # kind "kill" raises WorkerCrashError (retryable);
+                # kind "stall" sleeps for the spec's delay.
+                injector.maybe_fail("serve.worker", detail=f"job {job.id}")
+            except WorkerCrashError:
+                self.metrics.incr("worker_faults")
+                raise
+        if self._breaker is not None and not self._breaker.allow():
+            self.metrics.incr("breaker_open")
+            if self.degraded_mode:
+                outcome = self._degraded_outcome(job)
+                if outcome is not None:
+                    self.metrics.incr("degraded")
+                    return outcome
+            raise CircuitOpenError(
+                f"job {job.id} shed: {self._breaker.name} breaker open "
+                f"after repeated failures", key=job.key,
+                failure={"breaker": self._breaker.snapshot()})
+        try:
+            outcome = self._execute_solve(job)
+        except Exception:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        return outcome
+
+    def _attempt_budget(self, job: SolveJob) -> float | None:
+        """The per-attempt time budget: timeout clamped to the deadline."""
+        budget = self.timeout_s
+        if job.deadline_at is not None:
+            remaining = job.deadline_at - time.perf_counter()
+            if remaining <= 0:
+                self.metrics.incr("deadline_expired")
+                raise JobTimeoutError(
+                    f"job {job.id} deadline expired before attempt "
+                    f"{job.attempts}", key=job.key,
+                    failure={"reason": "deadline-expired"})
+            budget = remaining if budget is None else min(budget, remaining)
+        return budget
+
+    def _execute_solve(self, job: SolveJob) -> SolveOutcome:
         req = job.request
         t0 = time.perf_counter()
+        time_budget_s = self._attempt_budget(job)
         with tracing.span("serve.execute", job=job.id,
                           key=job.key[:12]) as ex_span:
             with tracing.span("serve.assemble"):
@@ -356,28 +486,35 @@ class SolveService:
                     x0 = blend_donors(donors, distances)
                     warm = True
 
-            # A zero diagonal is a property of the system, not of this
-            # attempt — surface it as a terminal SolveJobError so the
-            # scheduler never burns retries on it.
+            # A zero diagonal or all-zero row is a property of the
+            # system, not of this attempt — surface it as a terminal
+            # SolveJobError (with the offending matrix's signature in
+            # the failure payload) so the scheduler never burns retries
+            # on it.
             try:
-                solver = JacobiSolver(A, tol=req.tol,
-                                      max_iterations=req.max_iterations,
-                                      **req.solver_options)
+                solver = self._solver_cls(A, tol=req.tol,
+                                          max_iterations=req.max_iterations,
+                                          **req.solver_options)
             except SingularSystemError as exc:
                 raise SolveJobError(
                     f"job {job.id} is unsolvable: {exc}",
-                    key=job.key) from exc
+                    key=job.key,
+                    failure={"error": "singular-system",
+                             "rows": list(exc.rows),
+                             "matrix_signature": matrix_signature(A)},
+                ) from exc
             solve_t0 = time.perf_counter()
             with tracing.span("serve.solve", warm=warm):
-                result = solver.solve(x0=x0, time_budget_s=self.timeout_s)
+                result = solver.solve(x0=x0, time_budget_s=time_budget_s)
             self.metrics.observe_stage(
                 "solve", time.perf_counter() - solve_t0)
             ex_span.set_attribute("iterations", result.iterations)
             ex_span.set_attribute("stop_reason", result.stop_reason.value)
             if result.stop_reason is StopReason.TIMED_OUT:
                 raise JobTimeoutError(
-                    f"job {job.id} exceeded its {self.timeout_s}s budget "
-                    f"after {result.iterations} iterations", key=job.key)
+                    f"job {job.id} exceeded its {time_budget_s:.3g}s budget "
+                    f"after {result.iterations} iterations", key=job.key,
+                    iterations=result.iterations, residual=result.residual)
 
             if warm:
                 self.metrics.incr("warm_started")
@@ -454,6 +591,32 @@ class SolveService:
             landscape=ProbabilityLandscape(space, result.x),
             key=entry.key, cached=True, warm_started=False,
             solve_seconds=0.0)
+
+    def _degraded_outcome(self, job: SolveJob) -> SolveOutcome | None:
+        """The nearest solved neighbor's landscape as an approximate
+        answer (``degraded=True``), or ``None`` when no donor exists.
+
+        The outcome keeps the *donor's* key so callers can tell which
+        cached solution actually answered, while the job retains the
+        requested key.
+        """
+        if self._warm_index is None or self.cache is None:
+            return None
+        hints = self._warm_index.select_donors(
+            job.request.log_rate_vector(), k=1, exclude_key=job.key)
+        for hint in hints:
+            entry = self.cache.peek(hint.key,
+                                    layout=self._workspace.layout())
+            if entry is None:
+                continue
+            result = entry.to_result()
+            space = self._workspace.space_for(job.request)
+            return SolveOutcome(
+                result=result,
+                landscape=ProbabilityLandscape(space, result.x),
+                key=entry.key, cached=True, warm_started=False,
+                solve_seconds=0.0, degraded=True)
+        return None
 
     def snapshot(self) -> dict:
         """Metrics snapshot with cache stats merged in."""

@@ -11,6 +11,9 @@
 * :func:`gmres_steady_state` — a GMRES attempt on the (ill-conditioned,
   singular) steady-state system, reproducing the paper's observation
   that Krylov methods fail to converge here.
+* :class:`~repro.resilience.resilient.ResilientSolver` — the
+  self-healing fallback chain (jacobi → gauss-seidel → gmres),
+  registered as ``"resilient"``.
 """
 
 from repro.solvers.result import SolverResult, StopReason
@@ -30,7 +33,14 @@ SOLVER_REGISTRY = {
     "power": PowerIterationSolver,
 }
 
+# Imported after the registry exists: the resilient solver's module
+# resolves its fallback chain through SOLVER_REGISTRY at solve time.
+from repro.resilience.resilient import ResilientSolver  # noqa: E402
+
+SOLVER_REGISTRY["resilient"] = ResilientSolver
+
 __all__ = [
+    "ResilientSolver",
     "SolverResult",
     "StopReason",
     "StoppingCriterion",

@@ -35,7 +35,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import SingularSystemError, ValidationError
 from repro.solvers.normalization import renormalize, uniform_probability
 from repro.solvers.result import SolverResult, StopReason
 from repro.solvers.stopping import StoppingCriterion
@@ -109,8 +109,24 @@ class IterativeSolverBase:
         self.normalize_interval = (None if normalize_interval is None
                                    else int(normalize_interval))
         self.stagnation_tol = stagnation_tol
-        self.matrix_inf_norm = float(abs(A).sum(axis=1).max()) \
-            if A.nnz else 0.0
+        if A.nnz:
+            row_sums = np.asarray(abs(A).sum(axis=1), dtype=np.float64).ravel()
+            self.matrix_inf_norm = float(row_sums.max())
+        else:
+            row_sums = np.zeros(self.n)
+            self.matrix_inf_norm = 0.0
+        # An all-zero row is an isolated state: nothing flows in or out,
+        # so the chain is reducible and the stationary distribution is
+        # not unique — no amount of iterating (or retrying) fixes that.
+        zero_rows = np.flatnonzero(row_sums == 0.0)
+        if zero_rows.size:
+            shown = ", ".join(str(r) for r in zero_rows[:5])
+            more = "" if zero_rows.size <= 5 else \
+                f" (+{zero_rows.size - 5} more)"
+            raise SingularSystemError(
+                f"generator has {zero_rows.size} all-zero row(s) "
+                f"[{shown}{more}]: isolated states make the steady state "
+                f"non-unique", rows=zero_rows[:5].tolist())
 
     # -- to be provided by subclasses ----------------------------------------
 
@@ -135,7 +151,7 @@ class IterativeSolverBase:
         return renormalize(x)
 
     def solve(self, x0=None, *, time_budget_s: float | None = None,
-              hooks=None) -> SolverResult:
+              hooks=None, guardrails=None) -> SolverResult:
         """Iterate from *x0* (uniform by default) until a criterion fires.
 
         Parameters
@@ -158,11 +174,47 @@ class IterativeSolverBase:
             once per iteration (``residual`` only on check iterations)
             and ``on_stop(reason)`` exactly once.  ``None`` (default)
             runs the uninstrumented loop.
+        guardrails:
+            Numerical recovery policy
+            (:class:`~repro.resilience.guardrails.GuardrailPolicy`).
+            ``None`` (default) applies the default policy: the iterate
+            is checkpointed periodically, and a non-finite or diverging
+            iterate **rolls back** to the checkpoint and renormalizes
+            (up to ``max_recoveries`` times) instead of aborting.  Pass
+            ``False`` for the legacy fail-fast behaviour (a non-finite
+            batch stops with :attr:`StopReason.DIVERGED` immediately).
+            Any corrective action taken is reported in
+            ``result.recovery``.
         """
+        # Lazy imports: repro.resilience imports repro.solvers (for the
+        # registry and result types), so a module-level import here
+        # would be circular.
+        from repro.resilience.faults import active_injector
+        from repro.resilience.guardrails import (
+            GuardrailPolicy,
+            RecoveryReport,
+            count_recovery,
+        )
+
         x = self._initial_iterate(x0)
         if time_budget_s is not None and time_budget_s <= 0:
             raise ValidationError(
                 f"time_budget_s must be positive, got {time_budget_s}")
+        if guardrails is False:
+            policy = None
+        elif guardrails is None:
+            policy = GuardrailPolicy()
+        else:
+            policy = guardrails
+
+        injector = active_injector()
+        inject = injector is not None and injector.active_for("solver.iterate")
+        # Per-sweep finiteness scans cost a pass over x each iteration,
+        # so they stay off unless asked for — or a fault injector is
+        # corrupting iterates, where waiting for the batch-end check
+        # would discard up to check_interval good sweeps per fault.
+        sweep_guard = policy is not None and (policy.sweep_check or inject)
+        report = RecoveryReport() if (policy is not None or inject) else None
 
         criterion = StoppingCriterion(
             self.matrix_inf_norm, tol=self.tol,
@@ -173,6 +225,21 @@ class IterativeSolverBase:
         iteration = 0
         reason = StopReason.MAX_ITERATIONS
         residual = float("inf")
+        checkpoint = x.copy() if policy is not None else None
+        checkpoint_iteration = 0
+        checks_done = 0
+        recoveries = 0
+        best_residual = float("inf")
+
+        def rollback(kind: str) -> np.ndarray:
+            nonlocal recoveries
+            recoveries += 1
+            report.rollbacks += 1
+            report.record(iteration, kind, "rollback",
+                          detail=f"checkpoint@{checkpoint_iteration}")
+            count_recovery(kind, iteration)
+            return checkpoint.copy()
+
         span = tracing.span(f"{self.span_name}.solve", n=self.n,
                             method=type(self).__name__)
         with span:
@@ -195,14 +262,15 @@ class IterativeSolverBase:
             while True:
                 budget = min(self.check_interval,
                              self.max_iterations - iteration)
-                if hooks is None:
+                if hooks is None and not inject and not sweep_guard:
+                    # The original uninstrumented inner loop, unchanged.
                     for _ in range(budget):
                         x = self.step_once(x)
                         iteration += 1
                         if (norm_every is not None
                                 and iteration % norm_every == 0):
                             x = renormalize(x)
-                else:
+                elif not inject and not sweep_guard:
                     # The batch's final iteration is reported after the
                     # residual check below, so its on_iteration call can
                     # carry the measured residual.
@@ -215,14 +283,73 @@ class IterativeSolverBase:
                             x = renormalize(x)
                         if i < budget - 1:
                             hooks.on_iteration(iteration, None, renorm)
-                if not np.all(np.isfinite(x)):
+                else:
+                    # Guarded batch: faults may corrupt the iterate at
+                    # any sweep, so finiteness is (optionally) checked —
+                    # and recovered from — per sweep, and in-batch
+                    # renormalization is skipped for corrupt iterates
+                    # (renormalize raises on non-finite input).
+                    for i in range(budget):
+                        x = self.step_once(x)
+                        iteration += 1
+                        if inject:
+                            x, spec = injector.corrupt(
+                                "solver.iterate", x, iteration)
+                            if spec is not None and report is not None:
+                                report.faults_seen += 1
+                                report.record(
+                                    iteration, f"fault:{spec.kind}",
+                                    "injected", detail="site solver.iterate")
+                        if sweep_guard and not np.all(np.isfinite(x)):
+                            if recoveries < policy.max_recoveries:
+                                x = rollback("nan-inf")
+                            else:
+                                break  # batch-end check reports DIVERGED
+                        renorm = (norm_every is not None
+                                  and iteration % norm_every == 0)
+                        if renorm:
+                            if np.all(np.isfinite(x)) and x.sum() > 0:
+                                x = renormalize(x)
+                            else:
+                                renorm = False
+                        if hooks is not None and i < budget - 1:
+                            hooks.on_iteration(iteration, None, renorm)
+                finite = bool(np.all(np.isfinite(x)))
+                if finite:
+                    if policy is not None:
+                        try:
+                            x = renormalize(x)
+                        except ValidationError:
+                            finite = False  # no mass left: recover below
+                    else:
+                        x = renormalize(x)
+                if not finite:
+                    if policy is not None \
+                            and recoveries < policy.max_recoveries:
+                        x = rollback("nan-inf")
+                        if hooks is not None:
+                            hooks.on_iteration(iteration, None, True)
+                        continue
                     reason, residual = StopReason.DIVERGED, float("inf")
                     if hooks is not None:
                         hooks.on_iteration(iteration, residual, False)
                     break
-                x = renormalize(x)
                 stop, residual = criterion.check(iteration, self.A @ x, x)
                 history.append((iteration, residual))
+                if (policy is not None and stop is None
+                        and np.isfinite(best_residual)
+                        and residual
+                        > policy.divergence_factor * best_residual):
+                    if recoveries < policy.max_recoveries:
+                        x = rollback("divergence")
+                        if hooks is not None:
+                            hooks.on_iteration(iteration, None, True)
+                        continue
+                    reason = StopReason.DIVERGED
+                    if hooks is not None:
+                        hooks.on_iteration(iteration, residual, True)
+                    break
+                best_residual = min(best_residual, residual)
                 if hooks is not None:
                     hooks.on_iteration(iteration, residual, True)
                 if stop is not None:
@@ -235,14 +362,26 @@ class IterativeSolverBase:
                 if iteration >= self.max_iterations:
                     reason = StopReason.MAX_ITERATIONS
                     break
+                checks_done += 1
+                if policy is not None \
+                        and checks_done % policy.checkpoint_every == 0:
+                    checkpoint = x.copy()
+                    checkpoint_iteration = iteration
+                    report.checkpoints += 1
             span.set_attribute("iterations", iteration)
             span.set_attribute("residual", residual)
             span.set_attribute("stop_reason", reason.value)
+            if report is not None and (report.rollbacks or report.faults_seen):
+                span.set_attribute("rollbacks", report.rollbacks)
+                span.set_attribute("faults_seen", report.faults_seen)
         runtime = time.perf_counter() - t0
         if hooks is not None:
             hooks.on_stop(reason)
         if reason is not StopReason.DIVERGED:
             x = renormalize(x)
+        recovery = report if report is not None \
+            and (report.rollbacks or report.faults_seen or report.events) \
+            else None
         return SolverResult(x=x, iterations=iteration, residual=residual,
                             stop_reason=reason, residual_history=history,
-                            runtime_s=runtime)
+                            runtime_s=runtime, recovery=recovery)

@@ -50,6 +50,11 @@ class SolverResult:
         :class:`~repro.cme.network.ReactionNetwork` (the
         :func:`repro.solve_steady_state` front door fills this in);
         ``None`` for raw-matrix solves.
+    recovery:
+        A :class:`~repro.resilience.guardrails.RecoveryReport`
+        describing any checkpoints, rollbacks, injected faults and
+        method fallbacks taken during the solve; ``None`` when
+        guardrails were disabled and nothing fired.
     """
 
     x: np.ndarray
@@ -59,6 +64,7 @@ class SolverResult:
     residual_history: list = field(default_factory=list)
     runtime_s: float = 0.0
     landscape: object | None = None
+    recovery: object | None = None
 
     @property
     def converged(self) -> bool:

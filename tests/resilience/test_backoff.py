@@ -1,0 +1,60 @@
+"""Retry backoff: growth, cap, jitter bounds, determinism."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience import RetryPolicy
+
+
+class TestRawDelay:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=100.0)
+        assert policy.raw_delay(1) == pytest.approx(0.1)
+        assert policy.raw_delay(2) == pytest.approx(0.2)
+        assert policy.raw_delay(4) == pytest.approx(0.8)
+
+    def test_cap(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=10.0,
+                             max_delay_s=5.0)
+        assert policy.raw_delay(3) == 5.0
+        assert policy.raw_delay(50) == 5.0  # no overflow past the cap
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValidationError, match="1-based"):
+            RetryPolicy().raw_delay(0)
+
+
+class TestJitter:
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay_s=0.5, jitter=0.0)
+        assert policy.delay(1) == policy.raw_delay(1)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0,
+                             jitter=0.2, seed=11)
+        for attempt in range(1, 50):
+            d = policy.delay(attempt)
+            assert 0.8 <= d <= 1.2
+
+    def test_seeded_jitter_is_reproducible(self):
+        a = RetryPolicy(jitter=0.5, seed=9)
+        b = RetryPolicy(jitter=0.5, seed=9)
+        assert [a.delay(i) for i in range(1, 6)] \
+            == [b.delay(i) for i in range(1, 6)]
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(jitter=0.5, seed=1)
+        b = RetryPolicy(jitter=0.5, seed=2)
+        assert [a.delay(i) for i in range(1, 6)] \
+            != [b.delay(i) for i in range(1, 6)]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"base_delay_s": -1.0}, {"max_delay_s": -1.0},
+        {"multiplier": 0.5}, {"jitter": -0.1}, {"jitter": 1.5},
+    ])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**bad)

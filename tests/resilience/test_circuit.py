@@ -1,0 +1,113 @@
+"""Circuit breaker state machine, driven by an injectable clock."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout_s", 10.0)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestHalfOpen:
+    def test_reset_timeout_half_opens(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_budget_limits_half_open_traffic(self, clock):
+        breaker = make_breaker(clock, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # everyone else sheds
+
+    def test_probe_success_closes(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_immediately(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()       # one failure in HALF_OPEN re-trips
+        assert breaker.state == OPEN
+        assert breaker.opened_count == 2
+        clock.advance(5.0)
+        assert not breaker.allow()     # full reset timeout starts over
+
+
+class TestSnapshot:
+    def test_snapshot_reports_state(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {"state": CLOSED, "failures": 1, "opened_count": 0}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"failure_threshold": 0}, {"reset_timeout_s": 0},
+        {"half_open_probes": 0},
+    ])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(**bad)

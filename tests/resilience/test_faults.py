@@ -1,0 +1,198 @@
+"""The fault-injection framework: plans, schedules, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FaultPlanError,
+    KernelLaunchError,
+    WorkerCrashError,
+)
+from repro.resilience import (
+    SITE_KINDS,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    injecting,
+    install,
+    uninstall,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultSpec(site="solver.orbit", kind="nan")
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(FaultPlanError, match="does not support"):
+            FaultSpec(site="solver.iterate", kind="kill")
+        with pytest.raises(FaultPlanError, match="does not support"):
+            FaultSpec(site="serve.cache", kind="nan")
+
+    def test_every_site_has_kinds(self):
+        assert set(SITE_KINDS) == set(SITES)
+        for site, kinds in SITE_KINDS.items():
+            for kind in kinds:
+                FaultSpec(site=site, kind=kind)  # constructs cleanly
+
+    @pytest.mark.parametrize("bad", [
+        {"at": -1}, {"count": 0}, {"every": 0}, {"fraction": 0.0},
+        {"fraction": 1.5}, {"delay_s": -0.1},
+    ])
+    def test_bad_schedule_fields(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="solver.iterate", kind="nan", **bad)
+
+
+class TestSchedule:
+    def test_one_shot_matches_only_at(self):
+        spec = FaultSpec(site="solver.iterate", kind="nan", at=5)
+        assert [i for i in range(12) if spec.matches(i)] == [5]
+
+    def test_periodic_schedule(self):
+        spec = FaultSpec(site="solver.iterate", kind="perturb",
+                         at=4, every=3, count=10)
+        assert [i for i in range(14) if spec.matches(i)] == [4, 7, 10, 13]
+
+    def test_count_caps_firings(self):
+        plan = FaultPlan([{"site": "serve.cache", "kind": "miss",
+                           "at": 0, "every": 1, "count": 2}])
+        inj = FaultInjector(plan)
+        fired = [inj.maybe_fail("serve.cache") is not None
+                 for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert inj.fired("serve.cache") == 2
+
+
+class TestPlanRoundTrip:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultSpec(site="solver.iterate", kind="perturb", at=10,
+                       every=5, count=3, fraction=0.1, magnitude=2.0),
+             FaultSpec(site="serve.worker", kind="stall", delay_s=0.25)],
+            seed=42, name="mixed")
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+        assert again.seed == 42
+        assert again.name == "mixed"
+
+    def test_load_save(self, tmp_path):
+        plan = FaultPlan([{"site": "gpusim.launch", "kind": "raise"}],
+                         seed=3)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_missing_specs_rejected(self):
+        with pytest.raises(FaultPlanError, match="specs"):
+            FaultPlan.from_dict({"seed": 1})
+
+    def test_unparseable_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="unparseable"):
+            FaultPlan.from_json("{not json")
+
+    def test_for_site_filters(self):
+        plan = FaultPlan([{"site": "serve.cache", "kind": "miss"},
+                          {"site": "serve.worker", "kind": "kill"}])
+        assert len(plan.for_site("serve.cache")) == 1
+        assert plan.for_site("solver.iterate") == ()
+
+
+class TestInjector:
+    def test_active_for_only_planned_sites(self):
+        inj = FaultInjector(FaultPlan(
+            [{"site": "solver.iterate", "kind": "nan"}]))
+        assert inj.active_for("solver.iterate")
+        assert not inj.active_for("serve.worker")
+
+    def test_corrupt_nan_and_inf(self):
+        x = np.full(20, 0.05)
+        for kind, check in (("nan", np.isnan), ("inf", np.isinf)):
+            inj = FaultInjector(FaultPlan(
+                [{"site": "solver.iterate", "kind": kind, "at": 3,
+                  "fraction": 0.2}]))
+            out, spec = inj.corrupt("solver.iterate", x, 3)
+            assert spec is not None and spec.kind == kind
+            assert check(out).sum() == 4          # ceil(0.2 * 20)
+            assert np.all(x == 0.05)              # input untouched
+
+    def test_corrupt_off_schedule_is_identity(self):
+        x = np.full(10, 0.1)
+        inj = FaultInjector(FaultPlan(
+            [{"site": "solver.iterate", "kind": "nan", "at": 3}]))
+        out, spec = inj.corrupt("solver.iterate", x, 2)
+        assert spec is None
+        assert out is x
+        assert inj.fired() == 0
+
+    def test_perturb_is_seed_deterministic(self):
+        x = np.linspace(0.01, 0.1, 30)
+
+        def run(seed):
+            inj = FaultInjector(FaultPlan(
+                [{"site": "solver.iterate", "kind": "perturb", "at": 0,
+                  "fraction": 0.3, "magnitude": 0.5}], seed=seed))
+            out, _ = inj.corrupt("solver.iterate", x, 0)
+            return out
+
+        np.testing.assert_array_equal(run(7), run(7))
+        assert not np.array_equal(run(7), run(8))
+
+    def test_maybe_fail_raise_and_kill(self):
+        inj = FaultInjector(FaultPlan(
+            [{"site": "gpusim.launch", "kind": "raise"}]))
+        with pytest.raises(KernelLaunchError, match="injected raise"):
+            inj.maybe_fail("gpusim.launch", detail="spmv")
+        inj = FaultInjector(FaultPlan(
+            [{"site": "serve.worker", "kind": "kill"}]))
+        with pytest.raises(WorkerCrashError, match="injected kill"):
+            inj.maybe_fail("serve.worker")
+
+    def test_maybe_fail_stall_sleeps_then_returns(self):
+        import time
+        inj = FaultInjector(FaultPlan(
+            [{"site": "serve.worker", "kind": "stall", "delay_s": 0.05}]))
+        t0 = time.perf_counter()
+        spec = inj.maybe_fail("serve.worker")
+        assert spec is not None and spec.kind == "stall"
+        assert time.perf_counter() - t0 >= 0.04
+
+    def test_events_record_what_fired(self):
+        inj = FaultInjector(FaultPlan(
+            [{"site": "serve.cache", "kind": "miss", "at": 1}]))
+        inj.maybe_fail("serve.cache", detail="abc")
+        inj.maybe_fail("serve.cache", detail="def")
+        assert len(inj.events) == 1
+        event = inj.events[0]
+        assert (event.site, event.kind, event.index) == \
+            ("serve.cache", "miss", 1)
+        assert event.detail == "def"
+        assert event.to_dict()["kind"] == "miss"
+
+
+class TestInstallation:
+    def test_install_uninstall(self):
+        assert active_injector() is None
+        inj = FaultInjector(FaultPlan([]))
+        install(inj)
+        try:
+            assert active_injector() is inj
+        finally:
+            uninstall()
+        assert active_injector() is None
+
+    def test_injecting_context_manager_accepts_plan(self):
+        plan = FaultPlan([{"site": "serve.cache", "kind": "miss"}])
+        with injecting(plan) as inj:
+            assert active_injector() is inj
+            assert inj.plan is plan
+        assert active_injector() is None
+
+    def test_injecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with injecting(FaultInjector(FaultPlan([]))):
+                raise RuntimeError("boom")
+        assert active_injector() is None

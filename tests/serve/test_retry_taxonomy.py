@@ -1,0 +1,164 @@
+"""The retry taxonomy: which failures consume retries, which are final.
+
+Drives :class:`SolveScheduler` with scripted execute callables (one
+test per error class) plus service-level checks that the terminal
+payloads — singular-system signatures, timeout iterate stats — survive
+the trip through the worker loop.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import (
+    CircuitOpenError,
+    ConvergenceError,
+    JobTimeoutError,
+    KernelLaunchError,
+    SingularSystemError,
+    SolveJobError,
+    WorkerCrashError,
+)
+from repro.serve import SolveService
+from repro.serve.jobs import SolveJob, SolveRequest, matrix_signature
+from repro.serve.scheduler import RETRYABLE_ERRORS, SolveScheduler
+
+OPTS = {"damping": 0.8}
+
+
+def make_job(network, overrides=None, job_id=1):
+    req = SolveRequest(network, overrides or {}, tol=1e-8,
+                       max_iterations=1000, solver_options=OPTS)
+    return SolveJob(req, job_id=job_id)
+
+
+class ScriptedExecute:
+    """Raise the scripted errors in order, then return a sentinel."""
+
+    def __init__(self, *errors):
+        self.errors = list(errors)
+        self.calls = 0
+        self.outcome = object()
+
+    def __call__(self, job):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.outcome
+
+
+def run_one(execute, network, *, retries=2):
+    scheduler = SolveScheduler(execute, workers=1, retries=retries,
+                               retry_policy=None)
+    job = make_job(network)
+    try:
+        scheduler.submit(job)
+        try:
+            job.result(timeout=10.0)
+        except Exception:
+            pass  # assertions below re-raise via job.result()
+    finally:
+        scheduler.close()
+    return job
+
+
+class TestRetryableClasses:
+    """One failed attempt of each retryable class is retried away."""
+
+    @pytest.mark.parametrize("error", [
+        JobTimeoutError("attempt budget expired"),
+        ConvergenceError("stagnated", iterations=10, residual=1e-3),
+        WorkerCrashError("worker killed"),
+        KernelLaunchError("launch failed"),
+    ], ids=lambda e: type(e).__name__)
+    def test_one_failure_then_success(self, error, tiny_toggle_network):
+        execute = ScriptedExecute(error)
+        job = run_one(execute, tiny_toggle_network)
+        assert job.result() is execute.outcome
+        assert execute.calls == 2
+        assert job.attempts == 2
+
+    def test_taxonomy_is_exactly_these_four(self):
+        assert set(RETRYABLE_ERRORS) == {
+            JobTimeoutError, ConvergenceError, WorkerCrashError,
+            KernelLaunchError}
+
+    def test_budget_exhaustion_surfaces_the_last_error(
+            self, tiny_toggle_network):
+        execute = ScriptedExecute(WorkerCrashError("kill 1"),
+                                  WorkerCrashError("kill 2"),
+                                  WorkerCrashError("kill 3"))
+        job = run_one(execute, tiny_toggle_network, retries=2)
+        with pytest.raises(WorkerCrashError, match="kill 3"):
+            job.result()
+        assert execute.calls == 3
+        assert job.attempts == 3
+
+
+class TestTerminalClasses:
+    """Terminal failures never consume a second attempt."""
+
+    @pytest.mark.parametrize("error", [
+        SolveJobError("unsolvable", failure={"error": "singular-system"}),
+        CircuitOpenError("breaker open"),
+    ], ids=lambda e: type(e).__name__)
+    def test_fails_on_first_attempt(self, error, tiny_toggle_network):
+        execute = ScriptedExecute(error)
+        job = run_one(execute, tiny_toggle_network)
+        with pytest.raises(type(error)):
+            job.result()
+        assert execute.calls == 1
+        assert job.attempts == 1
+
+    def test_unexpected_exception_is_terminal_and_wrapped(
+            self, tiny_toggle_network):
+        execute = ScriptedExecute(RuntimeError("surprise"))
+        job = run_one(execute, tiny_toggle_network)
+        with pytest.raises(SolveJobError, match="surprise") as excinfo:
+            job.result()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert execute.calls == 1
+
+
+class TestServicePayloads:
+    """The structured failure payloads survive the worker loop."""
+
+    def test_singular_system_records_matrix_signature(
+            self, tiny_toggle_network):
+        # Row 0 of this generator is all zero: an isolated state, a
+        # property of the system, so the job must die on attempt one
+        # with the offending matrix's signature in the payload.
+        bad = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, -1.0]]))
+        with SolveService(tiny_toggle_network, workers=1, retries=3,
+                          solver_options=OPTS) as svc:
+            svc._workspace.matrix = lambda req: bad
+            job = svc.submit({"degA": 1.1})
+            with pytest.raises(SolveJobError, match="unsolvable"):
+                job.result()
+        assert job.attempts == 1
+        assert job.failure["error"] == "singular-system"
+        assert job.failure["rows"] == [0]
+        assert job.failure["matrix_signature"] == matrix_signature(bad)
+
+    def test_zero_row_generator_raises_singular(self):
+        from repro.solvers import JacobiSolver
+        bad = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, -1.0]]))
+        with pytest.raises(SingularSystemError, match="all-zero row") \
+                as excinfo:
+            JacobiSolver(bad)
+        assert excinfo.value.rows == [0]
+
+    def test_timed_out_regression_carries_partial_iterate_stats(
+            self, tiny_toggle_network):
+        # Regression: a TIMED_OUT attempt must report how far it got —
+        # the JobTimeoutError carries the iterate's stats at expiry.
+        with SolveService(tiny_toggle_network, workers=1, retries=0,
+                          timeout_s=1e-6,
+                          solver_options=OPTS) as svc:
+            job = svc.submit({"degA": 1.2})
+            with pytest.raises(JobTimeoutError) as excinfo:
+                job.result()
+        error = excinfo.value
+        assert error.iterations is not None and error.iterations > 0
+        assert error.residual is not None and np.isfinite(error.residual)
+        assert error.attempts == 1

@@ -11,13 +11,15 @@ from repro.solvers import (
     GaussSeidelSolver,
     JacobiSolver,
     PowerIterationSolver,
+    ResilientSolver,
     SolverResult,
     SteadyStateSolver,
     StopReason,
 )
 from repro.telemetry import RecordingHooks
 
-ALL_SOLVERS = (JacobiSolver, GaussSeidelSolver, PowerIterationSolver)
+ALL_SOLVERS = (JacobiSolver, GaussSeidelSolver, PowerIterationSolver,
+               ResilientSolver)
 
 
 def make_solver(cls, matrix, **kwargs):
@@ -25,9 +27,10 @@ def make_solver(cls, matrix, **kwargs):
 
     Undamped Jacobi oscillates on bipartite-ish chains (the birth-death
     tridiagonal included), so the conformance runs damp it — the shared
-    API under test is identical either way.
+    API under test is identical either way.  (The resilient chain's
+    first member is that same Jacobi, so it gets the damping too.)
     """
-    if cls is JacobiSolver:
+    if cls in (JacobiSolver, ResilientSolver):
         kwargs.setdefault("damping", 0.8)
     return cls(matrix, **kwargs)
 
