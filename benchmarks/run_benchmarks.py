@@ -1,0 +1,327 @@
+"""Tracked benchmark baseline: write ``BENCH_5.json`` at the repo root.
+
+Unlike the pytest-benchmark suites next door (which regenerate the
+paper's tables), this script times the *engineering* surfaces this
+codebase optimizes and records them in one machine-readable file:
+
+* ``formats`` — per-format ``spmv`` vs. multi-RHS ``spmm`` (K=8) on the
+  toggle-switch generator, with the amortization ratio
+  ``K * t_spmv / t_spmm``.
+* ``solver`` — Jacobi iterations/s and the counted SpMV-per-iteration
+  ratio (product reuse means a solve of ``I`` iterations performs
+  exactly ``I + 1`` products).
+* ``batched`` — 8 sweep conditions solved serially vs. through the
+  stacked :class:`~repro.solvers.batched.BatchedJacobiSolver`, at two
+  scopes: ``solver_only`` (the Jacobi loops alone, identical prebuilt
+  systems) and ``workload`` (what a user actually runs: independent
+  ``solve_steady_state`` calls, each re-enumerating the state space,
+  vs. ``ParameterSweep.run(batch=K)``, which shares one enumeration).
+  Each entry records what its timing includes.
+* ``gpusim_memo`` — one traffic analysis cold (full structure walk)
+  vs. memoized repeat (fingerprint probe), plus the hit/miss counters.
+* ``serve`` — jobs/s through :class:`~repro.serve.SolveService` on the
+  four paper models at small state spaces.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --quick --check-memo-speedup 5
+
+``--check-memo-speedup X`` exits nonzero when the memoized gpusim
+analysis is less than ``X``× faster than the cold one — the CI smoke
+gate.  All timings are single-process wall clock on whatever machine
+runs the script; the JSON records the machine so baselines are only
+compared like-for-like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+import scipy.sparse as sp
+
+from repro import (
+    brusselator,
+    phage_lambda,
+    schnakenberg,
+    solve_steady_state,
+    toggle_switch,
+)
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.statespace import StateSpace, enumerate_state_space
+from repro.gpusim import clear_memo, memo_stats, spmv_traffic
+from repro.serve import SolveService
+from repro.solvers import BatchedJacobiSolver, JacobiSolver
+from repro.sparse.base import as_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.ellr import ELLRMatrix
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+from repro.sweep import ParameterSweep
+
+FORMATS = [CSRMatrix, ELLMatrix, ELLRMatrix, ELLDIAMatrix,
+           SlicedELLMatrix, SellCSigmaMatrix, WarpedELLMatrix]
+
+#: degA multipliers of the batched-sweep benchmark: 8 conditions, the
+#: batch width the serve layer coalesces to by default.
+DEG_POINTS = [0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5]
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of *repeats* calls (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class CountingCSR(sp.csr_matrix):
+    """A CSR matrix that counts its ``@`` products (see tier-1 test
+    ``tests/solvers/test_single_spmv.py`` for the same idiom)."""
+
+    def __matmul__(self, other):
+        self.matmul_count = getattr(self, "matmul_count", 0) + 1
+        return super().__matmul__(other)
+
+
+def bench_formats(csr, repeats: int) -> dict:
+    """Per-format spmv/spmm timings on the toggle generator."""
+    n = csr.shape[0]
+    rng = np.random.default_rng(0)
+    x = rng.random(n)
+    X = rng.random((n, 8))
+    out = {}
+    for cls in FORMATS:
+        fmt = cls(csr)
+        spmv_s = best_of(lambda: fmt.spmv(x), repeats)
+        spmm_s = best_of(lambda: fmt.spmm(X), repeats)
+        out[cls.__name__] = {
+            "spmv_us": round(spmv_s * 1e6, 2),
+            "spmm_k8_us": round(spmm_s * 1e6, 2),
+            # > 1 means the fused multi-RHS pass beats K single SpMVs.
+            "amortization_x": round(8 * spmv_s / spmm_s, 3),
+        }
+    return out
+
+
+def bench_solver(A, max_iterations: int) -> dict:
+    """Iterations/s and the counted SpMV-per-iteration ratio."""
+    solver = JacobiSolver(A, tol=1e-300, max_iterations=max_iterations,
+                          stagnation_tol=None)
+    counted = CountingCSR(solver.A)
+    counted.matmul_count = 0
+    solver.A = counted
+    t0 = time.perf_counter()
+    result = solver.solve()
+    elapsed = time.perf_counter() - t0
+    return {
+        "n": A.shape[0],
+        "iterations": result.iterations,
+        "iterations_per_s": round(result.iterations / elapsed, 1),
+        "spmv_count": counted.matmul_count,
+        # Product reuse: I iterations cost exactly I + 1 products.
+        "spmv_per_iteration": round(
+            counted.matmul_count / result.iterations, 4),
+    }
+
+
+def bench_batched(net, max_iterations: int) -> dict:
+    """Serial vs. batched over the 8-point degA sweep, at two scopes."""
+    degs = DEG_POINTS
+    kwargs = dict(tol=1e-300, max_iterations=max_iterations,
+                  stagnation_tol=None)
+
+    # -- solver_only: identical prebuilt systems, Jacobi loops alone --
+    base_space = enumerate_state_space(net)
+    mats = [build_rate_matrix(
+        StateSpace(network=net.with_rates({"degA": d}),
+                   states=base_space.states))
+            for d in degs]
+    t0 = time.perf_counter()
+    for A in mats:
+        JacobiSolver(A, **kwargs).solve()
+    serial_solver_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    BatchedJacobiSolver.stacked(mats, **kwargs).solve_many()
+    batched_solver_s = time.perf_counter() - t0
+
+    # -- workload: what a user runs for 8 conditions ------------------
+    t0 = time.perf_counter()
+    for d in degs:
+        solve_steady_state(net.with_rates({"degA": d}), **kwargs)
+    serial_workload_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sweep = ParameterSweep(net, {"degA": degs})
+    sweep.run(batch=len(degs), tol=1e-300, max_iterations=max_iterations,
+              solver_kwargs={"stagnation_tol": None})
+    batched_workload_s = time.perf_counter() - t0
+
+    return {
+        "n": base_space.size,
+        "conditions": len(degs),
+        "max_iterations": max_iterations,
+        "solver_only": {
+            "includes": "Jacobi loops on prebuilt identical systems "
+                        "(no enumeration, no matrix assembly)",
+            "serial_s": round(serial_solver_s, 4),
+            "batched_s": round(batched_solver_s, 4),
+            "speedup_x": round(serial_solver_s / batched_solver_s, 3),
+        },
+        "workload": {
+            "includes_serial": "8 independent solve_steady_state calls, "
+                               "each enumerating the state space and "
+                               "assembling its matrix",
+            "includes_batched": "ParameterSweep.run(batch=8): one shared "
+                                "enumeration, per-condition assembly, one "
+                                "stacked multi-RHS solve",
+            "serial_s": round(serial_workload_s, 4),
+            "batched_s": round(batched_workload_s, 4),
+            "speedup_x": round(serial_workload_s / batched_workload_s, 3),
+        },
+    }
+
+
+def bench_gpusim_memo(csr, repeats: int) -> dict:
+    """Cold structure walk vs. memoized repeat of one traffic analysis."""
+    fmt = WarpedELLMatrix(csr, separate_diagonal=True)
+    clear_memo()
+    cold_s = best_of(lambda: spmv_traffic(fmt, memoize=False), repeats)
+    spmv_traffic(fmt)  # populate: fingerprint + one cache entry
+    loops = 200
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        spmv_traffic(fmt)
+    warm_s = (time.perf_counter() - t0) / loops
+    stats = memo_stats()
+    return {
+        "format": type(fmt).__name__,
+        "n": csr.shape[0],
+        "cold_us": round(cold_s * 1e6, 2),
+        "memoized_us": round(warm_s * 1e6, 3),
+        "speedup_x": round(cold_s / warm_s, 1),
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+    }
+
+
+def bench_serve(quick: bool) -> dict:
+    """Jobs/s through SolveService on the four paper models."""
+    small = dict(max_x=16, max_y=8) if quick else dict(max_x=24, max_y=12)
+    models = [
+        ("toggle_switch", toggle_switch(max_protein=11 if quick else 15),
+         "degA"),
+        ("brusselator", brusselator(**small), "drain"),
+        ("schnakenberg", schnakenberg(**small), "decX"),
+        ("phage_lambda", phage_lambda(max_monomer=3, max_dimer=1), "degCI"),
+    ]
+    jobs = 4 if quick else 8
+    out = {}
+    for name, net, rate in models:
+        base = next(r.rate for r in net.reactions if r.name == rate)
+        conds = [{rate: base * (1.0 + 0.05 * i)} for i in range(jobs)]
+        with SolveService(net, workers=2, batch_max=4) as service:
+            t0 = time.perf_counter()
+            outcomes = service.map(conds)
+            elapsed = time.perf_counter() - t0
+        out[name] = {
+            "n": outcomes[0].result.x.size,
+            "jobs": jobs,
+            "seconds": round(elapsed, 4),
+            "jobs_per_s": round(jobs / elapsed, 2),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small systems and budgets (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_5.json",
+                        help="output path (default: BENCH_5.json at root)")
+    parser.add_argument("--check-memo-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit nonzero if memoized gpusim analysis is "
+                             "less than X times faster than cold")
+    args = parser.parse_args(argv)
+
+    max_protein = 31 if args.quick else 127
+    max_iterations = 100 if args.quick else 200
+    repeats = 5 if args.quick else 3
+
+    net = toggle_switch(max_protein=max_protein)
+    space = enumerate_state_space(net)
+    A = build_rate_matrix(space)
+    csr = as_csr(A)
+
+    report = {
+        "bench": "BENCH_5",
+        "quick": args.quick,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "system": {"model": "toggle_switch",
+                   "max_protein": max_protein,
+                   "n": csr.shape[0], "nnz": int(csr.nnz)},
+    }
+
+    print(f"[bench] formats: n={csr.shape[0]}, nnz={csr.nnz}")
+    report["formats"] = bench_formats(csr, repeats)
+    print("[bench] solver: counted Jacobi")
+    report["solver"] = bench_solver(A, max_iterations)
+    print(f"[bench] batched: {len(DEG_POINTS)}-point degA sweep")
+    report["batched"] = bench_batched(net, max_iterations)
+    print("[bench] gpusim memo: cold vs. memoized")
+    report["gpusim_memo"] = bench_gpusim_memo(csr, repeats)
+    print("[bench] serve: four paper models")
+    report["serve"] = bench_serve(args.quick)
+
+    report["acceptance"] = {
+        "batched_workload_speedup_x":
+            report["batched"]["workload"]["speedup_x"],
+        "batched_workload_target_x": 3.0,
+        "memo_speedup_x": report["gpusim_memo"]["speedup_x"],
+        "memo_target_x": 10.0,
+        "spmv_per_iteration": report["solver"]["spmv_per_iteration"],
+        "spmv_per_iteration_target":
+            "~1 (exactly iterations + 1 products per solve)",
+    }
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.out}")
+    for key, value in report["acceptance"].items():
+        print(f"  {key}: {value}")
+
+    if args.check_memo_speedup is not None:
+        measured = report["gpusim_memo"]["speedup_x"]
+        if measured < args.check_memo_speedup:
+            print(f"[bench] FAIL: memo speedup {measured}x < "
+                  f"required {args.check_memo_speedup}x", file=sys.stderr)
+            return 1
+        print(f"[bench] memo speedup {measured}x >= "
+              f"{args.check_memo_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,13 @@ from repro.gpusim.perfmodel import PerfEstimate, estimate_performance
 from repro.gpusim.executor import (
     jacobi_performance,
     spmv_performance,
+    spmv_traffic,
     run_spmv,
+)
+from repro.gpusim.memo import (
+    clear_memo,
+    memo_stats,
+    structure_fingerprint,
 )
 
 __all__ = [
@@ -44,6 +50,10 @@ __all__ = [
     "PerfEstimate",
     "estimate_performance",
     "spmv_performance",
+    "spmv_traffic",
     "jacobi_performance",
     "run_spmv",
+    "structure_fingerprint",
+    "memo_stats",
+    "clear_memo",
 ]

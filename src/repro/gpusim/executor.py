@@ -36,6 +36,7 @@ from repro.gpusim.kernels.ell import (
 )
 from repro.gpusim.kernels.jacobi import jacobi_traffic
 from repro.gpusim.kernels.misc import coo_spmv_traffic, dia_spmv_traffic
+from repro.gpusim.memo import memoized_traffic
 from repro.gpusim.kernels.sliced import (
     sell_c_sigma_spmv_traffic,
     sliced_ell_spmv_traffic,
@@ -58,13 +59,36 @@ from repro.sparse.warped_ell import WarpedELLMatrix
 def spmv_traffic(matrix: SparseFormat, *,
                  precision: Precision = Precision.DOUBLE,
                  block_size: int | None = None,
-                 csr_kernel: str = "vector") -> TrafficReport:
+                 csr_kernel: str = "vector",
+                 memoize: bool = True) -> TrafficReport:
     """The SpMV traffic report of any supported format.
 
     ``block_size`` defaults to each kernel's natural configuration (256;
     the original sliced ELL couples it to the slice size).  ``csr_kernel``
     selects the scalar or vector CSR variant.
+
+    Traffic depends only on the structure, so by default the report is
+    memoized under the structural fingerprint (see
+    :mod:`repro.gpusim.memo`): repeat analyses of an
+    already-fingerprinted matrix are O(1).  Pass ``memoize=False`` to
+    force the full structure walk.
     """
+    if memoize and isinstance(matrix, SparseFormat):
+        return memoized_traffic(
+            matrix,
+            lambda: _spmv_traffic_impl(matrix, precision=precision,
+                                       block_size=block_size,
+                                       csr_kernel=csr_kernel),
+            kind="spmv", precision=precision, block_size=block_size,
+            csr_kernel=csr_kernel)
+    return _spmv_traffic_impl(matrix, precision=precision,
+                              block_size=block_size, csr_kernel=csr_kernel)
+
+
+def _spmv_traffic_impl(matrix: SparseFormat, *,
+                       precision: Precision,
+                       block_size: int | None,
+                       csr_kernel: str) -> TrafficReport:
     kwargs = {"precision": precision}
     if isinstance(matrix, WarpedELLMatrix):
         return warped_ell_spmv_traffic(matrix, block_size=block_size or 256,
@@ -103,7 +127,8 @@ def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
                      precision: Precision = Precision.DOUBLE,
                      block_size: int | None = None,
                      csr_kernel: str = "vector",
-                     x_scale: float = 1.0) -> PerfEstimate:
+                     x_scale: float = 1.0,
+                     memoize: bool = True) -> PerfEstimate:
     """Modeled SpMV performance of *matrix* on *device*.
 
     ``x_scale`` is the problem-size normalization of
@@ -119,7 +144,8 @@ def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
                       device=device.name) as sp:
         _launch_guard("spmv")
         report = spmv_traffic(matrix, precision=precision,
-                              block_size=block_size, csr_kernel=csr_kernel)
+                              block_size=block_size, csr_kernel=csr_kernel,
+                              memoize=memoize)
         perf = estimate_performance(report, device, x_scale=x_scale)
         _annotate_span(sp, report, perf)
         return perf
@@ -142,19 +168,32 @@ def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
                        block_size: int = 256,
                        check_interval: int = 0,
                        normalize_interval: int = 0,
-                       x_scale: float = 1.0) -> PerfEstimate:
+                       x_scale: float = 1.0,
+                       memoize: bool = True) -> PerfEstimate:
     """Modeled per-iteration Jacobi performance on *device*.
 
     Emits a ``gpusim.jacobi`` span (kernel, transactions, modeled
-    time, occupancy) when a telemetry recorder is installed.
+    time, occupancy) when a telemetry recorder is installed.  Like
+    :func:`spmv_traffic`, the underlying traffic report is memoized by
+    structural fingerprint unless ``memoize=False``.
     """
     with tracing.span("gpusim.jacobi", format=type(matrix).__name__,
                       device=device.name) as sp:
         _launch_guard("jacobi")
-        report = jacobi_traffic(matrix, precision=precision,
-                                block_size=block_size,
-                                check_interval=check_interval,
-                                normalize_interval=normalize_interval)
+
+        def _build():
+            return jacobi_traffic(matrix, precision=precision,
+                                  block_size=block_size,
+                                  check_interval=check_interval,
+                                  normalize_interval=normalize_interval)
+
+        if memoize and isinstance(matrix, SparseFormat):
+            report = memoized_traffic(
+                matrix, _build, kind="jacobi", precision=precision,
+                block_size=block_size, check_interval=check_interval,
+                normalize_interval=normalize_interval)
+        else:
+            report = _build()
         perf = estimate_performance(report, device, x_scale=x_scale)
         _annotate_span(sp, report, perf)
         return perf

@@ -105,6 +105,7 @@ class SolveRequest:
         self.max_iterations = int(max_iterations)
         self.solver_options = {k: options[k] for k in sorted(options)}
         self._key: str | None = None
+        self._matrix_key: str | None = None
 
     def varied_network(self) -> ReactionNetwork:
         """The network with the overrides applied."""
@@ -143,6 +144,23 @@ class SolveRequest:
             }, sort_keys=True, separators=(",", ":"))
             self._key = hashlib.sha256(payload.encode()).hexdigest()
         return self._key
+
+    def matrix_key(self) -> str:
+        """Content hash of the assembled *system* alone.
+
+        Unlike :meth:`cache_key` this excludes tolerances, iteration
+        caps and solver options: two requests with equal matrix keys
+        describe the **same linear system** (network + overrides) and
+        can therefore share one assembled matrix — and, when their loop
+        parameters agree, one batched multi-RHS solve.
+        """
+        if self._matrix_key is None:
+            payload = json.dumps({
+                "network": self.network.canonical_signature(),
+                "overrides": sorted(self.overrides.items()),
+            }, sort_keys=True, separators=(",", ":"))
+            self._matrix_key = hashlib.sha256(payload.encode()).hexdigest()
+        return self._matrix_key
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"SolveRequest({self.network.name!r}, "
@@ -254,6 +272,20 @@ class SolveJob:
             if self._state is not JobState.PENDING:
                 return False
             self._state = JobState.RUNNING
+            return True
+
+    def requeue(self) -> bool:
+        """Return a running job to PENDING (batched → solo fallback).
+
+        A companion drained into a batched solve that could not be
+        answered there (batch failure, per-column timeout) goes back
+        through the queue for an individual attempt; the transition is
+        refused once the job is done.
+        """
+        with self._lock:
+            if self._state is not JobState.RUNNING or self._done.is_set():
+                return False
+            self._state = JobState.PENDING
             return True
 
     def finish(self, outcome: SolveOutcome) -> None:

@@ -36,6 +36,7 @@ COUNTER_NAMES = (
     "failed",           # terminal failures after the retry budget
     "rejected",         # backpressure rejections
     "retried",          # retry attempts consumed
+    "batched",          # companion jobs coalesced into a batched solve
     "warm_started",     # solves seeded from a neighbor
     "cold_started",     # solves from the uniform vector
     "degraded",         # approximate answers served under load shedding

@@ -121,6 +121,35 @@ class BoundedPriorityQueue:
             self._not_full.notify()
             return item.job
 
+    def drain_matching(self, predicate, limit: int) -> list[SolveJob]:
+        """Atomically remove up to *limit* queued jobs passing *predicate*.
+
+        Candidates are considered in priority/FIFO order (the order a
+        worker would have served them), so batching never lets a
+        low-priority match jump a high-priority one out of the queue.
+        Non-matching jobs keep their positions.  Used by the service to
+        coalesce compatible pending solves into one batched solve.
+        """
+        matched: list[SolveJob] = []
+        if limit <= 0:
+            return matched
+        with self._lock:
+            if not self._heap:
+                return matched
+            kept: list[_QueueItem] = []
+            while self._heap and len(matched) < limit:
+                item = heapq.heappop(self._heap)
+                if (item.job.state is JobState.PENDING
+                        and predicate(item.job)):
+                    matched.append(item.job)
+                else:
+                    kept.append(item)
+            for item in kept:
+                heapq.heappush(self._heap, item)
+            if matched:
+                self._not_full.notify_all()
+        return matched
+
     def close(self) -> None:
         """Stop accepting jobs and wake all waiters."""
         with self._lock:

@@ -67,7 +67,11 @@ from repro.serve.scheduler import (
     SolveScheduler,
 )
 from repro.serve.warmstart import WarmStartIndex, blend_donors
-from repro.solvers import SOLVER_REGISTRY, JacobiSolver
+from repro.solvers import (
+    SOLVER_REGISTRY,
+    BatchedJacobiSolver,
+    JacobiSolver,
+)
 from repro.solvers.result import StopReason
 from repro.telemetry import tracing
 
@@ -121,8 +125,13 @@ class _Workspace:
         return StateSpace(network=varied, states=base.states)
 
     def matrix(self, request: SolveRequest):
-        """The assembled rate matrix for one request (memoized)."""
-        memo_key = request.cache_key()
+        """The assembled rate matrix for one request (memoized).
+
+        Keyed by :meth:`SolveRequest.matrix_key`, so requests differing
+        only in tolerance or solver options share one assembly — and
+        batched companions are guaranteed the identical matrix object.
+        """
+        memo_key = request.matrix_key()
         with self._lock:
             A = self._matrices.get(memo_key)
             if A is not None:
@@ -193,6 +202,17 @@ class SolveService:
         ``warm_start_iterations_saved`` metric.  Audits cost one extra
         solve each, so the default samples 1 in 8; set ``1`` to audit
         every warm start, ``0`` to disable auditing.
+    batch_max:
+        When > 1 (and ``method="jacobi"`` with the fast step backend), a
+        worker picking up a job also *drains* up to ``batch_max - 1``
+        queued jobs describing the same linear system
+        (:meth:`SolveRequest.matrix_key`) with the same loop parameters
+        (only ``tol`` may differ) and answers them all in one
+        :class:`~repro.solvers.batched.BatchedJacobiSolver` multi-RHS
+        solve — one fused product per sweep instead of one solve per
+        job.  Companions that cannot be answered by the batch (a
+        per-column timeout, a batch failure) go back through the queue
+        for an individual attempt.  ``1`` (default) disables batching.
     tol, max_iterations, solver_options:
         Request defaults (overridable per submit).
     reuse_state_space, max_states:
@@ -219,6 +239,7 @@ class SolveService:
                  breaker_reset_s: float = 30.0,
                  degraded_mode: bool = False,
                  warm_audit_interval: int = 8,
+                 batch_max: int = 1,
                  tol: float = 1e-8, max_iterations: int = 200_000,
                  solver_options: Mapping | None = None,
                  reuse_state_space: bool = True,
@@ -243,6 +264,10 @@ class SolveService:
         if warm_audit_interval < 0:
             raise ValidationError("warm_audit_interval must be >= 0")
         self.warm_audit_interval = int(warm_audit_interval)
+        if batch_max < 1:
+            raise ValidationError(
+                f"batch_max must be >= 1, got {batch_max}")
+        self.batch_max = int(batch_max)
         self._warm_count = itertools.count()
         self.timeout_s = timeout_s
         self.method = str(method).lower().replace("_", "-")
@@ -486,6 +511,14 @@ class SolveService:
                     x0 = blend_donors(donors, distances)
                     warm = True
 
+            if (self.batch_max > 1 and self.method == "jacobi"
+                    and req.solver_options.get("step", "fast") == "fast"):
+                companions = self._drain_companions(job)
+                if companions:
+                    return self._execute_batched(
+                        job, companions, A, space, x0, warm,
+                        time_budget_s, t0, ex_span)
+
             # A zero diagonal or all-zero row is a property of the
             # system, not of this attempt — surface it as a terminal
             # SolveJobError (with the offending matrix's signature in
@@ -543,6 +576,125 @@ class SolveService:
                 landscape=ProbabilityLandscape(space, result.x),
                 key=job.key, cached=False, warm_started=warm,
                 solve_seconds=time.perf_counter() - t0)
+
+    # -- batched execution ---------------------------------------------------
+
+    def _drain_companions(self, primary: SolveJob) -> list[SolveJob]:
+        """Pull queued jobs that can share *primary*'s batched solve.
+
+        Compatible means: the identical linear system (matrix key) with
+        identical loop parameters — only the tolerance may differ per
+        column.  Jobs carrying a deadline stay solo so their budget
+        arithmetic is never entangled with a batch.
+        """
+        req = primary.request
+
+        def compatible(other: SolveJob) -> bool:
+            r = other.request
+            return (other.deadline_at is None
+                    and r.matrix_key() == req.matrix_key()
+                    and r.solver_options == req.solver_options
+                    and r.max_iterations == req.max_iterations)
+
+        drained = self._scheduler.queue.drain_matching(
+            compatible, self.batch_max - 1)
+        companions = []
+        for j in drained:
+            if j.mark_running():
+                j.started_at = time.perf_counter()
+                companions.append(j)
+        return companions
+
+    def _execute_batched(self, job: SolveJob, companions: list[SolveJob],
+                         A, space, x0, warm: bool,
+                         time_budget_s: float | None, t0: float,
+                         ex_span) -> SolveOutcome:
+        """Answer the primary and its companions in one multi-RHS solve.
+
+        Companions are finished (or re-queued) here directly — the
+        scheduler only knows about the primary.  The primary's outcome
+        (or timeout) is returned/raised exactly as in the solo path, so
+        its retry/breaker handling is unchanged.
+        """
+        req = job.request
+        jobs = [job] + companions
+        self.metrics.incr("batched", len(companions))
+        try:
+            solver = BatchedJacobiSolver(
+                A, tol=req.tol, max_iterations=req.max_iterations,
+                **{k: v for k, v in req.solver_options.items()
+                   if k != "step"})
+            tols = [j.request.tol for j in jobs]
+            x0s = None if x0 is None else [x0] * len(jobs)
+            solve_t0 = time.perf_counter()
+            with tracing.span("serve.solve_batched", k=len(jobs),
+                              warm=warm):
+                results = solver.solve_many(x0s, k=len(jobs), tols=tols,
+                                            time_budget_s=time_budget_s)
+        except Exception:
+            # The batch never produced answers: release the companions
+            # back to the queue for individual attempts, then let the
+            # primary's error flow through the normal retry path.
+            self._requeue_solo(companions)
+            raise
+        self.metrics.observe_stage("solve",
+                                   time.perf_counter() - solve_t0)
+        ex_span.set_attribute("batched", len(jobs))
+        primary_outcome: SolveOutcome | None = None
+        primary_timeout: JobTimeoutError | None = None
+        for j, result in zip(jobs, results):
+            if result.stop_reason is StopReason.TIMED_OUT:
+                if j is job:
+                    primary_timeout = JobTimeoutError(
+                        f"job {j.id} exceeded its {time_budget_s:.3g}s "
+                        f"budget after {result.iterations} iterations",
+                        key=j.key, iterations=result.iterations,
+                        residual=result.residual)
+                else:
+                    self._requeue_solo([j])
+                continue
+            self.metrics.incr("warm_started" if warm else "cold_started")
+            if self.cache is not None:
+                self.cache.put(CacheEntry(
+                    key=j.key, p=result.x, iterations=result.iterations,
+                    residual=result.residual,
+                    stop_reason=result.stop_reason.value,
+                    runtime_s=result.runtime_s,
+                    layout=self._workspace.layout()))
+            if self._warm_index is not None:
+                self._warm_index.add(j.key, j.request.log_rate_vector(),
+                                     result.iterations)
+            outcome = SolveOutcome(
+                result=result,
+                landscape=ProbabilityLandscape(space, result.x),
+                key=j.key, cached=False, warm_started=warm,
+                solve_seconds=time.perf_counter() - t0)
+            if j is job:
+                primary_outcome = outcome
+            else:
+                j.finished_at = time.perf_counter()
+                j.finish(outcome)
+                self._on_done(j, None)
+        if primary_timeout is not None:
+            raise primary_timeout
+        assert primary_outcome is not None
+        return primary_outcome
+
+    def _requeue_solo(self, companions: list[SolveJob]) -> None:
+        """Send batch companions back through the queue, one by one."""
+        for j in companions:
+            if not j.requeue():
+                continue  # already terminal (e.g. cancelled meanwhile)
+            try:
+                self._scheduler.queue.put(j)
+            except SolveJobError as exc:
+                error = SolveJobError(
+                    f"job {j.id} could not return to the queue after its "
+                    f"batch: {exc}", key=j.key, attempts=j.attempts)
+                error.__cause__ = exc
+                j.finished_at = time.perf_counter()
+                j.fail(error)
+                self._on_done(j, error)
 
     def _maybe_audit(self, solver: JacobiSolver, warm_result) -> None:
         """Measure one warm start against the uniform start, sampled.

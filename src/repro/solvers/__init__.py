@@ -8,6 +8,11 @@
   stochastic matrix (the Markov-model generalization of Section VIII).
 * :class:`GaussSeidelSolver` — the sequential foil: fewer iterations,
   no parallelism per iteration (the trade-off Section IV weighs).
+* :class:`BatchedJacobiSolver` — K steady states in lockstep, one
+  multi-RHS product per sweep (shared-matrix SpMM or a stacked block
+  diagonal), with per-column stopping and early retirement.  Not in the
+  registry: ``solve_many`` has a different signature than the unified
+  ``solve``.
 * :func:`gmres_steady_state` — a GMRES attempt on the (ill-conditioned,
   singular) steady-state system, reproducing the paper's observation
   that Krylov methods fail to converge here.
@@ -21,6 +26,7 @@ from repro.solvers.stopping import StoppingCriterion
 from repro.solvers.normalization import renormalize
 from repro.solvers.base import IterativeSolverBase, SteadyStateSolver
 from repro.solvers.jacobi import JacobiSolver
+from repro.solvers.batched import BatchedJacobiSolver
 from repro.solvers.gauss_seidel import GaussSeidelSolver
 from repro.solvers.power import PowerIterationSolver
 from repro.solvers.gmres import gmres_steady_state
@@ -49,6 +55,7 @@ __all__ = [
     "SOLVER_REGISTRY",
     "renormalize",
     "JacobiSolver",
+    "BatchedJacobiSolver",
     "GaussSeidelSolver",
     "PowerIterationSolver",
     "gmres_steady_state",

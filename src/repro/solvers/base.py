@@ -30,7 +30,9 @@ Centralizing the loop means every solver gets, identically:
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -40,6 +42,53 @@ from repro.solvers.normalization import renormalize, uniform_probability
 from repro.solvers.result import SolverResult, StopReason
 from repro.solvers.stopping import StoppingCriterion
 from repro.telemetry import tracing
+
+#: Matrix-derived quantities (row sums, inf-norm, diagonal) cached per
+#: matrix *object*.  SciPy CSR matrices are unhashable, so entries are
+#: keyed by ``id()`` and guarded by a weak reference: a stale id reuse
+#: misses (the guard compares identity) and collection evicts the entry.
+_DERIVED_CACHE: dict[int, tuple] = {}
+_DERIVED_LOCK = threading.Lock()
+
+
+def matrix_derived(A) -> dict:
+    """Row sums, ``||A||_inf``, zero rows and the diagonal of *A*, cached.
+
+    Repeated solver constructions on the same matrix object (warm-started
+    re-solves, serve retries/audits, batched sweeps) skip the O(nnz)
+    re-derivation; the first call on a matrix pays it once.
+    """
+    key = id(A)
+    with _DERIVED_LOCK:
+        hit = _DERIVED_CACHE.get(key)
+        if hit is not None and hit[0]() is A:
+            return hit[1]
+    if A.nnz:
+        row_sums = np.asarray(abs(A).sum(axis=1), dtype=np.float64).ravel()
+        inf_norm = float(row_sums.max())
+    else:
+        row_sums = np.zeros(A.shape[0], dtype=np.float64)
+        inf_norm = 0.0
+    derived = {
+        "row_sums": row_sums,
+        "inf_norm": inf_norm,
+        "zero_rows": np.flatnonzero(row_sums == 0.0),
+        "diagonal": np.asarray(A.diagonal(), dtype=np.float64),
+    }
+
+    def _evict(dying_ref, _key=key):
+        with _DERIVED_LOCK:
+            cur = _DERIVED_CACHE.get(_key)
+            if cur is not None and cur[0] is dying_ref:
+                del _DERIVED_CACHE[_key]
+
+    try:
+        ref = weakref.ref(A, _evict)
+    except TypeError:
+        return derived
+    with _DERIVED_LOCK:
+        _DERIVED_CACHE[key] = (ref, derived)
+    return derived
 
 
 @runtime_checkable
@@ -109,16 +158,12 @@ class IterativeSolverBase:
         self.normalize_interval = (None if normalize_interval is None
                                    else int(normalize_interval))
         self.stagnation_tol = stagnation_tol
-        if A.nnz:
-            row_sums = np.asarray(abs(A).sum(axis=1), dtype=np.float64).ravel()
-            self.matrix_inf_norm = float(row_sums.max())
-        else:
-            row_sums = np.zeros(self.n)
-            self.matrix_inf_norm = 0.0
+        self._derived = matrix_derived(A)
+        self.matrix_inf_norm = self._derived["inf_norm"]
         # An all-zero row is an isolated state: nothing flows in or out,
         # so the chain is reducible and the stationary distribution is
         # not unique — no amount of iterating (or retrying) fixes that.
-        zero_rows = np.flatnonzero(row_sums == 0.0)
+        zero_rows = self._derived["zero_rows"]
         if zero_rows.size:
             shown = ", ".join(str(r) for r in zero_rows[:5])
             more = "" if zero_rows.size <= 5 else \
@@ -130,8 +175,23 @@ class IterativeSolverBase:
 
     # -- to be provided by subclasses ----------------------------------------
 
+    #: When true, :meth:`step_from_product` can advance the iterate from
+    #: a residual product ``y = A @ x`` the loop already computed at a
+    #: check, so a check iteration costs no extra SpMV (the loop performs
+    #: exactly one product per iteration, plus the final check's).
+    supports_product_step: bool = False
+
     def step_once(self, x: np.ndarray) -> np.ndarray:
         """One iteration of the method (no renormalization)."""
+        raise NotImplementedError
+
+    def step_from_product(self, x: np.ndarray,
+                          y: np.ndarray) -> np.ndarray:
+        """One iteration reusing ``y = A @ x`` (already computed).
+
+        Must be numerically identical to :meth:`step_once` on the same
+        ``x``; only solvers setting :attr:`supports_product_step` need it.
+        """
         raise NotImplementedError
 
     # -- the unified solve loop ----------------------------------------------
@@ -240,6 +300,20 @@ class IterativeSolverBase:
             count_recovery(kind, iteration)
             return checkpoint.copy()
 
+        # The residual product ``y = A @ x`` of the latest check, valid
+        # for the *current* x.  When the solver supports product-reuse
+        # steps, the next batch's first iteration consumes it instead of
+        # recomputing the same product — one SpMV per iteration total.
+        pending_y = None
+        reuse = self.supports_product_step
+
+        def advance(x: np.ndarray) -> np.ndarray:
+            nonlocal pending_y
+            if pending_y is not None:
+                y, pending_y = pending_y, None
+                return self.step_from_product(x, y)
+            return self.step_once(x)
+
         span = tracing.span(f"{self.span_name}.solve", n=self.n,
                             method=type(self).__name__)
         with span:
@@ -247,7 +321,10 @@ class IterativeSolverBase:
                 # A warm start may already satisfy the tolerance (e.g. a
                 # cached neighbor with identical dynamics); charge one
                 # residual evaluation instead of a full check interval.
-                residual = criterion.normalized_residual(self.A @ x, x)
+                y0 = self.A @ x
+                residual = criterion.normalized_residual(y0, x)
+                if reuse:
+                    pending_y = y0
                 if residual <= self.tol:
                     history.append((0, residual))
                     if hooks is not None:
@@ -265,7 +342,7 @@ class IterativeSolverBase:
                 if hooks is None and not inject and not sweep_guard:
                     # The original uninstrumented inner loop, unchanged.
                     for _ in range(budget):
-                        x = self.step_once(x)
+                        x = advance(x)
                         iteration += 1
                         if (norm_every is not None
                                 and iteration % norm_every == 0):
@@ -275,7 +352,7 @@ class IterativeSolverBase:
                     # residual check below, so its on_iteration call can
                     # carry the measured residual.
                     for i in range(budget):
-                        x = self.step_once(x)
+                        x = advance(x)
                         iteration += 1
                         renorm = (norm_every is not None
                                   and iteration % norm_every == 0)
@@ -290,7 +367,7 @@ class IterativeSolverBase:
                     # renormalization is skipped for corrupt iterates
                     # (renormalize raises on non-finite input).
                     for i in range(budget):
-                        x = self.step_once(x)
+                        x = advance(x)
                         iteration += 1
                         if inject:
                             x, spec = injector.corrupt(
@@ -334,7 +411,8 @@ class IterativeSolverBase:
                     if hooks is not None:
                         hooks.on_iteration(iteration, residual, False)
                     break
-                stop, residual = criterion.check(iteration, self.A @ x, x)
+                y = self.A @ x
+                stop, residual = criterion.check(iteration, y, x)
                 history.append((iteration, residual))
                 if (policy is not None and stop is None
                         and np.isfinite(best_residual)
@@ -349,6 +427,10 @@ class IterativeSolverBase:
                     if hooks is not None:
                         hooks.on_iteration(iteration, residual, True)
                     break
+                # x survives this check unchanged, so the residual product
+                # seeds the next batch's first step (no recomputation).
+                if reuse:
+                    pending_y = y
                 best_residual = min(best_residual, residual)
                 if hooks is not None:
                     hooks.on_iteration(iteration, residual, True)

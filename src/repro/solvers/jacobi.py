@@ -99,7 +99,9 @@ class JacobiSolver(IterativeSolverBase):
                           check_interval=check_interval,
                           normalize_interval=normalize_interval,
                           stagnation_tol=stagnation_tol)
-        self.diagonal = self.A.diagonal().astype(np.float64)
+        # The diagonal comes from the shared derived-quantity cache, so
+        # repeated solver constructions on one matrix skip re-extraction.
+        self.diagonal = self._derived["diagonal"]
         zero_rows = np.flatnonzero(self.diagonal == 0.0)
         if zero_rows.size:
             raise SingularSystemError(
@@ -107,6 +109,11 @@ class JacobiSolver(IterativeSolverBase):
                 f"(zero at rows {zero_rows[:5].tolist()})",
                 rows=zero_rows[:5].tolist())
         self.step_backend = step
+        # The fast backend's product is the CSR ``A @ x`` the residual
+        # check also computes, so the check's product can seed the next
+        # step bit-for-bit.  The format backend's own traversal order
+        # differs at the bit level, so it keeps the plain loop.
+        self.supports_product_step = step == "fast"
 
     # -- steps -----------------------------------------------------------------
 
@@ -121,6 +128,14 @@ class JacobiSolver(IterativeSolverBase):
         """One (possibly damped) Jacobi iteration."""
         new = (self._format_step(x) if self.step_backend == "format"
                else self._fast_step(x))
+        if self.damping != 1.0:
+            return (1.0 - self.damping) * x + self.damping * new
+        return new
+
+    def step_from_product(self, x: np.ndarray,
+                          y: np.ndarray) -> np.ndarray:
+        """One fast-backend iteration from an existing ``y = A @ x``."""
+        new = -(y - self.diagonal * x) / self.diagonal
         if self.damping != 1.0:
             return (1.0 - self.damping) * x + self.damping * new
         return new

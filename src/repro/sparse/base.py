@@ -2,16 +2,20 @@
 
 Each format provides two multiply paths:
 
-``spmv(x)``
-    The *format-faithful* reference implementation: it performs exactly the
-    arithmetic the corresponding GPU kernel performs (same traversal order,
-    same padding-skip semantics).  Tests bit-compare it against SciPy.
+``spmv(x)`` / ``spmm(X)``
+    The *format-faithful* reference implementations: they perform exactly
+    the arithmetic the corresponding GPU kernel performs (same traversal
+    order, same padding-skip semantics).  ``spmm`` is the multi-RHS
+    product ``Y = A @ X`` with ``X`` of shape ``(n, k)``; every format
+    vectorizes it so the matrix structure is traversed once for all ``k``
+    columns, and column ``j`` of the result matches ``spmv(X[:, j])``
+    exactly (tests enforce parity).  The base class supplies a
+    column-loop fallback for formats without a vectorized kernel.
 
-``matvec(x)``
-    A fast path for solver inner loops.  It is numerically identical to
-    ``spmv`` (both compute ``A @ x``) but may delegate to a cached SciPy
-    CSR product, since on this host the Python-level traversal of ``spmv``
-    would dominate a Jacobi run.
+``matvec(x)`` / ``matmat(X)``
+    Fast paths for solver inner loops.  Numerically identical to
+    ``spmv``/``spmm`` but delegating to a cached SciPy CSR product, since
+    on this host the Python-level traversal would dominate a Jacobi run.
 
 Footprint accounting follows the paper: 8 bytes per double value, 4 bytes
 per (column) index, 4 bytes per pointer/offset entry.
@@ -75,14 +79,36 @@ class SparseFormat(abc.ABC):
         """Number of stored nonzeros (excluding padding)."""
         return int(self.to_scipy().nnz)
 
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Format-faithful multi-RHS product ``Y = A @ X``, ``X: (n, k)``.
+
+        The generic fallback runs ``spmv`` per column, preserving each
+        column's exact arithmetic; formats override it with a vectorized
+        sweep that reads the matrix structure once for all ``k`` columns
+        (the amortization a batched GPU kernel exploits).
+        """
+        X = self.check_X(X)
+        Y = np.zeros((self.n_rows, X.shape[1]), dtype=np.float64)
+        for j in range(X.shape[1]):
+            Y[:, j] = self.spmv(X[:, j])
+        return Y
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Fast ``A @ x`` via a cached CSR product (numerically = ``spmv``)."""
         x = check_1d(x, "x", n=self.n_cols, dtype=np.float64)
+        return self._cached_csr() @ x
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Fast ``A @ X`` via a cached CSR product (numerically = ``spmm``)."""
+        X = self.check_X(X)
+        return self._cached_csr() @ X
+
+    def _cached_csr(self) -> sp.csr_matrix:
         csr = getattr(self, "_csr_cache", None)
         if csr is None:
             csr = self.to_scipy()
             self._csr_cache = csr
-        return csr @ x
+        return csr
 
     def _invalidate_cache(self) -> None:
         self._csr_cache = None
@@ -90,6 +116,17 @@ class SparseFormat(abc.ABC):
     def check_x(self, x: np.ndarray) -> np.ndarray:
         """Validate a multiplicand vector."""
         return check_1d(x, "x", n=self.n_cols, dtype=np.float64)
+
+    def check_X(self, X: np.ndarray) -> np.ndarray:
+        """Validate a multi-RHS block: shape ``(n_cols, k)``, float64."""
+        arr = np.asarray(X)
+        if arr.ndim != 2:
+            raise ValidationError(
+                f"X must be 2-D (n, k), got ndim={arr.ndim}")
+        if arr.shape[0] != self.n_cols:
+            raise ValidationError(
+                f"X must have {self.n_cols} rows, got {arr.shape[0]}")
+        return np.ascontiguousarray(arr, dtype=np.float64)
 
     def density(self) -> float:
         """Fraction of nonzero entries, ``nnz / (n_rows * n_cols)``."""

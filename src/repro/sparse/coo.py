@@ -112,6 +112,13 @@ class COOMatrix(SparseFormat):
         np.add.at(y, self.rows, self.values * x[self.cols])
         return y
 
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Multi-RHS COO product: one scatter-add over whole ``X`` rows."""
+        X = self.check_X(X)
+        Y = np.zeros((self.shape[0], X.shape[1]), dtype=np.float64)
+        np.add.at(Y, self.rows, self.values[:, None] * X[self.cols, :])
+        return Y
+
     def to_scipy(self) -> sp.csr_matrix:
         coo = sp.coo_matrix(
             (self.values, (self.rows, self.cols)), shape=self.shape)

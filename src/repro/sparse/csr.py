@@ -72,6 +72,25 @@ class CSRMatrix(SparseFormat):
             y[nonempty] = np.add.reduceat(products, starts)
         return y
 
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Multi-RHS CSR product: one segmented sum over all k columns.
+
+        The per-nonzero gather ``X[col_indices, :]`` reads the structure
+        once; ``reduceat`` then sums each row segment column-wise in the
+        same index order as :meth:`spmv`, so ``spmm(X)[:, j]`` equals
+        ``spmv(X[:, j])`` bit for bit.
+        """
+        X = self.check_X(X)
+        k = X.shape[1]
+        Y = np.zeros((self.shape[0], k), dtype=np.float64)
+        products = self.values[:, None] * X[self.col_indices, :]
+        lengths = np.diff(self.indptr)
+        nonempty = lengths > 0
+        if products.size:
+            starts = self.indptr[:-1][nonempty]
+            Y[nonempty] = np.add.reduceat(products, starts, axis=0)
+        return Y
+
     def diagonal(self) -> np.ndarray:
         """Main-diagonal entries as a dense vector (zeros where absent)."""
         n = min(self.shape)

@@ -109,6 +109,11 @@ class ELLDIAMatrix(SparseFormat):
         x = self.check_x(x)
         return self.dia.spmv(x) + self.ell.spmv(x)
 
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Multi-RHS hybrid product: DIA band block plus ELL remainder block."""
+        X = self.check_X(X)
+        return self.dia.spmm(X) + self.ell.spmm(X)
+
     def jacobi_step(self, x: np.ndarray) -> np.ndarray:
         """One Jacobi iteration ``x' = -D^{-1}(A - D) x`` for ``A x = 0``.
 

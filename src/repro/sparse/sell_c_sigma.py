@@ -103,6 +103,14 @@ class SellCSigmaMatrix(SlicedELLMatrix):
         y[self.row_ids] = y_storage
         return y
 
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Chunked multi-RHS product over the sorted rows, scattered back."""
+        X = self.check_X(X)
+        Y_storage = SlicedELLMatrix.spmm(self, X)
+        Y = np.empty((self.shape[0], X.shape[1]), dtype=np.float64)
+        Y[self.row_ids] = Y_storage
+        return Y
+
     def to_scipy(self) -> sp.csr_matrix:
         permuted = SlicedELLMatrix.to_scipy(self)
         return as_csr(permuted[self._inverse_ids, :])

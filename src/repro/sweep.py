@@ -161,6 +161,7 @@ class ParameterSweep:
             cache: bool = True,
             warm_start: bool = False,
             service=None,
+            batch: int | None = None,
             progress=None) -> list[SweepPoint]:
         """Solve every condition; returns (and stores) the sweep points.
 
@@ -168,9 +169,13 @@ class ParameterSweep:
         prebuilt :class:`repro.serve.SolveService` via ``service``)
         routes the sweep through the solve service: a worker pool over a
         shared state space, content-addressed caching (``cache``), and
-        nearest-neighbor warm starting (``warm_start``).  Points come
-        back in the same canonical condition order either way, and the
-        solved systems are constructed identically, so the two paths
+        nearest-neighbor warm starting (``warm_start``).  Passing
+        ``batch=K`` instead runs the serial path through
+        :class:`~repro.solvers.batched.BatchedJacobiSolver`: conditions
+        are grouped K at a time onto a stacked block diagonal and
+        advanced together, one fused product per sweep.  Points come
+        back in the same canonical condition order on every path, and
+        the solved systems are constructed identically, so the paths
         agree on the results.
         """
         if service is not None or (workers is not None and workers != 1):
@@ -178,6 +183,11 @@ class ParameterSweep:
                 tol=tol, max_iterations=max_iterations,
                 solver_kwargs=solver_kwargs, workers=workers or 1,
                 cache=cache, warm_start=warm_start, service=service,
+                progress=progress)
+        if batch is not None:
+            return self._run_batched(
+                tol=tol, max_iterations=max_iterations,
+                solver_kwargs=solver_kwargs, batch=batch,
                 progress=progress)
         self.service_snapshot = None
         self.service_report = None
@@ -187,14 +197,7 @@ class ParameterSweep:
         for overrides in self.conditions():
             varied = self.network.with_rates(overrides)
             t0 = time.perf_counter()
-            space = (enumerate_state_space(varied)
-                     if base_space is None else base_space)
-            if base_space is not None:
-                # Rebind the varied network so propensities use the new
-                # rates over the shared state list.
-                from repro.cme.statespace import StateSpace
-                space = StateSpace(network=varied,
-                                   states=base_space.states)
+            space = self._space_for(varied, base_space)
             A = build_rate_matrix(space)
             solver = JacobiSolver(A, tol=tol,
                                   max_iterations=max_iterations,
@@ -210,6 +213,68 @@ class ParameterSweep:
             self.points.append(point)
             if progress is not None:
                 progress(point)
+        return self.points
+
+    def _space_for(self, varied, base_space):
+        """The (possibly shared) state space bound to *varied*'s rates."""
+        if base_space is None:
+            return enumerate_state_space(varied)
+        # Rebind the varied network so propensities use the new rates
+        # over the shared state list.
+        from repro.cme.statespace import StateSpace
+        return StateSpace(network=varied, states=base_space.states)
+
+    def _run_batched(self, *, tol, max_iterations, solver_kwargs, batch,
+                     progress) -> list[SweepPoint]:
+        """The stacked-batch sweep: K conditions per fused Jacobi solve.
+
+        Each chunk's conditions are mounted on one block diagonal and
+        iterated in lockstep (see
+        :class:`~repro.solvers.batched.BatchedJacobiSolver`); a
+        condition that converges retires early, so slow conditions never
+        hold finished ones hostage.  Per-point ``solve_seconds`` is the
+        chunk's wall time amortized over its conditions.
+        """
+        from repro.solvers import BatchedJacobiSolver
+
+        if batch <= 0:
+            raise ValidationError(f"batch must be positive, got {batch}")
+        kwargs = dict(solver_kwargs or {})
+        unsupported = set(kwargs) - {"damping", "check_interval",
+                                     "normalize_interval", "stagnation_tol"}
+        if unsupported:
+            raise ValidationError(
+                f"batched sweep does not support solver options "
+                f"{sorted(unsupported)}; run serially for those")
+        self.service_snapshot = None
+        self.service_report = None
+        base_space = (enumerate_state_space(self.network)
+                      if self.reuse_state_space else None)
+        conditions = self.conditions()
+        self.points = []
+        for lo in range(0, len(conditions), batch):
+            chunk = conditions[lo:lo + batch]
+            t0 = time.perf_counter()
+            spaces, matrices = [], []
+            for overrides in chunk:
+                space = self._space_for(self.network.with_rates(overrides),
+                                        base_space)
+                spaces.append(space)
+                matrices.append(build_rate_matrix(space))
+            solver = BatchedJacobiSolver.stacked(
+                matrices, tol=tol, max_iterations=max_iterations, **kwargs)
+            results = solver.solve_many()
+            elapsed = (time.perf_counter() - t0) / len(chunk)
+            for overrides, space, result in zip(chunk, spaces, results):
+                point = SweepPoint(
+                    overrides=overrides,
+                    result=result,
+                    landscape=ProbabilityLandscape(space, result.x),
+                    solve_seconds=elapsed,
+                )
+                self.points.append(point)
+                if progress is not None:
+                    progress(point)
         return self.points
 
     def _run_served(self, *, tol, max_iterations, solver_kwargs, workers,

@@ -1,0 +1,215 @@
+"""BatchedJacobiSolver: lockstep multi-RHS solves match serial answers.
+
+The contract: each column of a batched solve reproduces the serial
+:class:`JacobiSolver` fast-backend result (same iterate, iterations and
+residual), while the whole batch performs far fewer products than the
+serial solves combined — one fused product advances every live column.
+
+The workhorse system is a small birth-death generator (bipartite, so
+every solve uses ``damping=0.6``; see ``test_jacobi.py``) — it
+converges in hundreds of iterations, keeping the serial-vs-batched
+cross-checks fast.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.solvers import BatchedJacobiSolver, JacobiSolver
+from repro.solvers.result import StopReason
+from repro.sparse.base import as_csr
+
+DAMPING = 0.6
+
+
+def chain(n=60, birth=4.0, death=1.0):
+    """A birth-death CME generator (columns sum to zero)."""
+    ks = np.arange(n)
+    up = np.full(n - 1, birth)
+    down = death * ks[1:]
+    return as_csr(sp.diags(
+        [up, -(np.r_[up, 0.0] + np.r_[0.0, down]), down],
+        offsets=[-1, 0, 1], format="csr"))
+
+
+def serial(A, **kwargs):
+    return JacobiSolver(A, damping=DAMPING, **kwargs).solve()
+
+
+class TestSharedMode:
+    def test_columns_match_serial(self):
+        A = chain()
+        tols = [1e-6, 1e-9, 1e-12]
+        expected = [serial(A, tol=t) for t in tols]
+        batched = BatchedJacobiSolver(A, damping=DAMPING).solve_many(
+            k=3, tols=tols)
+        for s, b in zip(expected, batched):
+            assert b.stop_reason is s.stop_reason
+            assert b.iterations == s.iterations
+            assert b.residual == s.residual
+            np.testing.assert_array_equal(b.x, s.x)
+
+    def test_fewer_products_than_serial(self):
+        A = chain()
+        tols = [1e-6, 1e-9, 1e-12]
+        serial_products = sum(
+            serial(A, tol=t).iterations + 1 for t in tols)
+        solver = BatchedJacobiSolver(A, damping=DAMPING)
+        results = solver.solve_many(k=3, tols=tols)
+        # One fused product per sweep: the batch costs the *slowest*
+        # column's products, not the sum.
+        assert solver.products == max(r.iterations for r in results) + 1
+        assert solver.products < serial_products
+
+    def test_early_retirement_shrinks_block(self):
+        A = chain()
+        solver = BatchedJacobiSolver(A, damping=DAMPING)
+        loose, tight = solver.solve_many(k=2, tols=[1e-4, 1e-12])
+        assert loose.iterations < tight.iterations
+        assert loose.stop_reason is StopReason.CONVERGED
+        assert tight.stop_reason is StopReason.CONVERGED
+
+    def test_warm_column_retires_immediately(self):
+        A = chain()
+        solved = serial(A, tol=1e-10)
+        solver = BatchedJacobiSolver(A, tol=1e-8, damping=DAMPING)
+        warm, cold = solver.solve_many([solved.x, None])
+        assert warm.stop_reason is StopReason.CONVERGED
+        assert warm.iterations == 0
+        assert cold.iterations > 0
+        np.testing.assert_array_equal(cold.x, serial(A, tol=1e-8).x)
+
+    def test_undamped_matches_serial(self):
+        # A parity-mixing system (extra 2-step transitions) converges
+        # without damping — cover the damping=1.0 code path too.
+        A = chain().tolil()
+        n = A.shape[0]
+        for i in range(0, n - 2, 7):
+            A[i + 2, i] += 0.3
+            A[i, i] -= 0.3
+        A = as_csr(A.tocsr())
+        expected = JacobiSolver(A, tol=1e-9).solve()
+        got = BatchedJacobiSolver(A, tol=1e-9).solve_many(k=1)[0]
+        assert got.iterations == expected.iterations
+        np.testing.assert_array_equal(got.x, expected.x)
+
+    def test_time_budget_times_out(self):
+        A = chain(n=200)
+        solver = BatchedJacobiSolver(A, tol=1e-300, stagnation_tol=None,
+                                     max_iterations=10_000_000,
+                                     damping=DAMPING)
+        results = solver.solve_many(k=2, time_budget_s=0.05)
+        assert all(r.stop_reason is StopReason.TIMED_OUT for r in results)
+
+    def test_max_iterations(self):
+        A = chain()
+        results = BatchedJacobiSolver(
+            A, tol=1e-300, max_iterations=150, stagnation_tol=None,
+            damping=DAMPING).solve_many(k=2)
+        assert all(r.stop_reason is StopReason.MAX_ITERATIONS
+                   for r in results)
+        assert all(r.iterations == 150 for r in results)
+
+
+class TestStackedMode:
+    def test_conditions_match_serial(self):
+        mats = [chain(death=d) for d in (0.8, 1.0, 1.3)]
+        expected = [serial(A, tol=1e-9) for A in mats]
+        solver = BatchedJacobiSolver.stacked(mats, tol=1e-9,
+                                             damping=DAMPING)
+        batched = solver.solve_many()
+        for s, b in zip(expected, batched):
+            assert b.iterations == s.iterations
+            assert b.residual == s.residual
+            np.testing.assert_array_equal(b.x, s.x)
+        assert solver.products == max(s.iterations for s in expected) + 1
+
+    def test_stacked_per_column_tols(self):
+        mats = [chain(death=d) for d in (0.9, 1.1)]
+        solver = BatchedJacobiSolver.stacked(mats, damping=DAMPING)
+        loose, tight = solver.solve_many(tols=[1e-4, 1e-12])
+        assert loose.iterations < tight.iterations
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver.stacked([chain(n=60), chain(n=50)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver.stacked([])
+
+    def test_column_count_mismatch_rejected(self):
+        solver = BatchedJacobiSolver.stacked([chain(), chain()],
+                                             damping=DAMPING)
+        with pytest.raises(ValidationError):
+            solver.solve_many(k=3)
+
+
+class TestValidation:
+    def test_needs_k_or_x0s(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(chain()).solve_many()
+
+    def test_k_and_x0s_must_agree(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(chain()).solve_many([None, None], k=3)
+
+    def test_bad_x0_rejected(self):
+        A = chain()
+        n = A.shape[0]
+        solver = BatchedJacobiSolver(A)
+        with pytest.raises(ValidationError):
+            solver.solve_many([np.ones(n - 1)])
+        with pytest.raises(ValidationError):
+            solver.solve_many([np.full(n, -1.0)])
+        with pytest.raises(ValidationError):
+            solver.solve_many([np.full(n, np.nan)])
+
+    def test_tols_length_checked(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(chain()).solve_many(k=2, tols=[1e-8])
+
+    def test_bad_params_rejected(self):
+        A = chain()
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(A, check_interval=0)
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(A, damping=0.0)
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(A).solve_many(k=1, time_budget_s=0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            BatchedJacobiSolver(sp.random(4, 5, density=0.5, format="csr"))
+
+    def test_zero_columns(self):
+        assert BatchedJacobiSolver(chain()).solve_many(k=0) == []
+
+
+class TestSweepBatch:
+    GRID = {"death": [0.9, 1.0, 1.1], "birth": [3.5, 4.0]}
+
+    def test_batched_sweep_matches_serial(self, birth_death_network):
+        from repro.sweep import ParameterSweep
+        kwargs = dict(tol=1e-7, solver_kwargs={"damping": DAMPING})
+        serial = ParameterSweep(birth_death_network, self.GRID).run(**kwargs)
+        batched = ParameterSweep(birth_death_network, self.GRID).run(
+            batch=4, **kwargs)
+        assert len(batched) == len(serial)
+        for s, b in zip(serial, batched):
+            assert b.overrides == s.overrides
+            assert b.result.iterations == s.result.iterations
+            np.testing.assert_array_equal(b.result.x, s.result.x)
+
+    def test_unsupported_solver_kwargs_rejected(self, birth_death_network):
+        from repro.sweep import ParameterSweep
+        sweep = ParameterSweep(birth_death_network, {"death": [0.9, 1.1]})
+        with pytest.raises(ValidationError):
+            sweep.run(batch=2, solver_kwargs={"step": "format"})
+
+    def test_bad_batch_rejected(self, birth_death_network):
+        from repro.sweep import ParameterSweep
+        with pytest.raises(ValidationError):
+            ParameterSweep(birth_death_network,
+                           {"death": [0.9]}).run(batch=0)
