@@ -1,4 +1,4 @@
-"""Tracked benchmark baseline: write ``BENCH_5.json`` at the repo root.
+"""Tracked benchmark baseline: write ``BENCH_6.json`` at the repo root.
 
 Unlike the pytest-benchmark suites next door (which regenerate the
 paper's tables), this script times the *engineering* surfaces this
@@ -21,19 +21,24 @@ codebase optimizes and records them in one machine-readable file:
   vs. memoized repeat (fingerprint probe), plus the hit/miss counters.
 * ``serve`` — jobs/s through :class:`~repro.serve.SolveService` on the
   four paper models at small state spaces.
+* ``fsp`` — adaptive Finite State Projection on phage lambda: final
+  certified projection size vs. the full enumeration, rounds, and
+  end-to-end time against the fixed-capacity full-space solve.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
-        --quick --check-memo-speedup 5
+        --quick --check-memo-speedup 5 --check-fsp
 
 ``--check-memo-speedup X`` exits nonzero when the memoized gpusim
-analysis is less than ``X``× faster than the cold one — the CI smoke
-gate.  All timings are single-process wall clock on whatever machine
-runs the script; the JSON records the machine so baselines are only
-compared like-for-like.
+analysis is less than ``X``× faster than the cold one; ``--check-fsp``
+exits nonzero unless the adaptive phage-lambda solve certifies its
+tolerance with a projection strictly smaller than the full enumeration
+— the CI smoke gates.  All timings are single-process wall clock on
+whatever machine runs the script; the JSON records the machine so
+baselines are only compared like-for-like.
 """
 
 from __future__ import annotations
@@ -247,18 +252,70 @@ def bench_serve(quick: bool) -> dict:
     return out
 
 
+def bench_fsp(quick: bool) -> dict:
+    """Adaptive FSP vs. full enumeration on phage lambda.
+
+    The adaptive side runs the whole projection loop to a certified
+    ``1e-6`` truncation mass; the full side enumerates the buffered
+    space and solves it once with the same inner-solver settings.  The
+    FSP claim being tracked: a *certified* answer from strictly fewer
+    states, end-to-end.
+    """
+    from repro.fsp import AdaptiveFspController
+
+    fsp_tol = 1e-6
+    net = (phage_lambda(max_monomer=8, max_dimer=4) if quick
+           else phage_lambda())
+
+    t0 = time.perf_counter()
+    result = AdaptiveFspController(net, fsp_tol=fsp_tol).solve()
+    adaptive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = enumerate_state_space(net)
+    full_result = JacobiSolver(build_rate_matrix(full),
+                               stagnation_tol=1e-4).solve()
+    full_s = time.perf_counter() - t0
+
+    return {
+        "model": "phage_lambda",
+        "fsp_tol": fsp_tol,
+        "adaptive": {
+            "converged": result.converged,
+            "reason": result.reason,
+            "truncation_mass": result.truncation_mass,
+            "final_states": int(result.space.size),
+            "rounds": len(result.rounds),
+            "iterations": result.iterations,
+            "seconds": round(adaptive_s, 4),
+        },
+        "full": {
+            "states": int(full.size),
+            "iterations": full_result.iterations,
+            "residual": full_result.residual,
+            "seconds": round(full_s, 4),
+        },
+        "projection_fraction": round(result.space.size / full.size, 4),
+        "speedup_x": round(full_s / adaptive_s, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small systems and budgets (CI smoke)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
-                        / "BENCH_5.json",
-                        help="output path (default: BENCH_5.json at root)")
+                        / "BENCH_6.json",
+                        help="output path (default: BENCH_6.json at root)")
     parser.add_argument("--check-memo-speedup", type=float, default=None,
                         metavar="X",
                         help="exit nonzero if memoized gpusim analysis is "
                              "less than X times faster than cold")
+    parser.add_argument("--check-fsp", action="store_true",
+                        help="exit nonzero unless adaptive FSP certifies "
+                             "phage lambda with a projection strictly "
+                             "smaller than the full enumeration")
     args = parser.parse_args(argv)
 
     max_protein = 31 if args.quick else 127
@@ -271,7 +328,7 @@ def main(argv=None) -> int:
     csr = as_csr(A)
 
     report = {
-        "bench": "BENCH_5",
+        "bench": "BENCH_6",
         "quick": args.quick,
         "machine": {
             "python": platform.python_version(),
@@ -295,6 +352,8 @@ def main(argv=None) -> int:
     report["gpusim_memo"] = bench_gpusim_memo(csr, repeats)
     print("[bench] serve: four paper models")
     report["serve"] = bench_serve(args.quick)
+    print("[bench] fsp: adaptive projection vs. full enumeration")
+    report["fsp"] = bench_fsp(args.quick)
 
     report["acceptance"] = {
         "batched_workload_speedup_x":
@@ -305,6 +364,10 @@ def main(argv=None) -> int:
         "spmv_per_iteration": report["solver"]["spmv_per_iteration"],
         "spmv_per_iteration_target":
             "~1 (exactly iterations + 1 products per solve)",
+        "fsp_truncation_mass": report["fsp"]["adaptive"]["truncation_mass"],
+        "fsp_truncation_target": report["fsp"]["fsp_tol"],
+        "fsp_projection_fraction": report["fsp"]["projection_fraction"],
+        "fsp_projection_target": "< 1.0 (strictly below full enumeration)",
     }
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -320,6 +383,25 @@ def main(argv=None) -> int:
             return 1
         print(f"[bench] memo speedup {measured}x >= "
               f"{args.check_memo_speedup}x")
+
+    if args.check_fsp:
+        fsp = report["fsp"]
+        ok = (fsp["adaptive"]["converged"]
+              and fsp["adaptive"]["truncation_mass"] <= fsp["fsp_tol"]
+              and fsp["adaptive"]["final_states"] < fsp["full"]["states"])
+        if not ok:
+            print(f"[bench] FAIL: fsp gate — converged="
+                  f"{fsp['adaptive']['converged']}, bound="
+                  f"{fsp['adaptive']['truncation_mass']:.3e} (target "
+                  f"{fsp['fsp_tol']:.1e}), projection "
+                  f"{fsp['adaptive']['final_states']}/"
+                  f"{fsp['full']['states']}", file=sys.stderr)
+            return 1
+        print(f"[bench] fsp gate: certified "
+              f"{fsp['adaptive']['truncation_mass']:.3e} <= "
+              f"{fsp['fsp_tol']:.1e} on "
+              f"{fsp['adaptive']['final_states']}/"
+              f"{fsp['full']['states']} states")
     return 0
 
 

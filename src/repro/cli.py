@@ -4,6 +4,10 @@ Commands
 --------
 ``solve``
     Enumerate a model and compute its steady-state landscape.
+``fsp``
+    Solve a model by adaptive Finite State Projection: grow a small
+    projection until the certified truncation bound meets ``--fsp-tol``
+    (no full enumeration), reporting the per-round trajectory.
 ``stats``
     Table I-style structure statistics of a benchmark or ``.mtx`` file.
 ``spmv``
@@ -116,6 +120,52 @@ def cmd_solve(args) -> int:
         if not args.no_heatmap:
             print(landscape.ascii_heatmap(a, b))
     return 0 if result.residual < 1e-3 else 1
+
+
+def cmd_fsp(args) -> int:
+    import json
+
+    from repro.fsp import AdaptiveFspController
+    from repro.utils.tables import Table
+
+    network = build_model(args)
+    print(network.describe())
+    print(f"buffered state-space bound: {network.state_space_bound()}")
+    solver_options = ({"damping": args.damping}
+                      if args.damping is not None else {})
+    controller = AdaptiveFspController(
+        network, fsp_tol=args.fsp_tol, tol=args.tol,
+        max_iterations=args.max_iterations, method=args.method,
+        solver_options=solver_options, initial_size=args.initial_size,
+        max_rounds=args.max_rounds, prune_mass=args.prune_mass,
+        safety=args.safety, expand_depth=args.expand_depth,
+        max_new_states=args.max_new_states)
+    result = controller.solve(time_budget_s=args.timeout)
+
+    table = Table(["round", "states", "added", "pruned", "iters",
+                   "residual", "outflux", "bound"],
+                  title=f"adaptive FSP · {network.name}")
+    for r in result.rounds:
+        table.add_row([r.round, r.states, r.added, r.pruned, r.iterations,
+                       f"{r.residual:.2e}", f"{r.outflow_flux:.2e}",
+                       f"{r.bound:.2e}"])
+    print(table.render())
+    status = "certified" if result.converged else "NOT certified"
+    print(f"\n{status} ({result.reason}): truncation_mass "
+          f"{result.truncation_mass:.3e} (target {args.fsp_tol:.1e}) on "
+          f"{result.space.size} states after {len(result.rounds)} rounds, "
+          f"{result.iterations} solver iterations, {result.runtime_s:.2f}s")
+    if args.compare_full:
+        from repro.cme import enumerate_state_space
+        full = enumerate_state_space(network)
+        pct = 100.0 * result.space.size / full.size
+        print(f"full enumeration: {full.size} states "
+              f"(projection is {pct:.1f}%)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.payload(), fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0 if result.converged else 1
 
 
 def cmd_stats(args) -> int:
@@ -352,6 +402,46 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write the solve's RecoveryReport JSON here")
     p.add_argument("--no-heatmap", action="store_true")
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("fsp",
+                       help="adaptive FSP solve with a certified "
+                            "truncation bound")
+    p.add_argument("--model", choices=MODELS, default="phage-lambda")
+    p.add_argument("--max-protein", type=int, default=40)
+    p.add_argument("--max-x", type=int, default=60)
+    p.add_argument("--max-y", type=int, default=30)
+    p.add_argument("--max-monomer", type=int, default=8)
+    p.add_argument("--max-dimer", type=int, default=4)
+    p.add_argument("--fsp-tol", type=float, default=1e-6,
+                   help="target certified truncation mass")
+    p.add_argument("--tol", type=float, default=1e-8,
+                   help="inner solver residual tolerance")
+    p.add_argument("--max-iterations", type=int, default=1_000_000,
+                   help="inner solver iteration cap per round")
+    p.add_argument("--method", default="jacobi",
+                   choices=["jacobi", "gauss-seidel", "power", "resilient"],
+                   help="inner steady-state solver")
+    p.add_argument("--damping", type=float, default=None)
+    p.add_argument("--initial-size", type=int, default=64,
+                   help="seed projection size (BFS ball)")
+    p.add_argument("--max-rounds", type=int, default=40)
+    p.add_argument("--prune-mass", type=float, default=None,
+                   help="stationary mass the per-round prune may drop "
+                        "(default fsp_tol/100; 0 disables)")
+    p.add_argument("--safety", type=float, default=4.0,
+                   help="certificate cushion multiplier")
+    p.add_argument("--expand-depth", type=int, default=2,
+                   help="frontier layers grown per round")
+    p.add_argument("--max-new-states", type=int, default=None,
+                   help="cap on flux-ranked growth per round")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="wall-clock budget in seconds")
+    p.add_argument("--compare-full", action="store_true",
+                   help="also enumerate the full space and report the "
+                        "projection's size advantage")
+    p.add_argument("--out", default=None,
+                   help="write the FSP payload JSON here")
+    p.set_defaults(func=cmd_fsp)
 
     p = sub.add_parser("sweep", help="grid-sweep reaction rates")
     p.add_argument("--model", choices=MODELS, default="toggle-switch")

@@ -10,6 +10,9 @@ This subpackage models stochastic biochemical reaction networks:
   order exposes the dense diagonal band the ELL+DIA format exploits.
 * :func:`build_rate_matrix` — assembly of the sparse reaction-rate matrix
   ``A`` with ``dP/dt = A·P``.
+* :class:`ProjectionAssembler` / :func:`initial_projection` — incremental
+  truncated-generator assembly over moving projections, the state-space
+  side of adaptive FSP (:mod:`repro.fsp`).
 * :class:`ProbabilityLandscape` — analysis of steady-state landscapes
   (marginals, modes, entropy; Figure 2).
 * :mod:`repro.cme.models` — the four biological models of the paper and
@@ -22,6 +25,11 @@ from repro.cme.reaction import Reaction
 from repro.cme.network import ReactionNetwork
 from repro.cme.statespace import StateSpace, enumerate_state_space
 from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.expansion import (
+    Frontier,
+    ProjectionAssembler,
+    initial_projection,
+)
 from repro.cme.master_equation import CMEOperator
 from repro.cme.landscape import ProbabilityLandscape
 
@@ -32,6 +40,9 @@ __all__ = [
     "StateSpace",
     "enumerate_state_space",
     "build_rate_matrix",
+    "Frontier",
+    "ProjectionAssembler",
+    "initial_projection",
     "CMEOperator",
     "ProbabilityLandscape",
 ]

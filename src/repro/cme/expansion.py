@@ -1,0 +1,400 @@
+"""Incremental state-space projections for adaptive FSP.
+
+The fixed-capacity pipeline enumerates the *whole* reachable space once
+(:func:`~repro.cme.statespace.enumerate_state_space`) and assembles its
+closed generator (:func:`~repro.cme.ratematrix.build_rate_matrix`).
+Adaptive Finite State Projection (:mod:`repro.fsp`) instead works on a
+small, moving window Ω of the space, which needs three things this
+module provides:
+
+* :func:`initial_projection` — a BFS ball of states around the initial
+  microstate, the seed projection;
+* :class:`ProjectionAssembler` — assembly of the **truncated** generator
+  of any projection, *incremental* across projection changes: the
+  propensities and successor keys of every state the assembler has ever
+  seen are computed once and cached by state key, so a round that adds
+  5% new frontier states pays propensity evaluation for exactly those
+  5% (``states_evaluated`` counts the total for tests and telemetry);
+* :meth:`ProjectionAssembler.frontier` — the one-step-outside boundary
+  of a projection, with the per-state *inward* return rates (the
+  quantity the truncation certificate needs) and optional influx
+  weighting (the quantity the growth policy ranks by).
+
+Truncated-generator semantics: species buffers are part of the model —
+a buffer-blocked reaction is an absent edge, exactly as in the closed
+enumeration — while a transition from ``j ∈ Ω`` to an in-buffer state
+outside Ω is **outflow**: it is dropped from the off-diagonal gains but
+kept in ``j``'s diagonal loss, so the assembled matrix is the exact
+principal submatrix ``A[Ω, Ω]`` of the full generator and its column
+sums equal ``-outflow``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cme.network import ReactionNetwork
+from repro.cme.statespace import StateSpace
+from repro.errors import (
+    EnumerationError,
+    StateSpaceOverflowError,
+    ValidationError,
+)
+from repro.sparse.base import as_csr
+
+
+def initial_projection(network: ReactionNetwork, *, size: int = 64,
+                       initial_state=None) -> StateSpace:
+    """A BFS ball of up to *size* states around the initial microstate.
+
+    Breadth-first (rather than the enumerator's depth-first) order is
+    the right seed for a projection: the window is a compact
+    neighborhood of the initial condition instead of one long DFS chain
+    along the first reaction.  The ball is closed under reachability
+    only if the whole reachable space fits in *size*; otherwise the cut
+    is exactly the open boundary the FSP loop grows.
+    """
+    if size <= 0:
+        raise ValidationError(f"size must be positive, got {size}")
+    m = network.n_species
+    if initial_state is None:
+        x0 = tuple(int(v) for v in network.initial_state)
+    else:
+        x0 = tuple(int(v) for v in np.asarray(initial_state).ravel())
+        if len(x0) != m:
+            raise ValidationError(
+                f"initial_state must have {m} entries, got {len(x0)}")
+    bounds = network.max_counts
+    if any(not (0 <= x0[i] <= int(bounds[i])) for i in range(m)):
+        raise ValidationError(
+            f"initial state {x0} violates species buffers {tuple(bounds)}")
+
+    seen = {x0}
+    order = [x0]
+    head = 0
+    evaluator = network.propensities
+    while head < len(order) and len(order) < size:
+        state = order[head]
+        head += 1
+        arr = np.asarray(state)[None, :]
+        for k in range(network.n_reactions):
+            if evaluator.single(arr[0], k) <= 0.0:
+                continue
+            succ = tuple(int(v) for v in
+                         (arr[0] + network.stoichiometry[k]))
+            if any(v < 0 or v > int(bounds[i])
+                   for i, v in enumerate(succ)):
+                continue
+            if succ not in seen:
+                seen.add(succ)
+                order.append(succ)
+                if len(order) >= size:
+                    break
+    states = np.array(order[:size], dtype=np.int64)
+    return StateSpace(network=network, states=states)
+
+
+@dataclass
+class Frontier:
+    """The one-step-outside boundary of a projection.
+
+    Attributes
+    ----------
+    states:
+        ``(q, m)`` array of in-buffer states reachable in one reaction
+        from Ω but not in Ω (empty when the projection is closed).
+    inward_rates:
+        Per-frontier-state total propensity of reactions leading
+        directly back *into* Ω — the return rates the truncation
+        certificate's floor is taken over.
+    total_rates:
+        Per-frontier-state total propensity over *all* its real edges
+        (buffer-blocked reactions are absent edges and excluded).  The
+        difference ``total_rates - inward_rates`` is the rate carrying
+        mass *away* from Ω, which the certificate's geometric tail
+        factor is built from.
+    influx:
+        Per-frontier-state total rate of arrival from Ω.  When the
+        caller passes probability ``weights`` this is the stationary
+        boundary flux into each frontier state; with no weights it is
+        the unweighted rate sum.  Growth ranks on it.
+    """
+
+    states: np.ndarray
+    inward_rates: np.ndarray
+    total_rates: np.ndarray
+    influx: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.states.shape[0])
+
+
+class ProjectionAssembler:
+    """Incremental truncated-generator assembly over moving projections.
+
+    One assembler serves every round of an FSP loop on one (rate-fixed)
+    network.  Per state ever presented it caches, keyed by the state's
+    mixed-radix key:
+
+    * the ``R`` reaction propensities,
+    * the successor *key* per reaction (``-1`` where the reaction is
+      inapplicable or buffer-blocked — i.e. no edge in the full model).
+
+    :meth:`assemble` then reduces to a vectorized key lookup of cached
+    successor keys against the current projection — no propensity is
+    ever evaluated twice across grow/prune/permute rounds.
+    """
+
+    def __init__(self, network: ReactionNetwork):
+        self.network = network
+        levels = network.max_counts + 1
+        radix = np.ones(levels.size, dtype=np.int64)
+        radix[1:] = np.cumprod(levels[:-1])
+        if levels.size and np.prod(levels.astype(np.float64)) >= 2.0 ** 62:
+            raise EnumerationError(
+                "state encoding exceeds 63-bit range; reduce buffers")
+        self._radix = radix
+        self._index: dict[int, int] = {}
+        self._states = np.empty((0, network.n_species), dtype=np.int64)
+        self._prop = np.empty((0, network.n_reactions), dtype=np.float64)
+        self._succ = np.empty((0, network.n_reactions), dtype=np.int64)
+        #: Total states whose propensities were computed (monotonic);
+        #: the incremental-assembly tests pin this down.
+        self.states_evaluated = 0
+
+    # -- the per-state cache -------------------------------------------------
+
+    def _encode(self, states: np.ndarray) -> np.ndarray:
+        return np.asarray(states, dtype=np.int64) @ self._radix
+
+    def _rows_for(self, states: np.ndarray) -> np.ndarray:
+        """Cache rows for *states*, evaluating any not yet seen."""
+        states = np.ascontiguousarray(states, dtype=np.int64)
+        if states.ndim != 2 or states.shape[1] != self.network.n_species:
+            raise ValidationError(
+                f"states must have shape (n, {self.network.n_species})")
+        keys = self._encode(states)
+        rows = np.fromiter((self._index.get(int(k), -1) for k in keys),
+                           count=keys.size, dtype=np.int64)
+        missing = np.flatnonzero(rows < 0)
+        if missing.size:
+            # De-duplicate within the new batch while keeping first-seen
+            # order, then evaluate all new states in one vectorized pass
+            # per reaction.
+            new_keys, first = np.unique(keys[missing], return_index=True)
+            new_states = states[missing[np.sort(first)]]
+            new_keys = keys[missing[np.sort(first)]]
+            self._evaluate(new_states, new_keys)
+            rows[missing] = [self._index[int(k)] for k in keys[missing]]
+        return rows
+
+    def _evaluate(self, states: np.ndarray, keys: np.ndarray) -> None:
+        network = self.network
+        n_new, R = states.shape[0], network.n_reactions
+        prop = network.propensities.all_propensities(states)
+        succ = np.full((n_new, R), -1, dtype=np.int64)
+        for k in range(R):
+            targets = states + network.stoichiometry[k]
+            inside = np.all((targets >= 0) &
+                            (targets <= network.max_counts), axis=1)
+            edge = inside & (prop[:, k] > 0.0)
+            if edge.any():
+                succ[edge, k] = self._encode(targets[edge])
+        base = self._states.shape[0]
+        self._states = np.concatenate([self._states, states])
+        self._prop = np.concatenate([self._prop, prop])
+        self._succ = np.concatenate([self._succ, succ])
+        for i, k in enumerate(keys):
+            self._index[int(k)] = base + i
+        self.states_evaluated += n_new
+
+    # -- assembly ------------------------------------------------------------
+
+    def assemble(self, space: StateSpace) -> tuple[sp.csr_matrix, np.ndarray]:
+        """The truncated generator of *space* plus its outflow rates.
+
+        Returns ``(A, outflow)`` where ``A`` is the principal submatrix
+        of the full generator on the projection (CSR, ``dP/dt = A P``
+        restricted to Ω, diagonal losses include transitions leaving Ω)
+        and ``outflow[j]`` is the total rate from state ``j`` to
+        in-buffer states outside Ω.  Column sums of ``A`` equal
+        ``-outflow``; a closed projection reproduces
+        :func:`~repro.cme.ratematrix.build_rate_matrix` exactly.
+        """
+        self._check_layout(space)
+        n = space.size
+        rows_store = self._rows_for(space.states)
+        keys = self._encode(space.states)
+        sorter = np.argsort(keys, kind="stable")
+        sorted_keys = keys[sorter]
+
+        prop = self._prop[rows_store]
+        succ = self._succ[rows_store]
+
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        diag = np.zeros(n, dtype=np.float64)
+        outflow = np.zeros(n, dtype=np.float64)
+
+        for k in range(self.network.n_reactions):
+            src = np.flatnonzero(succ[:, k] >= 0)
+            if src.size == 0:
+                continue
+            rate = prop[src, k]
+            tgt = _lookup_keys(sorted_keys, sorter, succ[src, k])
+            inside = tgt >= 0
+            np.subtract.at(diag, src, rate)
+            if inside.any():
+                rows_parts.append(tgt[inside])
+                cols_parts.append(src[inside])
+                vals_parts.append(rate[inside])
+            if not inside.all():
+                np.add.at(outflow, src[~inside], rate[~inside])
+
+        rows_parts.append(np.arange(n, dtype=np.int64))
+        cols_parts.append(np.arange(n, dtype=np.int64))
+        vals_parts.append(diag)
+        coo = sp.coo_matrix(
+            (np.concatenate(vals_parts),
+             (np.concatenate(rows_parts), np.concatenate(cols_parts))),
+            shape=(n, n))
+        return as_csr(coo), outflow
+
+    # -- the boundary --------------------------------------------------------
+
+    def frontier(self, space: StateSpace, weights=None) -> Frontier:
+        """One-step-outside states of *space* with rates (see
+        :class:`Frontier`).
+
+        ``weights`` (a probability vector over the projection) turns
+        ``influx`` into the stationary boundary flux per frontier
+        state; rates and membership are unaffected.
+        """
+        self._check_layout(space)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (space.size,):
+                raise ValidationError(
+                    f"weights must have length {space.size}, "
+                    f"got {weights.shape}")
+        rows_store = self._rows_for(space.states)
+        keys = self._encode(space.states)
+        sorter = np.argsort(keys, kind="stable")
+        sorted_keys = keys[sorter]
+        prop = self._prop[rows_store]
+        succ = self._succ[rows_store]
+
+        out_keys_parts: list[np.ndarray] = []
+        out_flux_parts: list[np.ndarray] = []
+        out_state_parts: list[np.ndarray] = []
+        for k in range(self.network.n_reactions):
+            src = np.flatnonzero(succ[:, k] >= 0)
+            if src.size == 0:
+                continue
+            tgt = _lookup_keys(sorted_keys, sorter, succ[src, k])
+            leaving = src[tgt < 0]
+            if leaving.size == 0:
+                continue
+            out_keys_parts.append(succ[leaving, k])
+            flux = prop[leaving, k]
+            if weights is not None:
+                flux = flux * weights[leaving]
+            out_flux_parts.append(flux)
+            out_state_parts.append(
+                space.states[leaving] + self.network.stoichiometry[k])
+
+        m = self.network.n_species
+        if not out_keys_parts:
+            empty = np.empty(0, dtype=np.float64)
+            return Frontier(states=np.empty((0, m), dtype=np.int64),
+                            inward_rates=empty, total_rates=empty.copy(),
+                            influx=empty.copy())
+
+        all_keys = np.concatenate(out_keys_parts)
+        all_flux = np.concatenate(out_flux_parts)
+        all_states = np.concatenate(out_state_parts)
+        uniq_keys, first, inverse = np.unique(
+            all_keys, return_index=True, return_inverse=True)
+        states = all_states[first]
+        influx = np.zeros(uniq_keys.size, dtype=np.float64)
+        np.add.at(influx, inverse, all_flux)
+
+        # Inward return rates: total propensity of reactions from each
+        # frontier state whose successor lands back inside Ω.  Frontier
+        # states go through the same cache, so a later round that grows
+        # onto them re-uses these evaluations.
+        f_rows = self._rows_for(states)
+        f_succ = self._succ[f_rows]
+        f_prop = self._prop[f_rows]
+        total = np.where(f_succ >= 0, f_prop, 0.0).sum(axis=1)
+        back = np.zeros(uniq_keys.size, dtype=np.float64)
+        for k in range(self.network.n_reactions):
+            has_edge = f_succ[:, k] >= 0
+            if not has_edge.any():
+                continue
+            tgt = _lookup_keys(sorted_keys, sorter, f_succ[has_edge, k])
+            hit = tgt >= 0
+            if hit.any():
+                idx = np.flatnonzero(has_edge)[hit]
+                back[idx] += f_prop[idx, k]
+        return Frontier(states=states, inward_rates=back,
+                        total_rates=total, influx=influx)
+
+    # -- growth --------------------------------------------------------------
+
+    def grow(self, space: StateSpace, *, depth: int = 1,
+             weights=None, max_new_states: int | None = None,
+             max_states: int = 5_000_000) -> tuple[StateSpace, int]:
+        """Expand *space* by up to *depth* frontier layers.
+
+        The first layer is ranked by ``influx`` (highest stationary
+        boundary flux first, when ``weights`` is given) and truncated
+        to ``max_new_states``; deeper layers expand unweighted.
+        Returns ``(new_space, states_added)``; the projection is
+        unchanged (``added == 0``) when it is already closed.
+        """
+        if depth <= 0:
+            raise ValidationError(f"depth must be positive, got {depth}")
+        added = 0
+        current = space
+        layer_weights = weights
+        for _ in range(depth):
+            fr = self.frontier(current, weights=layer_weights)
+            layer_weights = None  # only the solved layer has weights
+            if fr.size == 0:
+                break
+            new_states = fr.states
+            if max_new_states is not None and fr.size > max_new_states:
+                order = np.argsort(-fr.influx, kind="stable")
+                new_states = fr.states[order[:max_new_states]]
+            if current.size + new_states.shape[0] > max_states:
+                raise StateSpaceOverflowError(max_states)
+            current = StateSpace(
+                network=current.network,
+                states=np.concatenate([current.states, new_states]))
+            added += int(new_states.shape[0])
+        return current, added
+
+    # -- guards --------------------------------------------------------------
+
+    def _check_layout(self, space: StateSpace) -> None:
+        if space.states.shape[1] != self.network.n_species or not \
+                np.array_equal(space.network.max_counts,
+                               self.network.max_counts):
+            raise ValidationError(
+                "projection's species layout disagrees with the "
+                "assembler's network")
+
+
+def _lookup_keys(sorted_keys: np.ndarray, sorter: np.ndarray,
+                 keys: np.ndarray) -> np.ndarray:
+    """Indices of *keys* in the projection; ``-1`` where absent."""
+    pos = np.searchsorted(sorted_keys, keys)
+    pos_clipped = np.minimum(pos, sorted_keys.size - 1)
+    found = (sorted_keys.size > 0) & (sorted_keys[pos_clipped] == keys)
+    return np.where(found, sorter[pos_clipped], -1).astype(np.int64)

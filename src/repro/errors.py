@@ -17,6 +17,23 @@ class ValidationError(ReproError, ValueError):
     """An argument failed validation (wrong shape, dtype, range, ...)."""
 
 
+class IterateSizeError(ValidationError):
+    """An iterate's length disagrees with the system dimension.
+
+    Raised when a warm-start vector (``x0``/``x0s[j]``) does not match
+    the matrix size ``n``.  The mismatch is carried structurally in
+    ``expected`` and ``got`` so callers that *remap* iterates across
+    changing state spaces (the adaptive FSP loop) can distinguish a
+    remap bug from any other bad-argument failure.
+    """
+
+    def __init__(self, expected: int, got, *, name: str = "x0") -> None:
+        self.expected = int(expected)
+        self.got = got
+        super().__init__(
+            f"{name} must have length {expected}, got {got}")
+
+
 class FormatError(ReproError):
     """A sparse-matrix format could not be constructed or is inconsistent."""
 

@@ -1,0 +1,25 @@
+"""Adaptive Finite State Projection with certified truncation bounds.
+
+The fixed-capacity pipeline enumerates every state the species buffers
+admit and solves on all of them — for stiff or high-copy models that is
+millions of states of which the stationary distribution occupies a
+sliver.  Adaptive FSP inverts the deal: start from a small projection
+around the initial condition, solve, *measure* how much stationary
+probability the truncation can hide (a certified upper bound, not a
+heuristic), and grow the projection where the boundary flux says the
+mass wants to go — pruning states the distribution has abandoned —
+until the certificate meets the user's tolerance.
+
+* :class:`AdaptiveFspController` — the projection loop.
+* :class:`FspResult` / :class:`FspRound` — the certified outcome and
+  its per-round trajectory (projection sizes, bounds, solver work).
+
+The loop composes the existing stack: state handling and truncated
+assembly live in :mod:`repro.cme.expansion`, warm-start transfer in
+:func:`repro.solvers.remap_iterate`, and the inner solves run through
+the unchanged :data:`repro.solvers.SOLVER_REGISTRY`.
+"""
+
+from repro.fsp.controller import AdaptiveFspController, FspResult, FspRound
+
+__all__ = ["AdaptiveFspController", "FspResult", "FspRound"]

@@ -185,6 +185,14 @@ class SolveOutcome:
     nearby cached solution under load shedding (saturated queue or an
     open circuit breaker) — callers needing the exact steady state must
     resubmit once the service recovers.
+
+    Adaptive-FSP answers (``method="fsp"``) additionally carry their
+    certificate: ``truncation_mass`` is the certified upper bound on
+    the stationary probability outside the answer's projection, and
+    ``fsp`` is the :meth:`repro.fsp.FspResult.payload` dict (projection
+    size trajectory, per-round bounds, states added/pruned).  Both stay
+    ``None`` for fixed-capacity answers, whose landscape covers the
+    whole enumerated space.
     """
 
     result: SolverResult
@@ -194,6 +202,8 @@ class SolveOutcome:
     warm_started: bool = False
     solve_seconds: float = 0.0
     degraded: bool = False
+    truncation_mass: float | None = None
+    fsp: dict | None = None
 
 
 class SolveJob:

@@ -43,6 +43,7 @@ COUNTER_NAMES = (
     "breaker_open",     # attempts shed by the open circuit breaker
     "deadline_expired", # jobs whose propagated deadline lapsed pre/mid-solve
     "worker_faults",    # injected worker kills/stalls observed
+    "fsp_solved",       # adaptive-FSP jobs answered with a certificate
     "cache_faults",     # injected cache misses observed
 )
 

@@ -80,6 +80,14 @@ from repro.telemetry import tracing
 #: realistic retry/duplicate pattern).
 MATRIX_MEMO_ENTRIES = 64
 
+#: Options ``SolveService(method="fsp", fsp_options=...)`` accepts —
+#: the :class:`repro.fsp.AdaptiveFspController` knobs that are not
+#: already carried per-request (tol, max_iterations, solver_options).
+FSP_OPTION_KEYS = frozenset({
+    "fsp_tol", "initial_size", "max_rounds", "prune_mass", "safety",
+    "expand_depth", "max_new_states", "max_states", "method",
+})
+
 
 class _Workspace:
     """Per-service shared solve state: state space + matrix memo."""
@@ -182,7 +190,18 @@ class SolveService:
     method:
         Solver method (a :data:`repro.solvers.SOLVER_REGISTRY` key:
         ``"jacobi"``, ``"gauss-seidel"``, ``"power"`` or
-        ``"resilient"``).
+        ``"resilient"``) — or ``"fsp"`` for adaptive Finite State
+        Projection.  FSP jobs never enumerate the full buffered space:
+        each runs the :class:`repro.fsp.AdaptiveFspController`
+        projection loop and answers with a landscape over the final
+        projection plus a certified ``truncation_mass``; the full-space
+        cache, warm-start index and batching do not apply.
+    fsp_options:
+        Controller knobs for ``method="fsp"`` (a subset of
+        :data:`FSP_OPTION_KEYS`: ``fsp_tol``, ``initial_size``,
+        ``max_rounds``, ``prune_mass``, ``safety``, ``expand_depth``,
+        ``max_new_states``, ``max_states``, and the inner solver
+        ``method``).  Rejected for fixed-capacity methods.
     breaker_threshold, breaker_reset_s:
         Circuit breaker for the solve path: after
         ``breaker_threshold`` consecutive attempt failures the service
@@ -242,6 +261,7 @@ class SolveService:
                  batch_max: int = 1,
                  tol: float = 1e-8, max_iterations: int = 200_000,
                  solver_options: Mapping | None = None,
+                 fsp_options: Mapping | None = None,
                  reuse_state_space: bool = True,
                  max_states: int = 5_000_000,
                  metrics_registry=None):
@@ -271,11 +291,34 @@ class SolveService:
         self._warm_count = itertools.count()
         self.timeout_s = timeout_s
         self.method = str(method).lower().replace("_", "-")
-        if self.method not in SOLVER_REGISTRY:
+        if self.method == "fsp":
+            # Adaptive FSP is a *projection loop*, not a registry
+            # solver: its answers live on per-job projections, so the
+            # full-space machinery (cache lines keyed to the enumerated
+            # layout, warm-start donors, batching) cannot apply.
+            self._solver_cls = None
+            if self.warm_start:
+                raise ValidationError(
+                    "warm_start does not combine with method='fsp': warm "
+                    "starting is internal to the projection loop")
+            if batch_max > 1:
+                raise ValidationError(
+                    "batch_max does not combine with method='fsp'")
+            bad = set(fsp_options or {}) - FSP_OPTION_KEYS
+            if bad:
+                raise ValidationError(
+                    f"unknown fsp options {sorted(bad)}; expected a "
+                    f"subset of {sorted(FSP_OPTION_KEYS)}")
+        elif self.method in SOLVER_REGISTRY:
+            self._solver_cls = SOLVER_REGISTRY[self.method]
+            if fsp_options:
+                raise ValidationError(
+                    "fsp_options only apply to method='fsp'")
+        else:
             raise ValidationError(
-                f"unknown solver method {method!r}; expected one of "
-                f"{sorted(SOLVER_REGISTRY)}")
-        self._solver_cls = SOLVER_REGISTRY[self.method]
+                f"unknown solver method {method!r}; expected 'fsp' or "
+                f"one of {sorted(SOLVER_REGISTRY)}")
+        self.fsp_options = dict(fsp_options or {})
         if breaker_threshold < 0:
             raise ValidationError("breaker_threshold must be >= 0")
         self._breaker = None if breaker_threshold == 0 else CircuitBreaker(
@@ -368,7 +411,10 @@ class SolveService:
         key = req.cache_key()
         self.metrics.incr("submitted")
 
-        if self.cache is not None:
+        # FSP answers are projection-shaped; the cache is keyed to the
+        # full enumerated layout (and the lookup would *trigger* that
+        # enumeration), so FSP submissions go straight to single-flight.
+        if self.cache is not None and self.method != "fsp":
             injector = active_injector()
             if injector is not None \
                     and injector.active_for("serve.cache") \
@@ -485,6 +531,8 @@ class SolveService:
         return budget
 
     def _execute_solve(self, job: SolveJob) -> SolveOutcome:
+        if self.method == "fsp":
+            return self._execute_fsp(job)
         req = job.request
         t0 = time.perf_counter()
         time_budget_s = self._attempt_budget(job)
@@ -576,6 +624,55 @@ class SolveService:
                 landscape=ProbabilityLandscape(space, result.x),
                 key=job.key, cached=False, warm_started=warm,
                 solve_seconds=time.perf_counter() - t0)
+
+    # -- adaptive FSP execution ----------------------------------------------
+
+    def _execute_fsp(self, job: SolveJob) -> SolveOutcome:
+        """One adaptive-FSP attempt: the projection loop as a job.
+
+        The answer's landscape lives on the loop's final projection
+        (typically a strict subset of the buffered space) and the
+        outcome carries the certified ``truncation_mass`` plus the
+        round trajectory.  An expired budget surfaces as the same
+        :class:`~repro.errors.JobTimeoutError` the fixed-capacity path
+        raises, so retry and breaker handling are identical.
+        """
+        from repro.fsp import AdaptiveFspController
+
+        req = job.request
+        t0 = time.perf_counter()
+        time_budget_s = self._attempt_budget(job)
+        with tracing.span("serve.execute_fsp", job=job.id,
+                          key=job.key[:12]) as ex_span:
+            opts = dict(self.fsp_options)
+            inner_method = opts.pop("method", "jacobi")
+            controller = AdaptiveFspController(
+                req.varied_network(), tol=req.tol,
+                max_iterations=req.max_iterations,
+                method=inner_method,
+                solver_options=req.solver_options, **opts)
+            solve_t0 = time.perf_counter()
+            fsp = controller.solve(time_budget_s=time_budget_s)
+            self.metrics.observe_stage(
+                "solve", time.perf_counter() - solve_t0)
+            result = fsp.to_solver_result()
+            ex_span.set_attribute("rounds", len(fsp.rounds))
+            ex_span.set_attribute("final_states", fsp.space.size)
+            ex_span.set_attribute("truncation_mass", fsp.truncation_mass)
+            if fsp.reason == "timed_out":
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded its {time_budget_s:.3g}s budget "
+                    f"after {len(fsp.rounds)} FSP rounds", key=job.key,
+                    iterations=result.iterations, residual=result.residual)
+            self.metrics.incr("fsp_solved")
+            self.metrics.incr("cold_started")
+            return SolveOutcome(
+                result=result,
+                landscape=ProbabilityLandscape(fsp.space, fsp.x),
+                key=job.key, cached=False, warm_started=False,
+                solve_seconds=time.perf_counter() - t0,
+                truncation_mass=fsp.truncation_mass,
+                fsp=fsp.payload())
 
     # -- batched execution ---------------------------------------------------
 

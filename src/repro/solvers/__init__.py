@@ -30,6 +30,7 @@ from repro.solvers.batched import BatchedJacobiSolver
 from repro.solvers.gauss_seidel import GaussSeidelSolver
 from repro.solvers.power import PowerIterationSolver
 from repro.solvers.gmres import gmres_steady_state
+from repro.solvers.remap import remap_iterate
 from repro.solvers.spectral import SpectralEstimate, estimate_subdominant
 
 #: Method-name registry used by :func:`repro.solve_steady_state`.
@@ -59,6 +60,7 @@ __all__ = [
     "GaussSeidelSolver",
     "PowerIterationSolver",
     "gmres_steady_state",
+    "remap_iterate",
     "SpectralEstimate",
     "estimate_subdominant",
 ]

@@ -37,7 +37,11 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.errors import SingularSystemError, ValidationError
+from repro.errors import (
+    IterateSizeError,
+    SingularSystemError,
+    ValidationError,
+)
 from repro.solvers.normalization import renormalize, uniform_probability
 from repro.solvers.result import SolverResult, StopReason
 from repro.solvers.stopping import StoppingCriterion
@@ -202,8 +206,10 @@ class IterativeSolverBase:
             return uniform_probability(self.n)
         x = np.asarray(x0, dtype=np.float64)
         if x.shape != (self.n,):
-            raise ValidationError(
-                f"x0 must have length {self.n}, got {x.shape}")
+            # A typed size error (not a bare shape complaint): when the
+            # caller remaps iterates across changing projections, this
+            # is the failure that pinpoints a remap bug.
+            raise IterateSizeError(self.n, x.shape)
         if not np.all(np.isfinite(x)):
             raise ValidationError("x0 contains non-finite entries")
         if np.any(x < 0.0):

@@ -41,7 +41,11 @@ import time
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import SingularSystemError, ValidationError
+from repro.errors import (
+    IterateSizeError,
+    SingularSystemError,
+    ValidationError,
+)
 from repro.solvers.base import matrix_derived
 from repro.solvers.normalization import renormalize, uniform_probability
 from repro.solvers.result import SolverResult, StopReason
@@ -199,8 +203,7 @@ class BatchedJacobiSolver:
                 continue
             x = np.asarray(col, dtype=np.float64)
             if x.shape != (self.n,):
-                raise ValidationError(
-                    f"x0s[{j}] must have length {self.n}, got {x.shape}")
+                raise IterateSizeError(self.n, x.shape, name=f"x0s[{j}]")
             if not np.all(np.isfinite(x)):
                 raise ValidationError(f"x0s[{j}] contains non-finite entries")
             if np.any(x < 0.0):

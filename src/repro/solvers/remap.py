@@ -1,0 +1,89 @@
+"""Warm-start remapping across changing state-space projections.
+
+The adaptive FSP loop (:mod:`repro.fsp`) re-solves the steady state on
+a *different* projection every round: states are appended at the
+frontier, pruned from the tail, and — because projections are just
+state arrays — possibly permuted.  A converged iterate on the old
+projection is an excellent warm start on the new one, but only if each
+probability entry follows *its state* through the re-indexing.
+
+:func:`remap_iterate` is that permutation-safe transfer: entries are
+matched by state (via the mixed-radix key index of
+:class:`~repro.cme.statespace.StateSpace`), states new to the target
+projection receive ``fill``, and the result is renormalized onto the
+probability simplex so pruned mass is redistributed proportionally
+rather than silently lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IterateSizeError, ValidationError
+from repro.solvers.normalization import renormalize, uniform_probability
+
+
+def remap_iterate(x, old_space, new_space, *, fill: float = 0.0) -> np.ndarray:
+    """Transfer a probability iterate from *old_space* to *new_space*.
+
+    Parameters
+    ----------
+    x:
+        Probability vector over ``old_space`` (length ``old_space.size``).
+    old_space, new_space:
+        :class:`~repro.cme.statespace.StateSpace` instances over the
+        same species layout (same count, same buffer caps — the mixed
+        radix key encoding must agree for state identity to be sound).
+    fill:
+        Value seeded into states present only in ``new_space``
+        (default ``0.0``: new frontier states start empty and are
+        filled by the iteration's inflow).
+
+    Returns
+    -------
+    np.ndarray
+        A probability vector over ``new_space``:
+
+        * a pure permutation transfers every entry exactly (mass is
+          preserved bitwise up to the final renormalization by
+          ``sum(x)``, which is 1 for a probability input);
+        * growth keeps every surviving entry's *relative* mass;
+        * pruned states' mass is redistributed proportionally by the
+          renormalization, so the result always sums to 1.
+
+    Raises
+    ------
+    IterateSizeError
+        When ``len(x) != old_space.size`` — the typed failure that
+        surfaces FSP remap bugs at the boundary instead of deep inside
+        a solver.
+    ValidationError
+        When the two spaces disagree on species layout, or *x* is not
+        a valid (finite, non-negative) mass vector.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (old_space.size,):
+        raise IterateSizeError(old_space.size, x.shape, name="iterate")
+    if not np.all(np.isfinite(x)):
+        raise ValidationError("iterate contains non-finite entries")
+    if np.any(x < 0.0):
+        raise ValidationError("iterate contains negative entries")
+    if old_space.states.shape[1] != new_space.states.shape[1] or not \
+            np.array_equal(old_space.network.max_counts,
+                           new_space.network.max_counts):
+        raise ValidationError(
+            "state spaces disagree on species layout; an iterate cannot "
+            "be remapped between different models")
+    if not float(fill) >= 0.0:
+        raise ValidationError(f"fill must be non-negative, got {fill}")
+
+    idx = old_space.lookup(new_space.states)
+    found = idx >= 0
+    out = np.full(new_space.size, float(fill), dtype=np.float64)
+    out[found] = x[idx[found]]
+    total = float(out.sum())
+    if total <= 0.0:
+        # Every carried state was pruned to zero mass (or the spaces are
+        # disjoint): restart from uniform rather than divide by zero.
+        return uniform_probability(new_space.size)
+    return renormalize(out)

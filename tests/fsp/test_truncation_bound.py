@@ -1,0 +1,65 @@
+"""The certificate is sound: bound >= true outside-projection mass.
+
+For models small enough to enumerate fully, solve the full-capacity
+steady state, measure the probability mass that actually lives outside
+the adaptive projection, and check the certified truncation bound
+dominates it.  Run at several tolerances so the check covers coarse and
+fine projections alike.
+"""
+
+import pytest
+
+from repro.cme import build_rate_matrix, enumerate_state_space
+from repro.cme.models import toggle_switch
+from repro.cme.models.phage_lambda import phage_lambda
+from repro.fsp import AdaptiveFspController
+from repro.solvers import JacobiSolver
+
+
+def true_outside_mass(network, projection):
+    full = enumerate_state_space(network)
+    pf = JacobiSolver(build_rate_matrix(full)).solve().x
+    idx = full.lookup(projection.states)
+    assert idx.min() >= 0, "projection escaped the reachable space"
+    return float(1.0 - pf[idx].sum()), full
+
+
+class TestToggleSwitch:
+    @pytest.mark.parametrize("fsp_tol", [1e-2, 1e-4, 1e-6])
+    def test_bound_dominates_true_mass(self, fsp_tol):
+        net = toggle_switch(max_protein=12)
+        result = AdaptiveFspController(net, fsp_tol=fsp_tol,
+                                       initial_size=16).solve()
+        assert result.converged
+        outside, full = true_outside_mass(net, result.space)
+        assert result.truncation_mass <= fsp_tol
+        assert result.truncation_mass >= outside - 1e-12
+        if result.space.size == full.size:
+            assert result.truncation_mass == 0.0
+
+
+class TestPhageLambda:
+    @pytest.mark.parametrize("fsp_tol", [1e-2, 1e-4])
+    def test_bound_dominates_true_mass(self, fsp_tol):
+        net = phage_lambda(max_monomer=5, max_dimer=2)
+        result = AdaptiveFspController(net, fsp_tol=fsp_tol,
+                                       initial_size=48).solve()
+        assert result.converged
+        outside, full = true_outside_mass(net, result.space)
+        assert result.truncation_mass >= outside - 1e-12
+        # The point of FSP: the certified projection is smaller than the
+        # full enumeration at coarse tolerances.
+        if fsp_tol >= 1e-2:
+            assert result.space.size < full.size
+
+    def test_tightening_tolerance_tightens_truth(self):
+        """Smaller fsp_tol must not leave MORE true mass outside."""
+        net = phage_lambda(max_monomer=5, max_dimer=2)
+        masses = []
+        for fsp_tol in (1e-2, 1e-5):
+            result = AdaptiveFspController(net, fsp_tol=fsp_tol,
+                                           initial_size=48).solve()
+            assert result.converged
+            outside, _ = true_outside_mass(net, result.space)
+            masses.append(outside)
+        assert masses[1] <= masses[0] + 1e-12

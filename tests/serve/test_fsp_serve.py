@@ -1,0 +1,90 @@
+"""The serve path for ``method="fsp"`` (adaptive projections as jobs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import SolveService
+
+
+@pytest.fixture
+def fsp_service(tiny_toggle_network):
+    svc = SolveService(tiny_toggle_network, method="fsp",
+                       fsp_options={"fsp_tol": 1e-4, "initial_size": 16})
+    yield svc
+    svc.close()
+
+
+class TestOutcome:
+    def test_answer_carries_certificate(self, fsp_service):
+        outcome = fsp_service.solve({})
+        assert outcome.truncation_mass is not None
+        assert outcome.truncation_mass <= 1e-4
+        assert outcome.fsp is not None
+        assert outcome.fsp["method"] == "fsp"
+        assert outcome.fsp["converged"]
+        assert outcome.fsp["final_states"] == outcome.landscape.space.size
+        assert outcome.fsp["rounds"] == len(outcome.fsp["projection_sizes"])
+        assert outcome.result.x.sum() == pytest.approx(1.0)
+        assert outcome.landscape.p.sum() == pytest.approx(1.0)
+
+    def test_overrides_change_the_answer(self, fsp_service):
+        base = fsp_service.solve({})
+        # degA is mass-action, so the override reaches the projection
+        # loop (custom-propensity reactions keep their dynamics).
+        varied = fsp_service.solve({"degA": 1.7})
+        mb = base.landscape.mean_counts()
+        mv = varied.landscape.mean_counts()
+        assert mv["A"] < mb["A"] - 0.5
+
+    def test_fsp_solved_counter_advances(self, fsp_service):
+        fsp_service.solve({})
+        snap = fsp_service.snapshot()
+        assert snap["fsp_solved"] == 1
+        assert snap["completed"] == 1
+
+    def test_matches_fixed_capacity_answer(self, fsp_service,
+                                           tiny_toggle_network):
+        from repro import solve_steady_state
+        outcome = fsp_service.solve({})
+        full = solve_steady_state(tiny_toggle_network, tol=1e-8)
+        # Conditional distribution on the projection tracks the full
+        # answer to within the certificate's scale.
+        from repro.cme import enumerate_state_space
+        space = enumerate_state_space(tiny_toggle_network)
+        idx = space.lookup(outcome.landscape.space.states)
+        cond = full.x[idx] / full.x[idx].sum()
+        assert np.abs(outcome.landscape.p - cond).max() < 1e-3
+
+
+class TestValidation:
+    def test_fsp_options_need_fsp_method(self, tiny_toggle_network):
+        with pytest.raises(ValidationError, match="fsp_options"):
+            SolveService(tiny_toggle_network, method="jacobi",
+                         fsp_options={"fsp_tol": 1e-4})
+
+    def test_warm_start_rejected(self, tiny_toggle_network):
+        with pytest.raises(ValidationError, match="warm_start"):
+            SolveService(tiny_toggle_network, method="fsp",
+                         warm_start=True)
+
+    def test_batching_rejected(self, tiny_toggle_network):
+        with pytest.raises(ValidationError, match="batch_max"):
+            SolveService(tiny_toggle_network, method="fsp", batch_max=4)
+
+    def test_unknown_fsp_option_rejected(self, tiny_toggle_network):
+        with pytest.raises(ValidationError, match="unknown fsp options"):
+            SolveService(tiny_toggle_network, method="fsp",
+                         fsp_options={"fsp_tol": 1e-4, "typo": 1})
+
+    def test_unknown_method_rejected(self, tiny_toggle_network):
+        with pytest.raises(ValidationError, match="unknown solver method"):
+            SolveService(tiny_toggle_network, method="fspp")
+
+
+class TestFixedCapacityUnchanged:
+    def test_plain_service_has_no_certificate(self, tiny_toggle_network):
+        with SolveService(tiny_toggle_network) as svc:
+            outcome = svc.solve({})
+        assert outcome.truncation_mass is None
+        assert outcome.fsp is None

@@ -1,0 +1,144 @@
+"""Warm-start remapping across projections (:mod:`repro.solvers.remap`).
+
+These tests pin the property the adaptive FSP loop depends on: an
+iterate follows *its state* — not its index — through any combination
+of permutation, growth and pruning of the projection, and the result is
+always a probability vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cme import StateSpace, enumerate_state_space
+from repro.cme.models import toggle_switch
+from repro.errors import IterateSizeError, ValidationError
+from repro.solvers import JacobiSolver, remap_iterate
+
+
+@pytest.fixture(scope="module")
+def space():
+    return enumerate_state_space(toggle_switch(max_protein=6))
+
+
+def random_probability(n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.random(n) + 1e-3
+    return x / x.sum()
+
+
+def subspace(space, indices):
+    return StateSpace(network=space.network,
+                      states=space.states[np.asarray(indices)])
+
+
+class TestPermutation:
+    def test_pure_permutation_is_exact(self, space):
+        x = random_probability(space.size, seed=1)
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(space.size)
+        permuted = subspace(space, perm)
+        y = remap_iterate(x, space, permuted)
+        np.testing.assert_allclose(y, x[perm], rtol=0, atol=1e-15)
+        assert y.sum() == pytest.approx(1.0)
+
+    def test_round_trip_restores_order(self, space):
+        x = random_probability(space.size, seed=3)
+        perm = np.random.default_rng(4).permutation(space.size)
+        there = remap_iterate(x, space, subspace(space, perm))
+        back = remap_iterate(there, subspace(space, perm), space)
+        np.testing.assert_allclose(back, x, rtol=0, atol=1e-15)
+
+
+class TestGrowth:
+    def test_growth_preserves_carried_mass_ratios(self, space):
+        half = space.size // 2
+        small = subspace(space, np.arange(half))
+        x = random_probability(half, seed=5)
+        y = remap_iterate(x, small, space)
+        # Carried entries keep their exact values (input summed to 1,
+        # new entries are 0, so renormalization divides by 1).
+        np.testing.assert_allclose(y[:half], x, rtol=0, atol=1e-15)
+        np.testing.assert_allclose(y[half:], 0.0)
+
+    def test_fill_seeds_new_states(self, space):
+        half = space.size // 2
+        small = subspace(space, np.arange(half))
+        x = random_probability(half, seed=6)
+        y = remap_iterate(x, small, space, fill=0.1)
+        assert np.all(y[half:] > 0)
+        assert y.sum() == pytest.approx(1.0)
+        # Relative mass among carried states is unchanged.
+        ratios = y[:half] / x
+        np.testing.assert_allclose(ratios, ratios[0])
+
+
+class TestPrune:
+    def test_prune_redistributes_proportionally(self, space):
+        x = random_probability(space.size, seed=7)
+        keep = np.arange(0, space.size, 2)
+        pruned = subspace(space, keep)
+        y = remap_iterate(x, space, pruned)
+        assert y.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(y, x[keep] / x[keep].sum(), atol=1e-15)
+
+    def test_grow_prune_permute_round_trip(self, space):
+        """The FSP round shape: prune, grow elsewhere, permute — mass
+        still follows states."""
+        x = random_probability(space.size, seed=8)
+        rng = np.random.default_rng(9)
+        survivors = np.sort(rng.choice(space.size, size=space.size - 5,
+                                       replace=False))
+        shuffled = rng.permutation(survivors)
+        target = subspace(space, shuffled)
+        y = remap_iterate(x, space, target)
+        np.testing.assert_allclose(
+            y, x[shuffled] / x[survivors].sum(), atol=1e-14)
+
+    def test_disjoint_spaces_fall_back_to_uniform(self, space):
+        half = space.size // 2
+        a = subspace(space, np.arange(half))
+        b = subspace(space, np.arange(half, space.size))
+        x = random_probability(a.size, seed=10)
+        y = remap_iterate(x, a, b)
+        np.testing.assert_allclose(y, 1.0 / b.size)
+
+
+class TestValidation:
+    def test_wrong_length_raises_typed_error(self, space):
+        with pytest.raises(IterateSizeError) as err:
+            remap_iterate(np.ones(3) / 3, space, space)
+        assert err.value.expected == space.size
+        assert isinstance(err.value, ValidationError)
+
+    def test_layout_mismatch_rejected(self, space):
+        other = enumerate_state_space(toggle_switch(max_protein=5))
+        x = random_probability(space.size, seed=11)
+        with pytest.raises(ValidationError):
+            remap_iterate(x, space, other)
+
+    def test_negative_and_nonfinite_rejected(self, space):
+        bad = np.zeros(space.size)
+        bad[0] = -1.0
+        with pytest.raises(ValidationError):
+            remap_iterate(bad, space, space)
+        bad[0] = np.nan
+        with pytest.raises(ValidationError):
+            remap_iterate(bad, space, space)
+
+    def test_negative_fill_rejected(self, space):
+        x = random_probability(space.size, seed=12)
+        with pytest.raises(ValidationError):
+            remap_iterate(x, space, space, fill=-0.5)
+
+
+class TestSolverIterateSizeError:
+    """The satellite bugfix: solvers raise the typed size error."""
+
+    def test_solver_raises_iterate_size_error(self, birth_death_matrix):
+        solver = JacobiSolver(birth_death_matrix)
+        with pytest.raises(IterateSizeError) as err:
+            solver.solve(np.ones(solver.n + 3))
+        assert err.value.expected == solver.n
+        # Still catchable as the generic ValidationError (and ValueError).
+        assert isinstance(err.value, ValidationError)
+        assert isinstance(err.value, ValueError)

@@ -147,6 +147,32 @@ class TestServe:
         assert "bad --vary" in capsys.readouterr().err
 
 
+class TestFsp:
+    def test_certifies_and_writes_payload(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "fsp.json"
+        rc = main(["fsp", "--model", "toggle-switch",
+                   "--max-protein", "10", "--fsp-tol", "1e-4",
+                   "--initial-size", "16", "--compare-full",
+                   "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "certified" in out
+        assert "truncation_mass" in out
+        assert "full enumeration" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["method"] == "fsp"
+        assert payload["converged"]
+        assert payload["truncation_mass"] <= 1e-4
+        assert payload["rounds"] == len(payload["projection_sizes"])
+
+    def test_parser_defaults(self):
+        args = make_parser().parse_args(["fsp"])
+        assert args.model == "phage-lambda"
+        assert args.fsp_tol == 1e-6
+        assert args.safety == 4.0
+
+
 class TestProfile:
     def test_writes_trace_and_metrics(self, capsys, tmp_path):
         import json
