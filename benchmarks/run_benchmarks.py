@@ -1,19 +1,25 @@
-"""Tracked benchmark baseline: write ``BENCH_6.json`` at the repo root.
+"""Tracked benchmark baseline: write ``BENCH_7.json`` at the repo root.
 
 Unlike the pytest-benchmark suites next door (which regenerate the
 paper's tables), this script times the *engineering* surfaces this
-codebase optimizes and records them in one machine-readable file:
+codebase optimizes and records them in one machine-readable file.
+Every entry names the kernel backend (:mod:`repro.backends`) that
+produced it; the hot sections run once per available backend so the
+reference and JIT paths are tracked side by side:
 
-* ``formats`` — per-format ``spmv`` vs. multi-RHS ``spmm`` (K=8) on the
-  toggle-switch generator, with the amortization ratio
+* ``formats`` — per backend, per-format ``spmv`` vs. multi-RHS ``spmm``
+  (K=8) on the toggle-switch generator, with the amortization ratio
   ``K * t_spmv / t_spmm``.
-* ``solver`` — Jacobi iterations/s and the counted SpMV-per-iteration
-  ratio (product reuse means a solve of ``I`` iterations performs
-  exactly ``I + 1`` products).
+* ``solver`` — per backend, Jacobi iterations/s; the reference entry
+  additionally counts SpMVs per iteration (product reuse means a solve
+  of ``I`` iterations performs exactly ``I + 1`` products — the fused
+  JIT sweep never materializes its product, so only the reference can
+  count through ``@``).
 * ``batched`` — 8 sweep conditions solved serially vs. through the
   stacked :class:`~repro.solvers.batched.BatchedJacobiSolver`, at two
   scopes: ``solver_only`` (the Jacobi loops alone, identical prebuilt
-  systems) and ``workload`` (what a user actually runs: independent
+  systems; timed per backend against the *reference serial* baseline)
+  and ``workload`` (what a user actually runs: independent
   ``solve_steady_state`` calls, each re-enumerating the state space,
   vs. ``ParameterSweep.run(batch=K)``, which shares one enumeration).
   Each entry records what its timing includes.
@@ -30,15 +36,17 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
-        --quick --check-memo-speedup 5 --check-fsp
+        --quick --check-memo-speedup 5 --check-fsp --check-spmm 1.0
 
 ``--check-memo-speedup X`` exits nonzero when the memoized gpusim
 analysis is less than ``X``× faster than the cold one; ``--check-fsp``
 exits nonzero unless the adaptive phage-lambda solve certifies its
-tolerance with a projection strictly smaller than the full enumeration
-— the CI smoke gates.  All timings are single-process wall clock on
-whatever machine runs the script; the JSON records the machine so
-baselines are only compared like-for-like.
+tolerance with a projection strictly smaller than the full enumeration;
+``--check-spmm X`` exits nonzero unless every format's multi-RHS
+amortization under the best non-reference backend reaches ``X``
+(default 1.0) — the CI smoke gates.  All timings are single-process
+wall clock on whatever machine runs the script; the JSON records the
+machine so baselines are only compared like-for-like.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ from repro import (
     solve_steady_state,
     toggle_switch,
 )
+from repro import backends
 from repro.cme.ratematrix import build_rate_matrix
 from repro.cme.statespace import StateSpace, enumerate_state_space
 from repro.gpusim import clear_memo, memo_stats, spmv_traffic
@@ -104,54 +113,70 @@ class CountingCSR(sp.csr_matrix):
         return super().__matmul__(other)
 
 
-def bench_formats(csr, repeats: int) -> dict:
-    """Per-format spmv/spmm timings on the toggle generator."""
+def bench_formats(csr, repeats: int, backend_names: list[str]) -> dict:
+    """Per-backend, per-format spmv/spmm timings on the toggle generator."""
     n = csr.shape[0]
     rng = np.random.default_rng(0)
     x = rng.random(n)
     X = rng.random((n, 8))
     out = {}
-    for cls in FORMATS:
-        fmt = cls(csr)
-        spmv_s = best_of(lambda: fmt.spmv(x), repeats)
-        spmm_s = best_of(lambda: fmt.spmm(X), repeats)
-        out[cls.__name__] = {
-            "spmv_us": round(spmv_s * 1e6, 2),
-            "spmm_k8_us": round(spmm_s * 1e6, 2),
-            # > 1 means the fused multi-RHS pass beats K single SpMVs.
-            "amortization_x": round(8 * spmv_s / spmm_s, 3),
-        }
+    for backend in backend_names:
+        table = {}
+        for cls in FORMATS:
+            fmt = cls(csr)
+            spmv_s = best_of(lambda: fmt.spmv(x, backend=backend), repeats)
+            spmm_s = best_of(lambda: fmt.spmm(X, backend=backend), repeats)
+            table[cls.__name__] = {
+                "backend": backend,
+                "spmv_us": round(spmv_s * 1e6, 2),
+                "spmm_k8_us": round(spmm_s * 1e6, 2),
+                # > 1 means the fused multi-RHS pass beats K single SpMVs.
+                "amortization_x": round(8 * spmv_s / spmm_s, 3),
+            }
+        out[backend] = table
     return out
 
 
-def bench_solver(A, max_iterations: int) -> dict:
-    """Iterations/s and the counted SpMV-per-iteration ratio."""
-    solver = JacobiSolver(A, tol=1e-300, max_iterations=max_iterations,
-                          stagnation_tol=None)
-    counted = CountingCSR(solver.A)
-    counted.matmul_count = 0
-    solver.A = counted
-    t0 = time.perf_counter()
-    result = solver.solve()
-    elapsed = time.perf_counter() - t0
-    return {
-        "n": A.shape[0],
-        "iterations": result.iterations,
-        "iterations_per_s": round(result.iterations / elapsed, 1),
-        "spmv_count": counted.matmul_count,
-        # Product reuse: I iterations cost exactly I + 1 products.
-        "spmv_per_iteration": round(
-            counted.matmul_count / result.iterations, 4),
-    }
+def bench_solver(A, max_iterations: int, backend_names: list[str]) -> dict:
+    """Per-backend Jacobi iterations/s (reference also counts SpMVs)."""
+    out = {}
+    for backend in backend_names:
+        solver = JacobiSolver(A, tol=1e-300, max_iterations=max_iterations,
+                              stagnation_tol=None, backend=backend)
+        is_reference = backends.get_backend(backend).is_reference
+        if is_reference:
+            counted = CountingCSR(solver.A)
+            counted.matmul_count = 0
+            solver.A = counted
+        t0 = time.perf_counter()
+        result = solver.solve()
+        elapsed = time.perf_counter() - t0
+        entry = {
+            "backend": backend,
+            "n": A.shape[0],
+            "iterations": result.iterations,
+            "iterations_per_s": round(result.iterations / elapsed, 1),
+        }
+        if is_reference:
+            # Product reuse: I iterations cost exactly I + 1 products.
+            # (The fused JIT sweep never materializes its product, so
+            # only the reference path can count through ``@``.)
+            entry["spmv_count"] = counted.matmul_count
+            entry["spmv_per_iteration"] = round(
+                counted.matmul_count / result.iterations, 4)
+        out[backend] = entry
+    return out
 
 
-def bench_batched(net, max_iterations: int) -> dict:
+def bench_batched(net, max_iterations: int, backend_names: list[str]) -> dict:
     """Serial vs. batched over the 8-point degA sweep, at two scopes."""
     degs = DEG_POINTS
     kwargs = dict(tol=1e-300, max_iterations=max_iterations,
                   stagnation_tol=None)
 
     # -- solver_only: identical prebuilt systems, Jacobi loops alone --
+    # The serial baseline is always the reference backend ("what plain
+    # NumPy costs"); each backend's stacked solve is measured against it.
     base_space = enumerate_state_space(net)
     mats = [build_rate_matrix(
         StateSpace(network=net.with_rates({"degA": d}),
@@ -159,11 +184,19 @@ def bench_batched(net, max_iterations: int) -> dict:
             for d in degs]
     t0 = time.perf_counter()
     for A in mats:
-        JacobiSolver(A, **kwargs).solve()
+        JacobiSolver(A, **kwargs, backend="numpy").solve()
     serial_solver_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    BatchedJacobiSolver.stacked(mats, **kwargs).solve_many()
-    batched_solver_s = time.perf_counter() - t0
+    batched_solver = {}
+    for backend in backend_names:
+        t0 = time.perf_counter()
+        BatchedJacobiSolver.stacked(mats, **kwargs,
+                                    backend=backend).solve_many()
+        batched_s = time.perf_counter() - t0
+        batched_solver[backend] = {
+            "backend": backend,
+            "batched_s": round(batched_s, 4),
+            "speedup_x": round(serial_solver_s / batched_s, 3),
+        }
 
     # -- workload: what a user runs for 8 conditions ------------------
     t0 = time.perf_counter()
@@ -182,12 +215,14 @@ def bench_batched(net, max_iterations: int) -> dict:
         "max_iterations": max_iterations,
         "solver_only": {
             "includes": "Jacobi loops on prebuilt identical systems "
-                        "(no enumeration, no matrix assembly)",
+                        "(no enumeration, no matrix assembly); serial "
+                        "baseline always runs the numpy reference",
+            "serial_backend": "numpy",
             "serial_s": round(serial_solver_s, 4),
-            "batched_s": round(batched_solver_s, 4),
-            "speedup_x": round(serial_solver_s / batched_solver_s, 3),
+            "batched": batched_solver,
         },
         "workload": {
+            "backend": backends.resolve().name,
             "includes_serial": "8 independent solve_steady_state calls, "
                                "each enumerating the state space and "
                                "assembling its matrix",
@@ -215,6 +250,7 @@ def bench_gpusim_memo(csr, repeats: int) -> dict:
     stats = memo_stats()
     return {
         "format": type(fmt).__name__,
+        "backend": backends.resolve().name,
         "n": csr.shape[0],
         "cold_us": round(cold_s * 1e6, 2),
         "memoized_us": round(warm_s * 1e6, 3),
@@ -245,6 +281,7 @@ def bench_serve(quick: bool) -> dict:
             elapsed = time.perf_counter() - t0
         out[name] = {
             "n": outcomes[0].result.x.size,
+            "backend": backends.resolve().name,
             "jobs": jobs,
             "seconds": round(elapsed, 4),
             "jobs_per_s": round(jobs / elapsed, 2),
@@ -279,6 +316,7 @@ def bench_fsp(quick: bool) -> dict:
 
     return {
         "model": "phage_lambda",
+        "backend": backends.resolve().name,
         "fsp_tol": fsp_tol,
         "adaptive": {
             "converged": result.converged,
@@ -306,8 +344,8 @@ def main(argv=None) -> int:
                         help="small systems and budgets (CI smoke)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
-                        / "BENCH_6.json",
-                        help="output path (default: BENCH_6.json at root)")
+                        / "BENCH_7.json",
+                        help="output path (default: BENCH_7.json at root)")
     parser.add_argument("--check-memo-speedup", type=float, default=None,
                         metavar="X",
                         help="exit nonzero if memoized gpusim analysis is "
@@ -316,6 +354,11 @@ def main(argv=None) -> int:
                         help="exit nonzero unless adaptive FSP certifies "
                              "phage lambda with a projection strictly "
                              "smaller than the full enumeration")
+    parser.add_argument("--check-spmm", type=float, nargs="?", const=1.0,
+                        default=None, metavar="X",
+                        help="exit nonzero unless every format's multi-RHS "
+                             "amortization under the best non-reference "
+                             "backend reaches X (default 1.0)")
     args = parser.parse_args(argv)
 
     max_protein = 31 if args.quick else 127
@@ -327,8 +370,12 @@ def main(argv=None) -> int:
     A = build_rate_matrix(space)
     csr = as_csr(A)
 
+    backend_names = backends.available_backends()
+    jit_names = [n for n in backend_names
+                 if not backends.get_backend(n).is_reference]
+
     report = {
-        "bench": "BENCH_6",
+        "bench": "BENCH_7",
         "quick": args.quick,
         "machine": {
             "python": platform.python_version(),
@@ -337,17 +384,20 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "cpus": os.cpu_count(),
         },
+        "backends": backend_names,
+        "default_backend": backends.resolve().name,
         "system": {"model": "toggle_switch",
                    "max_protein": max_protein,
                    "n": csr.shape[0], "nnz": int(csr.nnz)},
     }
 
-    print(f"[bench] formats: n={csr.shape[0]}, nnz={csr.nnz}")
-    report["formats"] = bench_formats(csr, repeats)
-    print("[bench] solver: counted Jacobi")
-    report["solver"] = bench_solver(A, max_iterations)
+    print(f"[bench] formats: n={csr.shape[0]}, nnz={csr.nnz}, "
+          f"backends={backend_names}")
+    report["formats"] = bench_formats(csr, repeats, backend_names)
+    print("[bench] solver: Jacobi per backend")
+    report["solver"] = bench_solver(A, max_iterations, backend_names)
     print(f"[bench] batched: {len(DEG_POINTS)}-point degA sweep")
-    report["batched"] = bench_batched(net, max_iterations)
+    report["batched"] = bench_batched(net, max_iterations, backend_names)
     print("[bench] gpusim memo: cold vs. memoized")
     report["gpusim_memo"] = bench_gpusim_memo(csr, repeats)
     print("[bench] serve: four paper models")
@@ -355,13 +405,22 @@ def main(argv=None) -> int:
     print("[bench] fsp: adaptive projection vs. full enumeration")
     report["fsp"] = bench_fsp(args.quick)
 
+    # The JIT backend the gates grade: the one with the best worst-case
+    # spmm amortization (there is normally exactly one — "native").
+    gate_backend = None
+    if jit_names:
+        gate_backend = max(
+            jit_names,
+            key=lambda b: min(e["amortization_x"]
+                              for e in report["formats"][b].values()))
+
     report["acceptance"] = {
         "batched_workload_speedup_x":
             report["batched"]["workload"]["speedup_x"],
         "batched_workload_target_x": 3.0,
         "memo_speedup_x": report["gpusim_memo"]["speedup_x"],
         "memo_target_x": 10.0,
-        "spmv_per_iteration": report["solver"]["spmv_per_iteration"],
+        "spmv_per_iteration": report["solver"]["numpy"]["spmv_per_iteration"],
         "spmv_per_iteration_target":
             "~1 (exactly iterations + 1 products per solve)",
         "fsp_truncation_mass": report["fsp"]["adaptive"]["truncation_mass"],
@@ -369,6 +428,18 @@ def main(argv=None) -> int:
         "fsp_projection_fraction": report["fsp"]["projection_fraction"],
         "fsp_projection_target": "< 1.0 (strictly below full enumeration)",
     }
+    if gate_backend is not None:
+        report["acceptance"].update({
+            "gate_backend": gate_backend,
+            "spmm_amortization_min_x": min(
+                e["amortization_x"]
+                for e in report["formats"][gate_backend].values()),
+            "spmm_amortization_target_x": 1.0,
+            "batched_solver_only_speedup_x":
+                report["batched"]["solver_only"]["batched"]
+                      [gate_backend]["speedup_x"],
+            "batched_solver_only_target_x": 2.0,
+        })
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.out}")
@@ -402,6 +473,22 @@ def main(argv=None) -> int:
               f"{fsp['fsp_tol']:.1e} on "
               f"{fsp['adaptive']['final_states']}/"
               f"{fsp['full']['states']} states")
+
+    if args.check_spmm is not None:
+        if gate_backend is None:
+            print("[bench] FAIL: --check-spmm needs a non-reference "
+                  "backend, none available", file=sys.stderr)
+            return 1
+        table = report["formats"][gate_backend]
+        failing = {name: e["amortization_x"] for name, e in table.items()
+                   if e["amortization_x"] < args.check_spmm}
+        if failing:
+            print(f"[bench] FAIL: spmm gate — {gate_backend} amortization "
+                  f"below {args.check_spmm}x for {failing}", file=sys.stderr)
+            return 1
+        worst = min(e["amortization_x"] for e in table.values())
+        print(f"[bench] spmm gate: {gate_backend} amortization >= "
+              f"{args.check_spmm}x on every format (worst {worst}x)")
     return 0
 
 

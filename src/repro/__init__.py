@@ -146,8 +146,10 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
         — warm start, wall-clock budget, instrumentation hooks.
     solver_kwargs, **options:
         Extra solver-constructor options (e.g. ``damping=0.7``,
-        ``uniformization_factor=1.1``); ``solver_kwargs`` is the
-        pre-1.1 spelling and is merged with ``options``.
+        ``uniformization_factor=1.1``, ``backend="native"`` to select
+        the kernel backend — see :mod:`repro.backends`);
+        ``solver_kwargs`` is the pre-1.1 spelling and is merged with
+        ``options``.
     max_states:
         Enumeration safety cap.
 

@@ -1,0 +1,361 @@
+"""The ``numba`` backend: ``@njit`` kernels (optional extra).
+
+Installed via ``pip install repro[native]``.  The module imports
+lazily and cleanly degrades: :func:`numba_available` is False when
+Numba is missing, the registry then never lists the backend, and the
+package works end to end without it (a CI leg proves this).
+
+Kernel structure mirrors :mod:`repro.backends.native` loop for loop —
+per-row sequential accumulation, products rounded before adding, and
+``fastmath=False`` everywhere so no reassociation or FMA contraction
+breaks bitwise parity with the reference backend.  ``parallel=True``
+with ``prange`` over rows is safe for the same reason as the C
+backend's OpenMP loops: no output element's accumulation is split
+across threads.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def numba_available() -> bool:
+    return importlib.util.find_spec("numba") is not None
+
+
+_kernels = None
+
+
+def _get_kernels():
+    """Compile the njit kernel set once; raises ImportError without numba."""
+    global _kernels
+    if _kernels is not None:
+        return _kernels
+    from numba import njit, prange
+
+    opts = dict(cache=True, fastmath=False, parallel=True)
+
+    @njit(**opts)
+    def csr_spmv(n, indptr, cols, vals, x):
+        y = np.empty(n, dtype=np.float64)
+        for i in prange(n):
+            s = 0.0
+            for jj in range(indptr[i], indptr[i + 1]):
+                s += vals[jj] * x[cols[jj]]
+            y[i] = s
+        return y
+
+    @njit(**opts)
+    def csr_spmm(n, indptr, cols, vals, X):
+        kr = X.shape[1]
+        Y = np.zeros((n, kr), dtype=np.float64)
+        for i in prange(n):
+            for jj in range(indptr[i], indptr[i + 1]):
+                a = vals[jj]
+                c = cols[jj]
+                for kk in range(kr):
+                    Y[i, kk] += a * X[c, kk]
+        return Y
+
+    @njit(**opts)
+    def ell_spmv(n, k, cols, vals, x):
+        y = np.empty(n, dtype=np.float64)
+        for i in prange(n):
+            s = 0.0
+            for c in range(k):
+                col = cols[i, c]
+                if col >= 0:
+                    s += vals[i, c] * x[col]
+            y[i] = s
+        return y
+
+    @njit(**opts)
+    def ell_spmm(n, k, cols, vals, X):
+        kr = X.shape[1]
+        Y = np.zeros((n, kr), dtype=np.float64)
+        for i in prange(n):
+            for c in range(k):
+                col = cols[i, c]
+                if col >= 0:
+                    a = vals[i, c]
+                    for kk in range(kr):
+                        Y[i, kk] += a * X[col, kk]
+        return Y
+
+    @njit(**opts)
+    def ellr_spmv(n, k, cols, vals, rl, x):
+        y = np.empty(n, dtype=np.float64)
+        for i in prange(n):
+            s = 0.0
+            for c in range(rl[i]):
+                s += vals[i, c] * x[cols[i, c]]
+            y[i] = s
+        return y
+
+    @njit(**opts)
+    def ellr_spmm(n, k, cols, vals, rl, X):
+        kr = X.shape[1]
+        Y = np.zeros((n, kr), dtype=np.float64)
+        for i in prange(n):
+            for c in range(rl[i]):
+                a = vals[i, c]
+                col = cols[i, c]
+                for kk in range(kr):
+                    Y[i, kk] += a * X[col, kk]
+        return Y
+
+    @njit(**opts)
+    def sell_spmv(n_slices, slice_size, slice_ptr, slice_k, cols, vals, x):
+        y = np.empty(n_slices * slice_size, dtype=np.float64)
+        for s in prange(n_slices):
+            base = slice_ptr[s]
+            k = slice_k[s]
+            for lane in range(slice_size):
+                acc = 0.0
+                for c in range(k):
+                    flat = base + c * slice_size + lane
+                    col = cols[flat]
+                    if col >= 0:
+                        acc += vals[flat] * x[col]
+                y[s * slice_size + lane] = acc
+        return y
+
+    @njit(**opts)
+    def sell_spmm(n_slices, slice_size, slice_ptr, slice_k, cols, vals, X):
+        kr = X.shape[1]
+        Y = np.zeros((n_slices * slice_size, kr), dtype=np.float64)
+        for s in prange(n_slices):
+            base = slice_ptr[s]
+            k = slice_k[s]
+            for lane in range(slice_size):
+                row = s * slice_size + lane
+                for c in range(k):
+                    flat = base + c * slice_size + lane
+                    col = cols[flat]
+                    if col >= 0:
+                        a = vals[flat]
+                        for kk in range(kr):
+                            Y[row, kk] += a * X[col, kk]
+        return Y
+
+    @njit(cache=True, fastmath=False)
+    def dia_spmv(n_rows, n_cols, offsets, data, x):
+        y = np.zeros(n_rows, dtype=np.float64)
+        for d in range(offsets.shape[0]):
+            off = offsets[d]
+            lo = -off if off < 0 else 0
+            hi = min(n_rows, n_cols - off)
+            for i in range(lo, hi):
+                y[i] += data[d, i] * x[i + off]
+        return y
+
+    @njit(cache=True, fastmath=False)
+    def dia_spmm(n_rows, n_cols, offsets, data, X):
+        kr = X.shape[1]
+        Y = np.zeros((n_rows, kr), dtype=np.float64)
+        for d in range(offsets.shape[0]):
+            off = offsets[d]
+            lo = -off if off < 0 else 0
+            hi = min(n_rows, n_cols - off)
+            for i in range(lo, hi):
+                a = data[d, i]
+                for kk in range(kr):
+                    Y[i, kk] += a * X[i + off, kk]
+        return Y
+
+    @njit(**opts)
+    def csr_jacobi_sweep(n, indptr, cols, vals, diag, X, damping, out):
+        kr = X.shape[1]
+        om = 1.0 - damping
+        for i in prange(n):
+            d = diag[i]
+            for kk in range(kr):
+                out[i, kk] = 0.0
+            for jj in range(indptr[i], indptr[i + 1]):
+                a = vals[jj]
+                c = cols[jj]
+                for kk in range(kr):
+                    out[i, kk] += a * X[c, kk]
+            if damping == 1.0:
+                for kk in range(kr):
+                    out[i, kk] = (d * X[i, kk] - out[i, kk]) / d
+            else:
+                for kk in range(kr):
+                    t = (d * X[i, kk] - out[i, kk]) / d
+                    out[i, kk] = om * X[i, kk] + damping * t
+        return out
+
+    @njit(**opts)
+    def axpby(alpha, x, beta, y, out):
+        if beta == 1.0:
+            for i in prange(x.shape[0]):
+                out[i] = alpha * x[i] + y[i]
+        else:
+            for i in prange(x.shape[0]):
+                out[i] = alpha * x[i] + beta * y[i]
+        return out
+
+    @njit(cache=True, fastmath=False)
+    def maxabs(v):
+        m = 0.0
+        for i in range(v.shape[0]):
+            a = abs(v[i])
+            if np.isnan(a):
+                return a
+            if a > m:
+                m = a
+        return m
+
+    _kernels = {
+        "csr_spmv": csr_spmv, "csr_spmm": csr_spmm,
+        "ell_spmv": ell_spmv, "ell_spmm": ell_spmm,
+        "ellr_spmv": ellr_spmv, "ellr_spmm": ellr_spmm,
+        "sell_spmv": sell_spmv, "sell_spmm": sell_spmm,
+        "dia_spmv": dia_spmv, "dia_spmm": dia_spmm,
+        "csr_jacobi_sweep": csr_jacobi_sweep,
+        "axpby": axpby, "maxabs": maxabs,
+    }
+    return _kernels
+
+
+class NumbaBackend:
+    """``@njit`` kernels behind the :class:`KernelBackend` protocol.
+
+    Shares the native backend's prepared-array caches and composite
+    (scatter/diagonal) wrappers — only the inner kernels differ.
+    """
+
+    name = "numba"
+    is_reference = False
+
+    _STRUCTURED = frozenset({"csr", "ell", "ellr", "sell",
+                             "sell-c-sigma", "warped-ell",
+                             "dia", "ell+dia"})
+    _PRIMITIVES = frozenset({"jacobi_sweep", "axpy", "residual"})
+
+    @staticmethod
+    def available() -> bool:
+        return numba_available()
+
+    def supports(self, format_name: str, op: str) -> bool:
+        if op in self._PRIMITIVES:
+            return True
+        if op in ("spmv", "spmm"):
+            return format_name in self._STRUCTURED
+        return False
+
+    # -- products ---------------------------------------------------------
+
+    def spmv(self, fmt, x: np.ndarray) -> np.ndarray:
+        from repro.backends import native as nat
+        k = _get_kernels()
+        x = nat._f64(x)
+        name = fmt.format_name
+        if name == "csr":
+            indptr, cols, vals = nat._csr_arrays(fmt)
+            return k["csr_spmv"](fmt.shape[0], indptr, cols, vals, x)
+        if name == "ell":
+            vals, cols = nat._ell_arrays(fmt)
+            return k["ell_spmv"](fmt.shape[0], fmt.k, cols, vals, x)
+        if name == "ellr":
+            vals, cols, rl = nat._ellr_arrays(fmt)
+            return k["ellr_spmv"](fmt.shape[0], fmt.k, cols, vals, rl, x)
+        if name == "dia":
+            offsets, data = nat._dia_arrays(fmt)
+            return k["dia_spmv"](fmt.shape[0], fmt.shape[1],
+                                 offsets, data, x)
+        if name == "ell+dia":
+            return self.spmv(fmt.dia, x) + self.spmv(fmt.ell, x)
+        # sliced family
+        sptr, sk, cols, vals = nat._sell_arrays(fmt)
+        y_storage = k["sell_spmv"](fmt.n_slices, fmt.slice_size,
+                                   sptr, sk, cols, vals, x)[: fmt.shape[0]]
+        if name == "sell":
+            return y_storage
+        diag = getattr(fmt, "diagonal_values", None)
+        if diag is not None:
+            y_storage = y_storage + diag * x[fmt.row_ids]
+        y = np.empty(fmt.shape[0], dtype=np.float64)
+        y[fmt.row_ids] = y_storage
+        return y
+
+    def spmm(self, fmt, X: np.ndarray) -> np.ndarray:
+        from repro.backends import native as nat
+        k = _get_kernels()
+        X = nat._f64(X)
+        name = fmt.format_name
+        if name == "csr":
+            indptr, cols, vals = nat._csr_arrays(fmt)
+            return k["csr_spmm"](fmt.shape[0], indptr, cols, vals, X)
+        if name == "ell":
+            vals, cols = nat._ell_arrays(fmt)
+            return k["ell_spmm"](fmt.shape[0], fmt.k, cols, vals, X)
+        if name == "ellr":
+            vals, cols, rl = nat._ellr_arrays(fmt)
+            return k["ellr_spmm"](fmt.shape[0], fmt.k, cols, vals, rl, X)
+        if name == "dia":
+            offsets, data = nat._dia_arrays(fmt)
+            return k["dia_spmm"](fmt.shape[0], fmt.shape[1],
+                                 offsets, data, X)
+        if name == "ell+dia":
+            return self.spmm(fmt.dia, X) + self.spmm(fmt.ell, X)
+        sptr, sk, cols, vals = nat._sell_arrays(fmt)
+        Y_storage = k["sell_spmm"](fmt.n_slices, fmt.slice_size,
+                                   sptr, sk, cols, vals, X)[: fmt.shape[0]]
+        if name == "sell":
+            return Y_storage
+        diag = getattr(fmt, "diagonal_values", None)
+        if diag is not None:
+            Y_storage = Y_storage + diag[:, None] * X[fmt.row_ids, :]
+        Y = np.empty((fmt.shape[0], X.shape[1]), dtype=np.float64)
+        Y[fmt.row_ids] = Y_storage
+        return Y
+
+    # -- solver primitives ------------------------------------------------
+
+    def jacobi_sweep(self, A, diag: np.ndarray, X: np.ndarray,
+                     damping: float = 1.0,
+                     out: np.ndarray | None = None) -> np.ndarray:
+        from repro.backends import native as nat
+        if not (sp.issparse(A) and A.format == "csr"):
+            from repro.backends.reference import NumpyBackend
+            return NumpyBackend().jacobi_sweep(A, diag, X, damping, out)
+        k = _get_kernels()
+        indptr, cols, vals = nat._csr_arrays(A)
+        diag = nat._f64(diag)
+        X = nat._f64(X)
+        one_d = X.ndim == 1
+        X2 = X[:, None] if one_d else X
+        if out is None:
+            out = np.empty_like(X)
+        elif np.shares_memory(out, X):
+            raise ValueError("jacobi_sweep out must not alias X")
+        out2 = out[:, None] if one_d else out
+        k["csr_jacobi_sweep"](A.shape[0], indptr, cols, vals, diag,
+                              np.ascontiguousarray(X2),
+                              float(damping), out2)
+        return out
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray,
+             beta: float = 1.0,
+             out: np.ndarray | None = None) -> np.ndarray:
+        from repro.backends import native as nat
+        k = _get_kernels()
+        x = nat._f64(x)
+        y = nat._f64(y)
+        if out is None:
+            out = np.empty_like(x)
+        return k["axpby"](float(alpha), x, float(beta), y, out)
+
+    def residual(self, y: np.ndarray,
+                 x: np.ndarray) -> tuple[float, float]:
+        from repro.backends import native as nat
+        k = _get_kernels()
+        y = nat._f64(y)
+        x = nat._f64(x)
+        y_norm = float(k["maxabs"](y)) if y.size else 0.0
+        x_norm = float(k["maxabs"](x)) if x.size else 0.0
+        return y_norm, x_norm

@@ -1,0 +1,104 @@
+"""The :class:`KernelBackend` protocol — one seam per hot operation.
+
+Every hot numeric operation in the reproduction (format-faithful SpMV,
+multi-RHS SpMM, the fused Jacobi sweep, and the small vector primitives
+the solver loop is made of) goes through a *kernel backend*.  A backend
+is an object implementing this protocol; the package ships three:
+
+``numpy``
+    The reference backend (:mod:`repro.backends.reference`): the exact
+    per-format NumPy kernels the formats have always used, extracted
+    into one place.  It supports every format and op and is the
+    fallback target whenever another backend lacks a kernel.
+``native``
+    A JIT-compiled C backend (:mod:`repro.backends.native`): the kernel
+    source is compiled with the system C compiler on first use and
+    loaded through :mod:`ctypes`.  Available wherever ``cc`` is.
+``numba``
+    ``@njit`` kernels (:mod:`repro.backends.numba_backend`); registered
+    only when Numba is importable (the ``repro[native]`` extra).
+
+Operations
+----------
+
+``spmv(fmt, x)`` / ``spmm(fmt, X)``
+    The per-format products.  Arguments are already validated (dtype
+    float64, contiguous, right shape) by the
+    :class:`~repro.sparse.base.SparseFormat` entry points; backends may
+    rely on that.
+``jacobi_sweep(A, diag, X, damping=1.0, out=None)``
+    One fused weighted-Jacobi sweep for ``A x = 0`` on a SciPy CSR
+    generator: ``X' = (D∘X - A X) / D`` blended with ``damping``.
+    ``X`` is ``(n,)`` or a C-contiguous ``(n, k)`` block (the batched
+    multi-RHS path).  ``out``, when given, must not alias ``X``.
+``axpy(alpha, x, y, beta=1.0, out=None)``
+    The blend primitive ``alpha*x + beta*y`` (the damping update).
+``residual(y, x)``
+    ``(||y||_inf, ||x||_inf)`` in one pass — the two reductions of the
+    paper's normalized stopping criterion.
+
+Capability flags
+----------------
+
+:meth:`KernelBackend.supports` declares which ``(format_name, op)``
+pairs a backend can serve.  The registry consults it on every dispatch
+and silently falls back to the reference backend for unsupported pairs
+(the fallback is recorded in the kernel telemetry counters, see
+:func:`repro.backends.kernel_stats`).  Vector primitives
+(``jacobi_sweep``/``axpy``/``residual``) are format-independent: a
+backend either has them or not, signalled by ``supports("", op)``.
+
+Numerical contract
+------------------
+
+Backends must reproduce the reference backend's per-element traversal
+and accumulation order, so results agree bitwise (or within 1 ulp where
+an optimizing compiler reassociates a fused multiply-add).  The
+conformance suite (``tests/backends/test_conformance.py``) enforces
+this on every registered backend × format pair.  ``fastmath``-style
+reassociation is therefore forbidden in JIT backends.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+#: Every operation a backend may implement.
+OPS = ("spmv", "spmm", "jacobi_sweep", "axpy", "residual")
+
+#: Format keys (``SparseFormat.format_name``) a structured backend is
+#: expected to cover to accelerate the whole paper pipeline.
+CORE_FORMATS = ("csr", "ell", "ellr", "sell", "sell-c-sigma",
+                "warped-ell", "ell+dia", "dia")
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Structural protocol of a compute-kernel backend."""
+
+    #: Registry name (``"numpy"``, ``"native"``, ``"numba"``, ...).
+    name: str
+
+    #: True only for the reference backend — the fallback target.
+    is_reference: bool
+
+    def supports(self, format_name: str, op: str) -> bool:
+        """Whether this backend has a kernel for ``(format_name, op)``."""
+        ...
+
+    def spmv(self, fmt, x: np.ndarray) -> np.ndarray: ...
+
+    def spmm(self, fmt, X: np.ndarray) -> np.ndarray: ...
+
+    def jacobi_sweep(self, A, diag: np.ndarray, X: np.ndarray,
+                     damping: float = 1.0,
+                     out: np.ndarray | None = None) -> np.ndarray: ...
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray,
+             beta: float = 1.0,
+             out: np.ndarray | None = None) -> np.ndarray: ...
+
+    def residual(self, y: np.ndarray,
+                 x: np.ndarray) -> tuple[float, float]: ...

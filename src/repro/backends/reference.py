@@ -1,0 +1,93 @@
+"""The ``numpy`` reference backend.
+
+This is the arithmetic ground truth of the kernel protocol: the exact
+per-format NumPy kernels the sparse formats have always carried (each
+format keeps its implementation as ``_reference_spmv``/``_reference_spmm``
+— the moved inner loops), plus the solver primitives extracted from
+:mod:`repro.solvers.jacobi` and :mod:`repro.solvers.batched`.
+
+It supports every format and every op, which makes it the automatic
+fallback whenever a faster backend lacks a kernel for a ``(format,
+op)`` pair.  Other backends must match its traversal/accumulation
+order bit for bit (see :mod:`repro.backends.protocol`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NumpyBackend:
+    """Reference kernels: the formats' own NumPy inner loops."""
+
+    name = "numpy"
+    is_reference = True
+
+    @staticmethod
+    def available() -> bool:
+        return True
+
+    def supports(self, format_name: str, op: str) -> bool:
+        # The reference implements every op for every format (the base
+        # class supplies generic fallbacks where a format has none).
+        return True
+
+    # -- per-format products ---------------------------------------------
+
+    def spmv(self, fmt, x: np.ndarray) -> np.ndarray:
+        return fmt._reference_spmv(x)
+
+    def spmm(self, fmt, X: np.ndarray) -> np.ndarray:
+        return fmt._reference_spmm(X)
+
+    # -- solver primitives -----------------------------------------------
+
+    def jacobi_sweep(self, A, diag: np.ndarray, X: np.ndarray,
+                     damping: float = 1.0,
+                     out: np.ndarray | None = None) -> np.ndarray:
+        """``X' = (D∘X - A X) / D``, optionally damping-blended.
+
+        The 1-D path is :class:`~repro.solvers.jacobi.JacobiSolver`'s
+        historical fast step (``-(y - d∘x)/d``); the 2-D path is the
+        in-place ufunc chain from :mod:`repro.solvers.batched` —
+        bitwise identical formulas (IEEE rounding is symmetric under
+        the sign flip), one temporary instead of four.
+        """
+        Y = A @ X
+        if X.ndim == 1:
+            new = -(Y - diag * X) / diag
+            if damping != 1.0:
+                new = (1.0 - damping) * X + damping * new
+            if out is not None:
+                np.copyto(out, new)
+                return out
+            return new
+        D = diag if diag.ndim == 2 else diag[:, None]
+        S = np.empty_like(X) if out is None else out
+        np.multiply(D, X, out=S)
+        np.subtract(S, Y, out=S)
+        np.divide(S, D, out=S)
+        if damping != 1.0:
+            B = np.multiply(X, 1.0 - damping)
+            np.multiply(S, damping, out=S)
+            np.add(B, S, out=S)
+        return S
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray,
+             beta: float = 1.0,
+             out: np.ndarray | None = None) -> np.ndarray:
+        """``alpha*x + beta*y``, elementwise, in evaluation order
+        ``(alpha*x_i) + (beta*y_i)``."""
+        res = np.multiply(x, alpha, out=out)
+        if beta == 1.0:
+            np.add(res, y, out=res)
+        else:
+            np.add(res, beta * y, out=res)
+        return res
+
+    def residual(self, y: np.ndarray,
+                 x: np.ndarray) -> tuple[float, float]:
+        """``(||y||_inf, ||x||_inf)`` — the stopping-test reductions."""
+        y_norm = float(np.abs(y).max()) if y.size else 0.0
+        x_norm = float(np.abs(x).max()) if x.size else 0.0
+        return y_norm, x_norm

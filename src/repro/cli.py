@@ -378,6 +378,11 @@ def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend for sparse/solver hot paths (e.g. numpy, "
+             "native, numba); becomes the process default, overriding "
+             "REPRO_BACKEND.  Must precede the subcommand.")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve", help="solve a model's steady state")
@@ -543,6 +548,14 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = make_parser().parse_args(argv)
+    if args.backend is not None:
+        from repro import backends
+        from repro.errors import BackendError
+        try:
+            backends.set_default(args.backend)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return args.func(args)
 
 

@@ -38,6 +38,17 @@ class FormatError(ReproError):
     """A sparse-matrix format could not be constructed or is inconsistent."""
 
 
+class BackendError(ReproError):
+    """A kernel backend was unknown or explicitly requested but unavailable.
+
+    Raised only for *explicit* selections (``backend=`` arguments and
+    :func:`repro.backends.use`); environment-variable and default
+    selections degrade to the reference backend with a warning instead,
+    so a missing optional dependency never breaks a deployment that
+    merely inherited ``REPRO_BACKEND`` from its environment.
+    """
+
+
 class EnumerationError(ReproError):
     """State-space enumeration failed (e.g. exceeded the state budget)."""
 

@@ -301,8 +301,13 @@ class AdaptiveFspController:
                     solver = SOLVER_REGISTRY[self.method](
                         A_sys, tol=self.tol,
                         max_iterations=self.max_iterations, **opts)
+                    # The warm start is last round's solved iterate
+                    # remapped (finite, non-negative by construction),
+                    # so the O(n) x0 scans are skipped on every
+                    # projection round after the first.
                     result = solver.solve(x0, time_budget_s=remaining,
-                                          hooks=hooks)
+                                          hooks=hooks,
+                                          validate_x0=x0 is None)
                     nu = result.x[:-1] if has_outflow else result.x
                     sink_mass = float(result.x[-1]) if has_outflow else 0.0
                     mass = float(nu.sum())

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backends
 from repro.errors import FormatError
 from repro.gpusim.device import DeviceSpec, GTX580
 
@@ -143,12 +144,28 @@ def spmv_performance(matrix: SparseFormat, device: DeviceSpec = GTX580, *,
     with tracing.span("gpusim.spmv", format=type(matrix).__name__,
                       device=device.name) as sp:
         _launch_guard("spmv")
+        sp.set_attribute("exec_backend", _exec_backend_name(matrix))
         report = spmv_traffic(matrix, precision=precision,
                               block_size=block_size, csr_kernel=csr_kernel,
                               memoize=memoize)
         perf = estimate_performance(report, device, x_scale=x_scale)
         _annotate_span(sp, report, perf)
         return perf
+
+
+def _exec_backend_name(matrix) -> str:
+    """Name of the kernel backend the host-side product dispatches to.
+
+    The traffic model describes the *modeled* GPU; this attribute
+    records which CPU backend actually executes the functional kernel
+    (``run_spmv`` / parity checks), honoring the ambient selection and
+    the reference fallback for unsupported formats.
+    """
+    fmt = getattr(matrix, "format_name", "")
+    be = backends.resolve(None)
+    if not be.is_reference and not be.supports(fmt, "spmv"):
+        return "numpy"
+    return be.name
 
 
 def _annotate_span(sp, report: TrafficReport, perf: PerfEstimate) -> None:
@@ -180,6 +197,7 @@ def jacobi_performance(matrix, device: DeviceSpec = GTX580, *,
     with tracing.span("gpusim.jacobi", format=type(matrix).__name__,
                       device=device.name) as sp:
         _launch_guard("jacobi")
+        sp.set_attribute("exec_backend", _exec_backend_name(matrix))
 
         def _build():
             return jacobi_traffic(matrix, precision=precision,

@@ -41,11 +41,11 @@ DEFAULT_CHAIN = ("jacobi", "gauss-seidel", "gmres")
 #: method, so one options dict can configure the whole chain.
 _METHOD_OPTIONS = {
     "jacobi": frozenset({"check_interval", "normalize_interval",
-                         "stagnation_tol", "damping", "step"}),
+                         "stagnation_tol", "damping", "step", "backend"}),
     "gauss-seidel": frozenset({"check_interval", "normalize_interval",
-                               "stagnation_tol"}),
+                               "stagnation_tol", "backend"}),
     "power": frozenset({"check_interval", "stagnation_tol",
-                        "uniformization_factor"}),
+                        "uniformization_factor", "backend"}),
     "gmres": frozenset({"restart"}),
 }
 
@@ -135,7 +135,8 @@ class ResilientSolver:
         keys = _METHOD_OPTIONS[method]
         return {k: v for k, v in self.options.items() if k in keys}
 
-    def _attempt(self, method: str, x0, budget_s, hooks) -> "SolverResult":
+    def _attempt(self, method: str, x0, budget_s, hooks,
+                 validate_x0: bool = True) -> "SolverResult":
         """Run one chain member (may raise SingularSystemError)."""
         from repro.solvers import SOLVER_REGISTRY
         from repro.solvers.gmres import gmres_steady_state
@@ -149,10 +150,11 @@ class ResilientSolver:
             self.matrix, tol=self.tol, max_iterations=self.max_iterations,
             **self._options_for(method))
         return solver.solve(x0=x0, time_budget_s=budget_s, hooks=hooks,
-                            guardrails=self.guardrails)
+                            guardrails=self.guardrails,
+                            validate_x0=validate_x0)
 
     def solve(self, x0=None, *, time_budget_s: float | None = None,
-              hooks=None) -> "SolverResult":
+              hooks=None, validate_x0: bool = True) -> "SolverResult":
         """Try the chain until a method converges (or budget expires).
 
         A failed attempt's final iterate, when finite, warm-starts the
@@ -172,6 +174,10 @@ class ResilientSolver:
         best: SolverResult | None = None
         last_error: Exception | None = None
         next_x0 = x0
+        # Once a chain member's own iterate becomes the warm start, the
+        # x0 scans are redundant (solver output is finite by the check
+        # below); the caller's flag only governs the caller's x0.
+        next_validate = validate_x0
         with tracing.span("resilient.solve", n=self.n,
                           chain=",".join(self.chain)) as span:
             for method in self.chain:
@@ -187,7 +193,7 @@ class ResilientSolver:
                 report.fallback_chain.append(method)
                 try:
                     result = self._attempt(method, next_x0, budget,
-                                           chain_hooks)
+                                           chain_hooks, next_validate)
                 except SingularSystemError as exc:
                     last_error = exc
                     report.record(total_iterations, "singular-system",
@@ -206,6 +212,7 @@ class ResilientSolver:
                     best = result
                 if np.all(np.isfinite(result.x)):
                     next_x0 = result.x
+                    next_validate = False
             if chosen is None:
                 chosen = best
             if chosen is None:

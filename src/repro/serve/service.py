@@ -234,6 +234,10 @@ class SolveService:
         for an individual attempt.  ``1`` (default) disables batching.
     tol, max_iterations, solver_options:
         Request defaults (overridable per submit).
+    backend:
+        Kernel backend name folded into the default ``solver_options``
+        (``solver_options={"backend": ...}`` spelled out); an explicit
+        ``backend`` key in *solver_options* wins.
     reuse_state_space, max_states:
         State-space handling, as in :class:`repro.sweep.ParameterSweep`.
     metrics_registry:
@@ -261,6 +265,7 @@ class SolveService:
                  batch_max: int = 1,
                  tol: float = 1e-8, max_iterations: int = 200_000,
                  solver_options: Mapping | None = None,
+                 backend: str | None = None,
                  fsp_options: Mapping | None = None,
                  reuse_state_space: bool = True,
                  max_states: int = 5_000_000,
@@ -337,6 +342,10 @@ class SolveService:
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.solver_options = dict(solver_options or {})
+        if backend is not None:
+            # Convenience spelling: fold the kernel-backend selection
+            # into the default solver options every request inherits.
+            self.solver_options.setdefault("backend", backend)
         self.metrics = ServiceMetrics(metrics_registry)
         self._workspace = _Workspace(network,
                                      reuse_state_space=reuse_state_space,

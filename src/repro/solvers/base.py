@@ -37,6 +37,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import backends
 from repro.errors import (
     IterateSizeError,
     SingularSystemError,
@@ -134,6 +135,19 @@ class IterativeSolverBase:
     #: Name used for the per-solve tracing span and hook events.
     span_name = "solver"
 
+    #: Explicit kernel-backend selection (a name, an instance, or
+    #: ``None`` for the ambient resolution — see
+    #: :func:`repro.backends.resolve`).  Subclasses that accept a
+    #: ``backend=`` constructor argument overwrite this.
+    backend = None
+
+    #: Kernel backend resolved by the most recent :meth:`solve`
+    #: (``None`` before the first solve).  Refreshed at the top of
+    #: every solve from :meth:`_select_backend` so ambient selections
+    #: (``use()`` contexts, ``REPRO_BACKEND``) are honored per solve,
+    #: not per construction.
+    _active_backend = None
+
     A: object
     n: int
     tol: float
@@ -185,6 +199,17 @@ class IterativeSolverBase:
     #: exactly one product per iteration, plus the final check's).
     supports_product_step: bool = False
 
+    def _select_backend(self):
+        """Resolve the kernel backend serving this solve.
+
+        The base loop only consumes the ``residual`` primitive (inside
+        :class:`StoppingCriterion`); solvers whose *steps* dispatch
+        through :mod:`repro.backends` override this with the op they
+        run (e.g. Jacobi resolves ``jacobi_sweep``) so telemetry
+        attributes the solve to the right kernel.
+        """
+        return backends.serving("", "residual", self.backend)
+
     def step_once(self, x: np.ndarray) -> np.ndarray:
         """One iteration of the method (no renormalization)."""
         raise NotImplementedError
@@ -200,8 +225,14 @@ class IterativeSolverBase:
 
     # -- the unified solve loop ----------------------------------------------
 
-    def _initial_iterate(self, x0) -> np.ndarray:
-        """Validate *x0* and project it onto the probability simplex."""
+    def _initial_iterate(self, x0, *, validate: bool = True) -> np.ndarray:
+        """Validate *x0* and project it onto the probability simplex.
+
+        ``validate=False`` skips the O(n) finiteness/negativity scans for
+        callers that hand back an iterate a previous solve produced (warm
+        restarts in the FSP controller re-solve the same system dozens of
+        times); the shape check and renormalization always run.
+        """
         if x0 is None:
             return uniform_probability(self.n)
         x = np.asarray(x0, dtype=np.float64)
@@ -210,14 +241,16 @@ class IterativeSolverBase:
             # caller remaps iterates across changing projections, this
             # is the failure that pinpoints a remap bug.
             raise IterateSizeError(self.n, x.shape)
-        if not np.all(np.isfinite(x)):
-            raise ValidationError("x0 contains non-finite entries")
-        if np.any(x < 0.0):
-            raise ValidationError("x0 contains negative entries")
+        if validate:
+            if not np.all(np.isfinite(x)):
+                raise ValidationError("x0 contains non-finite entries")
+            if np.any(x < 0.0):
+                raise ValidationError("x0 contains negative entries")
         return renormalize(x)
 
     def solve(self, x0=None, *, time_budget_s: float | None = None,
-              hooks=None, guardrails=None) -> SolverResult:
+              hooks=None, guardrails=None,
+              validate_x0: bool = True) -> SolverResult:
         """Iterate from *x0* (uniform by default) until a criterion fires.
 
         Parameters
@@ -251,6 +284,11 @@ class IterativeSolverBase:
             batch stops with :attr:`StopReason.DIVERGED` immediately).
             Any corrective action taken is reported in
             ``result.recovery``.
+        validate_x0:
+            Skip the finiteness/negativity scans of *x0* when false.
+            Only safe when *x0* is an iterate a previous solve returned
+            (the FSP controller's warm restarts); the shape check and
+            renormalization still run.
         """
         # Lazy imports: repro.resilience imports repro.solvers (for the
         # registry and result types), so a module-level import here
@@ -262,7 +300,7 @@ class IterativeSolverBase:
             count_recovery,
         )
 
-        x = self._initial_iterate(x0)
+        x = self._initial_iterate(x0, validate=validate_x0)
         if time_budget_s is not None and time_budget_s <= 0:
             raise ValidationError(
                 f"time_budget_s must be positive, got {time_budget_s}")
@@ -282,10 +320,15 @@ class IterativeSolverBase:
         sweep_guard = policy is not None and (policy.sweep_check or inject)
         report = RecoveryReport() if (policy is not None or inject) else None
 
+        self._active_backend = self._select_backend()
+        accel = (self._active_backend
+                 if self._active_backend is not None
+                 and not self._active_backend.is_reference else None)
         criterion = StoppingCriterion(
             self.matrix_inf_norm, tol=self.tol,
             max_iterations=self.max_iterations,
-            stagnation_tol=self.stagnation_tol)
+            stagnation_tol=self.stagnation_tol,
+            backend=accel)
         history: list[tuple[int, float]] = []
         t0 = time.perf_counter()
         iteration = 0
@@ -322,6 +365,8 @@ class IterativeSolverBase:
 
         span = tracing.span(f"{self.span_name}.solve", n=self.n,
                             method=type(self).__name__)
+        if self._active_backend is not None:
+            span.set_attribute("backend", self._active_backend.name)
         with span:
             if x0 is not None:
                 # A warm start may already satisfy the tolerance (e.g. a

@@ -41,6 +41,7 @@ import time
 import numpy as np
 import scipy.sparse as sp
 
+from repro import backends
 from repro.errors import (
     IterateSizeError,
     SingularSystemError,
@@ -92,11 +93,13 @@ class BatchedJacobiSolver:
                  check_interval: int = 100,
                  normalize_interval: int = 10,
                  stagnation_tol: float | None = 1e-6,
-                 damping: float = 1.0):
+                 damping: float = 1.0,
+                 backend=None):
         self._init_params(tol=tol, max_iterations=max_iterations,
                           check_interval=check_interval,
                           normalize_interval=normalize_interval,
-                          stagnation_tol=stagnation_tol, damping=damping)
+                          stagnation_tol=stagnation_tol, damping=damping,
+                          backend=backend)
         A = _to_csr(matrix)
         if A.shape[0] != A.shape[1]:
             raise ValidationError("steady-state solve needs a square matrix")
@@ -126,7 +129,8 @@ class BatchedJacobiSolver:
         self = cls.__new__(cls)
         self._init_params(**{**dict(tol=1e-8, max_iterations=1_000_000,
                                     check_interval=100, normalize_interval=10,
-                                    stagnation_tol=1e-6, damping=1.0),
+                                    stagnation_tol=1e-6, damping=1.0,
+                                    backend=None),
                              **kwargs})
         derived = [_check_system(A) for A in systems]
         self.mode = "stacked"
@@ -139,12 +143,16 @@ class BatchedJacobiSolver:
         return self
 
     def _init_params(self, *, tol, max_iterations, check_interval,
-                     normalize_interval, stagnation_tol, damping) -> None:
+                     normalize_interval, stagnation_tol, damping,
+                     backend=None) -> None:
         if check_interval <= 0 or (normalize_interval is not None
                                    and normalize_interval <= 0):
             raise ValidationError("intervals must be positive")
         if not (0.0 < damping <= 1.0):
             raise ValidationError(f"damping must be in (0, 1], got {damping}")
+        self.backend = backend
+        if backend is not None:
+            backends.resolve(backend)   # fail fast on unknown names
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.check_interval = int(check_interval)
@@ -254,21 +262,50 @@ class BatchedJacobiSolver:
             return (self.matrix_inf_norm if self._inf_norms is None
                     else self._inf_norms[j])
 
+        # Kernel backend for the fused sweep (resolved once per solve so
+        # ambient use()/REPRO_BACKEND selections are honored).  The
+        # reference keeps the historical in-place ufunc chain; a JIT
+        # backend folds product + update + damping into one kernel call
+        # with bitwise-identical iterates.
+        be = backends.serving("", "jacobi_sweep", self.backend)
+        fused = not be.is_reference
+        # Optional backend capability: one fused kernel call sweeping
+        # every stacked system at once when they share a sparsity
+        # pattern.  Discovered by name and confirmed up front via the
+        # backend's ``can_stack`` probe, because the fused kernels want
+        # the system-interleaved block layout chosen below — deciding
+        # here keeps the layout fixed for the whole solve.
+        sweep_many = getattr(be, "jacobi_sweep_many", None) if fused else None
+        if sweep_many is not None and self.mode == "stacked":
+            probe = getattr(be, "can_stack", None)
+            if probe is None or not probe(self._systems):
+                sweep_many = None
+        else:
+            sweep_many = None
+
         criteria = [StoppingCriterion(
             inf_norm(j),
             tol=float(self.tol if tols is None else tols[j]),
             max_iterations=self.max_iterations,
-            stagnation_tol=self.stagnation_tol) for j in range(total)]
+            stagnation_tol=self.stagnation_tol,
+            backend=be if fused else None) for j in range(total)]
         histories: list[list[tuple[int, float]]] = [[] for _ in range(total)]
         active = list(range(total))
         shared = self.mode == "shared"
         # The block's native layout (see _product): shared keeps
-        # iterates as columns of an (n, k) block, stacked as rows of a
-        # (k, n) block so every per-iterate view is contiguous and the
-        # stacked product needs no transpose copies.  ``col``/``take``
-        # abstract the orientation; the arithmetic is identical.
-        if shared:
-            D = self._diagonal[:, None]
+        # iterates as columns of an (n, k) block; stacked without a
+        # fused kernel holds them as rows of a (k, n) block so every
+        # per-iterate view is contiguous and the scipy stacked product
+        # needs no transpose copies.  When the backend's fused stacked
+        # kernels serve the sweeps, the block instead stays (n, k)
+        # SYSTEM-INTERLEAVED — element i of all k systems adjacent —
+        # which is the layout those kernels vectorize across.
+        # ``col``/``take`` abstract the orientation; the arithmetic is
+        # identical in all three.
+        interleaved = sweep_many is not None
+        if shared or interleaved:
+            D = (self._diagonal[:, None] if shared
+                 else np.ascontiguousarray(self._diagonal))
             col = lambda M, c: M[:, c]              # noqa: E731
             take = lambda M, idx: M[:, idx]         # noqa: E731
             reduce_axis = 0
@@ -278,7 +315,33 @@ class BatchedJacobiSolver:
             col = lambda M, c: M[c]                 # noqa: E731
             take = lambda M, idx: M[idx]            # noqa: E731
             reduce_axis = 1
-        stack = self._stack_for(active) if self.mode == "stacked" else None
+        # The block-diagonal stack is only needed by the scipy product;
+        # when the backend's fused stacked product serves instead, the
+        # (possibly large) block_diag build is skipped entirely.  A
+        # ``None`` stack means "rebuild before the next scipy product".
+        stack = None
+        spmv_many = (getattr(be, "spmv_many", None)
+                     if interleaved else None)
+
+        def block_product(Xb):
+            nonlocal stack, spmv_many
+            if spmv_many is not None:
+                Yb = spmv_many([self._systems[j] for j in active], Xb)
+                if Yb is not None:
+                    self.products += 1
+                    return Yb
+                spmv_many = None
+            if stack is None and self.mode == "stacked":
+                stack = self._stack_for(active)
+            if interleaved:
+                # Defensive path only: the fused product bailed, but
+                # the block is already interleaved — run the scipy
+                # stacked product on a transposed copy.  The returned
+                # transpose view keeps per-system columns contiguous.
+                self.products += 1
+                flat = stack @ np.ascontiguousarray(Xb.T).ravel()
+                return flat.reshape(len(active), self.n).T
+            return self._product(Xb, stack)
         t0 = time.perf_counter()
         iteration = 0
 
@@ -293,10 +356,11 @@ class BatchedJacobiSolver:
 
         span = tracing.span(f"{self.span_name}.solve_many", n=self.n,
                             k=total, mode=self.mode)
+        span.set_attribute("backend", be.name)
         with span:
             # The initial product doubles as the warm-start residual
             # test and the seed of the first sweep (product reuse).
-            Y = self._product(X, stack)
+            Y = block_product(X)
             for j in list(active):
                 if not warm[j]:
                     continue
@@ -311,7 +375,7 @@ class BatchedJacobiSolver:
                 Y = take(Y, mask)
                 if self.mode == "stacked":
                     D = take(D, mask)
-                    stack = self._stack_for(active)
+                    stack = None
             pending_Y = Y if active else None
             norm_every = self.normalize_interval
             while active:
@@ -326,43 +390,113 @@ class BatchedJacobiSolver:
                 # temporary instead of four.
                 S = np.empty_like(X)
                 B = np.empty_like(X) if self.damping != 1.0 else None
+                if fused and not shared:
+                    live = [self._systems[j] for j in active]
+                    if not interleaved:
+                        # Materialize the row views once per batch: the
+                        # native backend caches ctypes pointers by
+                        # array identity, so handing it the *same* view
+                        # objects every sweep keeps the per-system call
+                        # overhead flat instead of re-deriving pointers
+                        # each time.
+                        X_rows, S_rows = list(X), list(S)
+                        D_rows = list(D)
                 for _ in range(budget):
-                    if pending_Y is not None:
-                        Y, pending_Y = pending_Y, None
+                    if pending_Y is None and fused:
+                        # Fused backend sweep: the product never
+                        # materializes in Python, but it happened —
+                        # count it so the amortization accounting
+                        # (products per sweep) stays truthful.
+                        self.products += 1
+                        if shared:
+                            be.jacobi_sweep(self.A, self._diagonal, X,
+                                            damping=self.damping, out=S)
+                        elif interleaved:
+                            swept = sweep_many(live, D, X,
+                                               damping=self.damping,
+                                               out=S)
+                            if swept is None:
+                                # Unreachable after the construction-
+                                # time probe; stay correct regardless
+                                # via contiguous per-system copies.
+                                for c, j in enumerate(active):
+                                    xc = np.ascontiguousarray(X[:, c])
+                                    dc = np.ascontiguousarray(D[:, c])
+                                    sc = np.empty_like(xc)
+                                    be.jacobi_sweep(self._systems[j],
+                                                    dc, xc,
+                                                    damping=self.damping,
+                                                    out=sc)
+                                    S[:, c] = sc
+                        else:
+                            for c, j in enumerate(active):
+                                be.jacobi_sweep(self._systems[j],
+                                                D_rows[c], X_rows[c],
+                                                damping=self.damping,
+                                                out=S_rows[c])
                     else:
-                        Y = self._product(X, stack)
-                    np.multiply(D, X, out=S)
-                    np.subtract(S, Y, out=S)
-                    np.divide(S, D, out=S)
-                    if B is not None:
-                        np.multiply(X, 1.0 - self.damping, out=B)
-                        np.multiply(S, self.damping, out=S)
-                        np.add(B, S, out=S)
+                        if pending_Y is not None:
+                            Y, pending_Y = pending_Y, None
+                        else:
+                            Y = block_product(X)
+                        np.multiply(D, X, out=S)
+                        np.subtract(S, Y, out=S)
+                        np.divide(S, D, out=S)
+                        if B is not None:
+                            np.multiply(X, 1.0 - self.damping, out=B)
+                            np.multiply(S, self.damping, out=S)
+                            np.add(B, S, out=S)
                     X, S = S, X
+                    if fused and not shared and not interleaved:
+                        X_rows, S_rows = S_rows, X_rows
                     iteration += 1
                     self.sweeps += 1
                     if norm_every is not None and iteration % norm_every == 0:
-                        sums = np.maximum(X, 0.0).sum(axis=reduce_axis)
-                        ok = (np.isfinite(X).all(axis=reduce_axis)
-                              & (sums > 0.0))
-                        for c in np.flatnonzero(ok):
-                            if shared:
-                                X[:, c] = renormalize(X[:, c])
+                        if shared or interleaved:
+                            # renormalize's own validation (isfinite
+                            # scan, positive clipped total) is exactly
+                            # the gate the row path computes, so the
+                            # per-column try replaces three full-block
+                            # gate passes.  The contiguous copy is
+                            # bitwise-neutral: a strided column and its
+                            # copy reduce in the same pairwise order.
+                            for c in range(X.shape[1]):
+                                try:
+                                    X[:, c] = renormalize(
+                                        np.ascontiguousarray(X[:, c]))
+                                except ValidationError:
+                                    pass  # same as a failed gate: skip
+                        else:
+                            clipped = np.maximum(X, 0.0)
+                            sums = clipped.sum(axis=reduce_axis)
+                            ok = (np.isfinite(X).all(axis=reduce_axis)
+                                  & (sums > 0.0))
+                            # Rows are contiguous, so the axis-1 sum is
+                            # the same pairwise reduction renormalize
+                            # would run per row — one vectorized divide
+                            # replaces per-row renormalize calls with
+                            # bit-identical results.
+                            if ok.all():
+                                # Common case: divide in place, skipping
+                                # the fancy-index gather/scatter copies.
+                                np.divide(clipped, sums[:, None], out=X)
                             else:
-                                X[c] = renormalize(X[c])
+                                rows = np.flatnonzero(ok)
+                                X[rows] = clipped[rows] / sums[rows, None]
                 # Batch-end: renormalize the live columns, then one
                 # product serves every column's residual check and (for
                 # survivors) seeds the next batch's first sweep.
-                col_ok = np.isfinite(X).all(axis=reduce_axis)
-                for c in np.flatnonzero(col_ok):
+                col_ok = np.ones(len(active), dtype=bool)
+                for c in range(len(active)):
                     try:
-                        if shared:
-                            X[:, c] = renormalize(X[:, c])
+                        if shared or interleaved:
+                            X[:, c] = renormalize(
+                                np.ascontiguousarray(X[:, c]))
                         else:
                             X[c] = renormalize(X[c])
                     except ValidationError:
                         col_ok[c] = False
-                Y = self._product(X, stack)
+                Y = block_product(X)
                 expired = (time_budget_s is not None
                            and time.perf_counter() - t0 >= time_budget_s)
                 retired_cols: list[int] = []
@@ -393,7 +527,7 @@ class BatchedJacobiSolver:
                     Y = take(Y, keep)
                     if self.mode == "stacked":
                         D = take(D, keep)
-                        stack = self._stack_for(active)
+                        stack = None
                 pending_Y = Y
             span.set_attribute("iterations", iteration)
             span.set_attribute("products", self.products)

@@ -40,7 +40,9 @@ class GaussSeidelSolver(IterativeSolverBase):
                  max_iterations: int = 100_000,
                  check_interval: int = 50,
                  normalize_interval: int = 10,
-                 stagnation_tol: float | None = 1e-6):
+                 stagnation_tol: float | None = 1e-6,
+                 backend=None):
+        self.backend = backend
         A = as_csr(matrix)
         self._init_common(A, tol=tol, max_iterations=max_iterations,
                           check_interval=check_interval,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backends
 from repro.errors import SingularSystemError, ValidationError
 from repro.solvers.base import IterativeSolverBase
 from repro.sparse.base import SparseFormat, as_csr
@@ -64,6 +65,14 @@ class JacobiSolver(IterativeSolverBase):
         eigenvalue of the iteration matrix strictly inside the unit
         circle, restoring convergence for operators with rotating
         spectra (oscillatory networks on their limit cycle).
+    backend:
+        Kernel backend for the fast step's fused sweep (a name, a
+        :class:`~repro.backends.protocol.KernelBackend` instance, or
+        ``None`` for the ambient selection — see
+        :func:`repro.backends.resolve`).  A non-reference backend runs
+        the fused ``jacobi_sweep`` primitive; the reference keeps the
+        historical inline NumPy step.  Either way the iterates are
+        bitwise identical.
     """
 
     span_name = "jacobi"
@@ -74,7 +83,8 @@ class JacobiSolver(IterativeSolverBase):
                  normalize_interval: int = 10,
                  stagnation_tol: float | None = 1e-6,
                  step: str = "fast",
-                 damping: float = 1.0):
+                 damping: float = 1.0,
+                 backend=None):
         if step not in STEP_BACKENDS:
             raise ValidationError(
                 f"unknown step backend {step!r}; expected {STEP_BACKENDS}")
@@ -109,6 +119,9 @@ class JacobiSolver(IterativeSolverBase):
                 f"(zero at rows {zero_rows[:5].tolist()})",
                 rows=zero_rows[:5].tolist())
         self.step_backend = step
+        self.backend = backend
+        if backend is not None:
+            backends.resolve(backend)   # fail fast on unknown names
         # The fast backend's product is the CSR ``A @ x`` the residual
         # check also computes, so the check's product can seed the next
         # step bit-for-bit.  The format backend's own traversal order
@@ -116,6 +129,14 @@ class JacobiSolver(IterativeSolverBase):
         self.supports_product_step = step == "fast"
 
     # -- steps -----------------------------------------------------------------
+
+    def _select_backend(self):
+        """Resolve the kernel backend once per solve (see base class)."""
+        if self.step_backend != "fast":
+            # The format step keeps the format's own kernel; the solve
+            # still resolves a backend for the residual primitive.
+            return super()._select_backend()
+        return backends.serving("", "jacobi_sweep", self.backend)
 
     def _fast_step(self, x: np.ndarray) -> np.ndarray:
         y = self.A @ x
@@ -126,6 +147,13 @@ class JacobiSolver(IterativeSolverBase):
 
     def step_once(self, x: np.ndarray) -> np.ndarray:
         """One (possibly damped) Jacobi iteration."""
+        be = self._active_backend
+        if (self.step_backend == "fast" and be is not None
+                and not be.is_reference):
+            # The fused sweep folds the product, update and damping into
+            # one kernel call; its iterates match the inline path bitwise.
+            return be.jacobi_sweep(self.A, self.diagonal, x,
+                                   damping=self.damping)
         new = (self._format_step(x) if self.step_backend == "format"
                else self._fast_step(x))
         if self.damping != 1.0:

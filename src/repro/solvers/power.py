@@ -45,7 +45,9 @@ class PowerIterationSolver(IterativeSolverBase):
                  uniformization_factor: float = 1.05,
                  tol: float = 1e-8, max_iterations: int = 1_000_000,
                  check_interval: int = 100,
-                 stagnation_tol: float | None = 1e-6):
+                 stagnation_tol: float | None = 1e-6,
+                 backend=None):
+        self.backend = backend
         if A is not None:
             warnings.warn(
                 "PowerIterationSolver(A=...) is deprecated; pass "

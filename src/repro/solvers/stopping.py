@@ -44,13 +44,19 @@ class StoppingCriterion:
         Consecutive stagnant checks required before stopping; guards
         against the oscillating residuals of operators with complex
         subdominant eigenvalues (the Brusselator's rotating dynamics).
+    backend:
+        Optional :class:`~repro.backends.protocol.KernelBackend` whose
+        ``residual`` primitive computes the two inf-norms (``None``
+        keeps the inline NumPy reductions).  Both produce the exact
+        same floats — ``|.|`` and ``max`` involve no rounding.
     """
 
     def __init__(self, matrix_inf_norm: float, *, tol: float = 1e-8,
                  max_iterations: int = 1_000_000,
                  stagnation_tol: float | None = 1e-6,
                  min_checks_before_stagnation: int = 5,
-                 stagnation_patience: int = 3):
+                 stagnation_patience: int = 3,
+                 backend=None):
         if matrix_inf_norm < 0:
             raise ValidationError("matrix norm must be non-negative")
         if tol <= 0:
@@ -63,6 +69,7 @@ class StoppingCriterion:
         self.stagnation_tol = stagnation_tol
         self.min_checks = int(min_checks_before_stagnation)
         self.stagnation_patience = max(1, int(stagnation_patience))
+        self._backend = backend
         self._best_residual: float | None = None
         self._checks = 0
         self._stagnant_streak = 0
@@ -70,11 +77,17 @@ class StoppingCriterion:
     def normalized_residual(self, residual_vec: np.ndarray,
                             x: np.ndarray) -> float:
         """``||r||_inf / (||A||_inf ||x||_inf)`` (0 when degenerate)."""
-        x_norm = float(np.abs(x).max()) if x.size else 0.0
+        if self._backend is not None:
+            y_norm, x_norm = self._backend.residual(residual_vec, x)
+        else:
+            x_norm = float(np.abs(x).max()) if x.size else 0.0
+            y_norm = None
         denom = self.matrix_inf_norm * x_norm
         if denom == 0.0:
             return 0.0
-        return float(np.abs(residual_vec).max()) / denom
+        if y_norm is None:
+            y_norm = float(np.abs(residual_vec).max())
+        return y_norm / denom
 
     def check(self, iteration: int, residual_vec: np.ndarray,
               x: np.ndarray) -> tuple[StopReason | None, float]:

@@ -1,21 +1,32 @@
 """Common interface for all sparse formats.
 
-Each format provides two multiply paths:
+Since the backend redesign every format exposes **one documented entry
+point per multiply op**:
 
-``spmv(x)`` / ``spmm(X)``
-    The *format-faithful* reference implementations: they perform exactly
-    the arithmetic the corresponding GPU kernel performs (same traversal
-    order, same padding-skip semantics).  ``spmm`` is the multi-RHS
-    product ``Y = A @ X`` with ``X`` of shape ``(n, k)``; every format
-    vectorizes it so the matrix structure is traversed once for all ``k``
-    columns, and column ``j`` of the result matches ``spmv(X[:, j])``
-    exactly (tests enforce parity).  The base class supplies a
-    column-loop fallback for formats without a vectorized kernel.
+``spmv(x, *, backend=None)`` / ``spmm(X, *, backend=None)``
+    The sparse products ``y = A @ x`` and ``Y = A @ X`` (``X`` of shape
+    ``(n, k)``).  The entry points validate the operand once, then
+    dispatch to a :mod:`repro.backends` kernel: the ``numpy`` reference
+    backend runs the format's own *format-faithful* kernel
+    (:meth:`_reference_spmv` / :meth:`_reference_spmm` — exactly the
+    arithmetic of the corresponding GPU kernel, same traversal order,
+    same padding-skip semantics), while JIT backends run compiled
+    kernels that reproduce the identical accumulation order (the
+    conformance suite asserts bitwise agreement).  Column ``j`` of
+    ``spmm`` matches ``spmv(X[:, j])`` exactly on every backend.
 
 ``matvec(x)`` / ``matmat(X)``
-    Fast paths for solver inner loops.  Numerically identical to
-    ``spmv``/``spmm`` but delegating to a cached SciPy CSR product, since
-    on this host the Python-level traversal would dominate a Jacobi run.
+    Thin cached aliases of ``spmv``/``spmm`` kept for solver inner
+    loops: when a non-reference backend serves this format they forward
+    to the dispatched product; otherwise they run a cached SciPy CSR
+    product (numerically equal to ``spmv``, faster than the Python
+    traversal).  They add no third semantic — ``spmv`` is *the* seam.
+
+Subclasses implement ``_reference_spmv`` (and optionally a vectorized
+``_reference_spmm``); overriding ``spmv``/``spmm`` directly is
+deprecated — a shim adopts such legacy overrides as the reference
+kernel with a :class:`DeprecationWarning` so old format plug-ins keep
+working under the new dispatch.
 
 Footprint accounting follows the paper: 8 bytes per double value, 4 bytes
 per (column) index, 4 bytes per pointer/offset entry.
@@ -24,10 +35,12 @@ per (column) index, 4 bytes per pointer/offset entry.
 from __future__ import annotations
 
 import abc
+import warnings
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import backends
 from repro.errors import ValidationError
 from repro.utils.validation import check_1d
 
@@ -37,12 +50,18 @@ VALUE_BYTES = 8
 INDEX_BYTES = 4
 
 
+def _entry_point(fn):
+    """Mark a method as the backend-dispatching kernel entry point."""
+    fn._kernel_entry_point = True
+    return fn
+
+
 class SparseFormat(abc.ABC):
     """Abstract base class for device sparse-matrix representations.
 
     Subclasses must set ``shape`` (a ``(n_rows, n_cols)`` tuple) during
-    construction and implement :meth:`spmv`, :meth:`to_scipy` and
-    :meth:`footprint`.
+    construction and implement :meth:`_reference_spmv`, :meth:`to_scipy`
+    and :meth:`footprint`.
     """
 
     #: Short lowercase identifier used in tables and the autotuner.
@@ -50,11 +69,36 @@ class SparseFormat(abc.ABC):
 
     shape: tuple[int, int]
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Adopt legacy direct ``spmv``/``spmm`` overrides as reference kernels.
+
+        Before the backend redesign, formats overrode :meth:`spmv` and
+        :meth:`spmm` directly.  Such overrides would now shadow the
+        dispatching entry points and silently bypass every backend, so
+        they are deprecated: the shim warns once per class, installs the
+        override as the class's reference kernel, and removes the
+        shadowing name so base-class dispatch wins again.
+        """
+        super().__init_subclass__(**kwargs)
+        for legacy, target in (("spmv", "_reference_spmv"),
+                               ("spmm", "_reference_spmm")):
+            impl = cls.__dict__.get(legacy)
+            if impl is None or getattr(impl, "_kernel_entry_point", False):
+                continue
+            warnings.warn(
+                f"{cls.__name__} overrides {legacy}() directly; override "
+                f"{target}() instead — direct {legacy} overrides are "
+                f"deprecated and bypass kernel-backend dispatch. The "
+                f"override was adopted as {cls.__name__}.{target}.",
+                DeprecationWarning, stacklevel=3)
+            setattr(cls, target, impl)
+            delattr(cls, legacy)
+
     # -- core interface ----------------------------------------------------
 
     @abc.abstractmethod
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Format-faithful sparse matrix-vector product ``y = A @ x``."""
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
+        """Format-faithful product ``y = A @ x`` on a validated operand."""
 
     @abc.abstractmethod
     def to_scipy(self) -> sp.csr_matrix:
@@ -79,27 +123,62 @@ class SparseFormat(abc.ABC):
         """Number of stored nonzeros (excluding padding)."""
         return int(self.to_scipy().nnz)
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
-        """Format-faithful multi-RHS product ``Y = A @ X``, ``X: (n, k)``.
+    @_entry_point
+    def spmv(self, x: np.ndarray, *, backend=None) -> np.ndarray:
+        """Sparse matrix-vector product ``y = A @ x``.
 
-        The generic fallback runs ``spmv`` per column, preserving each
-        column's exact arithmetic; formats override it with a vectorized
-        sweep that reads the matrix structure once for all ``k`` columns
-        (the amortization a batched GPU kernel exploits).
+        The single kernel entry point: validates ``x`` once, then
+        dispatches to the selected :mod:`repro.backends` kernel (see
+        the module docstring for reference-vs-JIT semantics).  *backend*
+        overrides the ambient selection for this call; an unsupported
+        ``(format, op)`` pair falls back to the reference kernel.
+        """
+        x = self.check_x(x)
+        be = backends.serving(self.format_name, "spmv", backend)
+        return be.spmv(self, x)
+
+    @_entry_point
+    def spmm(self, X: np.ndarray, *, backend=None) -> np.ndarray:
+        """Multi-RHS product ``Y = A @ X`` with ``X`` of shape ``(n, k)``.
+
+        Dispatches like :meth:`spmv`; every backend's ``spmm(X)[:, j]``
+        equals its ``spmv(X[:, j])`` bit for bit (the amortization a
+        batched kernel exploits changes traffic, not arithmetic).
         """
         X = self.check_X(X)
+        be = backends.serving(self.format_name, "spmm", backend)
+        return be.spmm(self, X)
+
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
+        """Generic reference multi-RHS kernel: ``_reference_spmv`` per column.
+
+        Formats with a vectorized sweep override this; the fallback
+        preserves each column's exact arithmetic.
+        """
         Y = np.zeros((self.n_rows, X.shape[1]), dtype=np.float64)
         for j in range(X.shape[1]):
-            Y[:, j] = self.spmv(X[:, j])
+            Y[:, j] = self._reference_spmv(np.ascontiguousarray(X[:, j]))
         return Y
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Fast ``A @ x`` via a cached CSR product (numerically = ``spmv``)."""
+    def matvec(self, x: np.ndarray, *, backend=None) -> np.ndarray:
+        """Fast ``A @ x`` — a thin alias of :meth:`spmv`.
+
+        With a non-reference backend serving this format it *is*
+        ``spmv`` (same kernel, same bits); under the reference backend
+        it runs a cached SciPy CSR product instead of the Python-level
+        format traversal (numerically equal, faster on this host).
+        """
+        be = backends.resolve(backend)
+        if not be.is_reference and be.supports(self.format_name, "spmv"):
+            return self.spmv(x, backend=be)
         x = check_1d(x, "x", n=self.n_cols, dtype=np.float64)
         return self._cached_csr() @ x
 
-    def matmat(self, X: np.ndarray) -> np.ndarray:
-        """Fast ``A @ X`` via a cached CSR product (numerically = ``spmm``)."""
+    def matmat(self, X: np.ndarray, *, backend=None) -> np.ndarray:
+        """Fast ``A @ X`` — a thin alias of :meth:`spmm` (see :meth:`matvec`)."""
+        be = backends.resolve(backend)
+        if not be.is_reference and be.supports(self.format_name, "spmm"):
+            return self.spmm(X, backend=be)
         X = self.check_X(X)
         return self._cached_csr() @ X
 
@@ -114,7 +193,7 @@ class SparseFormat(abc.ABC):
         self._csr_cache = None
 
     def check_x(self, x: np.ndarray) -> np.ndarray:
-        """Validate a multiplicand vector."""
+        """Validate a multiplicand vector (contiguous float64 on return)."""
         return check_1d(x, "x", n=self.n_cols, dtype=np.float64)
 
     def check_X(self, X: np.ndarray) -> np.ndarray:
@@ -155,7 +234,19 @@ def as_csr(matrix) -> sp.csr_matrix:
     Canonical means: sorted column indices, no duplicates, no explicit
     zeros, ``float64`` values and ``int32`` indices (the device index
     width used throughout the paper).
+
+    Input that is already canonical is returned unchanged (no copy).
+    Preserving object identity lets per-matrix caches keyed on the CSR
+    arrays — kernel preps, stacked layouts — survive across solver
+    constructions instead of being rebuilt for an identical copy.
     """
+    if (sp.issparse(matrix) and matrix.format == "csr"
+            and matrix.dtype == np.float64
+            and matrix.indices.dtype == np.int32
+            and matrix.indptr.dtype == np.int32
+            and matrix.has_canonical_format
+            and bool(matrix.data.all())):
+        return matrix
     if isinstance(matrix, SparseFormat):
         csr = matrix.to_scipy()
     elif sp.issparse(matrix):

@@ -101,20 +101,20 @@ class COOMatrix(SparseFormat):
     def nnz(self) -> int:
         return int(self.values.shape[0])
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference COO product: scatter-add of ``values * x[cols]``.
 
         On a GPU this corresponds to the segmented-reduction COO kernel of
-        Bell & Garland; functionally both are a scatter-add.
+        Bell & Garland; functionally both are a scatter-add.  No JIT
+        backend implements COO, so every dispatch falls back here — the
+        format deliberately exercises the fallback path.
         """
-        x = self.check_x(x)
         y = np.zeros(self.shape[0], dtype=np.float64)
         np.add.at(y, self.rows, self.values * x[self.cols])
         return y
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Multi-RHS COO product: one scatter-add over whole ``X`` rows."""
-        X = self.check_X(X)
         Y = np.zeros((self.shape[0], X.shape[1]), dtype=np.float64)
         np.add.at(Y, self.rows, self.values[:, None] * X[self.cols, :])
         return Y

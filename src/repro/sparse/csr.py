@@ -53,43 +53,26 @@ class CSRMatrix(SparseFormat):
         """Number of stored nonzeros per row."""
         return np.diff(self.indptr)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference CSR product (the "scalar" kernel: one thread per row).
 
-        Vectorized as a segmented sum over the row extents; numerically it
-        accumulates per row in index order, exactly like the scalar kernel.
+        Each row accumulates its products sequentially in column-index
+        order — exactly the scalar kernel's loop.  SciPy's ``csr_matvec``
+        implements precisely that per-row sequential loop in C, so the
+        cached CSR product *is* the reference arithmetic (a ``reduceat``
+        segmented sum would not be: NumPy sums long segments pairwise,
+        which changes the accumulation order and the low bits).
         """
-        x = self.check_x(x)
-        products = self.values * x[self.col_indices]
-        # Segmented sum via cumulative-sum differencing is vulnerable to
-        # cancellation on long rows; use reduceat, which sums each segment
-        # independently (empty rows handled explicitly).
-        y = np.zeros(self.shape[0], dtype=np.float64)
-        lengths = np.diff(self.indptr)
-        nonempty = lengths > 0
-        if products.size:
-            starts = self.indptr[:-1][nonempty]
-            y[nonempty] = np.add.reduceat(products, starts)
-        return y
+        return self._cached_csr() @ x
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
-        """Multi-RHS CSR product: one segmented sum over all k columns.
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
+        """Multi-RHS CSR product: the structure is read once for all k.
 
-        The per-nonzero gather ``X[col_indices, :]`` reads the structure
-        once; ``reduceat`` then sums each row segment column-wise in the
-        same index order as :meth:`spmv`, so ``spmm(X)[:, j]`` equals
+        SciPy's ``csr_matvecs`` accumulates row-sequentially per output
+        column (an axpy per nonzero), so ``spmm(X)[:, j]`` equals
         ``spmv(X[:, j])`` bit for bit.
         """
-        X = self.check_X(X)
-        k = X.shape[1]
-        Y = np.zeros((self.shape[0], k), dtype=np.float64)
-        products = self.values[:, None] * X[self.col_indices, :]
-        lengths = np.diff(self.indptr)
-        nonempty = lengths > 0
-        if products.size:
-            starts = self.indptr[:-1][nonempty]
-            Y[nonempty] = np.add.reduceat(products, starts, axis=0)
-        return Y
+        return self._cached_csr() @ X
 
     def diagonal(self) -> np.ndarray:
         """Main-diagonal entries as a dense vector (zeros where absent)."""

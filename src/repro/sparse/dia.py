@@ -125,9 +125,8 @@ class DIAMatrix(SparseFormat):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference DIA product: one shifted multiply-add per diagonal."""
-        x = self.check_x(x)
         y = np.zeros(self.shape[0], dtype=np.float64)
         for k, off in enumerate(self.offsets):
             off = int(off)
@@ -136,9 +135,8 @@ class DIAMatrix(SparseFormat):
                 y[lo:hi] += self.data[k, lo:hi] * x[lo + off: hi + off]
         return y
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Multi-RHS DIA product: one shifted block multiply per diagonal."""
-        X = self.check_X(X)
         Y = np.zeros((self.shape[0], X.shape[1]), dtype=np.float64)
         for k, off in enumerate(self.offsets):
             off = int(off)

@@ -96,14 +96,13 @@ class ELLMatrix(SparseFormat):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference ELL product: k column-major sweeps with padding skip.
 
         Mirrors the kernel of Listing 1: iterate ``k`` times; at each step
         every row (thread) loads its value and, only if it is not padding,
         loads the column index and gathers ``x``.
         """
-        x = self.check_x(x)
         y = np.zeros(self.n_padded, dtype=np.float64)
         for c in range(self.k):
             col = self.cols[:, c]
@@ -111,14 +110,13 @@ class ELLMatrix(SparseFormat):
             y[active] += self.values[active, c] * x[col[active]]
         return y[: self.shape[0]]
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Multi-RHS ELL product: k column-major sweeps over all columns.
 
-        Identical traversal to :meth:`spmv` — each of the ``k_ell`` steps
-        loads one value/column pair per row and gathers a whole row of
-        ``X`` instead of one ``x`` element.
+        Identical traversal to :meth:`_reference_spmv` — each of the
+        ``k_ell`` steps loads one value/column pair per row and gathers a
+        whole row of ``X`` instead of one ``x`` element.
         """
-        X = self.check_X(X)
         Y = np.zeros((self.n_padded, X.shape[1]), dtype=np.float64)
         for c in range(self.k):
             col = self.cols[:, c]

@@ -104,15 +104,13 @@ class ELLDIAMatrix(SparseFormat):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """DIA band product plus ELL remainder product."""
-        x = self.check_x(x)
-        return self.dia.spmv(x) + self.ell.spmv(x)
+        return self.dia._reference_spmv(x) + self.ell._reference_spmv(x)
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Multi-RHS hybrid product: DIA band block plus ELL remainder block."""
-        X = self.check_X(X)
-        return self.dia.spmm(X) + self.ell.spmm(X)
+        return self.dia._reference_spmm(X) + self.ell._reference_spmm(X)
 
     def jacobi_step(self, x: np.ndarray) -> np.ndarray:
         """One Jacobi iteration ``x' = -D^{-1}(A - D) x`` for ``A x = 0``.

@@ -41,13 +41,12 @@ class ELLRMatrix(ELLMatrix):
         self.rl = np.zeros(self.n_padded, dtype=np.int32)
         self.rl[: self.shape[0]] = self.row_lengths
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Row-length-guided product: lane ``i`` runs ``rl[i]`` steps.
 
         Numerically identical to the ELL kernel; the difference is pure
         traffic (no padded value loads), which the kernel model captures.
         """
-        x = self.check_x(x)
         y = np.zeros(self.n_padded, dtype=np.float64)
         for c in range(self.k):
             active = self.rl > c
@@ -59,9 +58,8 @@ class ELLRMatrix(ELLMatrix):
             y[active] += self.values[active, c] * x[cols]
         return y[: self.shape[0]]
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Row-length-guided multi-RHS product (lane ``i``: ``rl[i]`` steps)."""
-        X = self.check_X(X)
         Y = np.zeros((self.n_padded, X.shape[1]), dtype=np.float64)
         for c in range(self.k):
             active = self.rl > c

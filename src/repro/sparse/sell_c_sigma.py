@@ -95,18 +95,16 @@ class SellCSigmaMatrix(SlicedELLMatrix):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Chunked product over the sorted rows, scattered back."""
-        x = self.check_x(x)
-        y_storage = SlicedELLMatrix.spmv(self, x)
+        y_storage = SlicedELLMatrix._reference_spmv(self, x)
         y = np.empty(self.shape[0], dtype=np.float64)
         y[self.row_ids] = y_storage
         return y
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Chunked multi-RHS product over the sorted rows, scattered back."""
-        X = self.check_X(X)
-        Y_storage = SlicedELLMatrix.spmm(self, X)
+        Y_storage = SlicedELLMatrix._reference_spmm(self, X)
         Y = np.empty((self.shape[0], X.shape[1]), dtype=np.float64)
         Y[self.row_ids] = Y_storage
         return Y

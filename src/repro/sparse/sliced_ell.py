@@ -128,13 +128,16 @@ class SlicedELLMatrix(SparseFormat):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Reference product: each slice sweeps its local k columns.
 
         Slices with equal ``k`` are batched into one vectorized gather so
-        the reference stays usable inside tests on larger matrices.
+        the reference stays usable inside tests on larger matrices.  The
+        local columns are accumulated *sequentially* (``c = 0, 1, ...``)
+        — the per-lane order of the slice kernel, which the JIT backends
+        replicate exactly; a pairwise ``.sum(axis=2)`` would reorder the
+        adds on wide slices and change the low bits.
         """
-        x = self.check_x(x)
         y = np.zeros(self.n_padded, dtype=np.float64)
         if self._nnz == 0:
             return y[: self.shape[0]]
@@ -154,17 +157,20 @@ class SlicedELLMatrix(SparseFormat):
             cols = self.cols[flat]
             active = cols != PAD_COL
             gathered = np.where(active, x[np.clip(cols, 0, None)], 0.0)
-            contrib = (vals * gathered).sum(axis=2)
+            prods = vals * gathered
+            contrib = np.zeros((which.size, s), dtype=np.float64)
+            for c in range(k):
+                contrib += prods[:, :, c]
             row_base = which[:, None] * s + np.arange(s)[None, :]
             y[row_base.ravel()] += contrib.ravel()
         return y[: self.shape[0]]
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Multi-RHS sliced product: the same equal-k batching as
-        :meth:`spmv` with a trailing RHS axis, so each slice's local
-        structure is gathered once for all ``k`` right-hand sides.
+        :meth:`_reference_spmv` with a trailing RHS axis, so each slice's
+        local structure is gathered once for all ``k`` right-hand sides
+        (and the same sequential local-column accumulation).
         """
-        X = self.check_X(X)
         kr = X.shape[1]
         Y = np.zeros((self.n_padded, kr), dtype=np.float64)
         if self._nnz == 0 or kr == 0:
@@ -185,7 +191,10 @@ class SlicedELLMatrix(SparseFormat):
             # (num_slices, s, k, kr): the X-row gather, padding zeroed.
             gathered = np.where(active[..., None],
                                 X[np.clip(cols, 0, None), :], 0.0)
-            contrib = (vals[..., None] * gathered).sum(axis=2)
+            prods = vals[..., None] * gathered
+            contrib = np.zeros((which.size, s, kr), dtype=np.float64)
+            for c in range(k):
+                contrib += prods[:, :, c, :]
             row_base = (which[:, None] * s
                         + np.arange(s)[None, :]).ravel()
             Y[row_base] += contrib.reshape(-1, kr)

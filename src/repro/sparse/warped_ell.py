@@ -141,20 +141,18 @@ class WarpedELLMatrix(SlicedELLMatrix):
 
     # -- SparseFormat interface --------------------------------------------
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
+    def _reference_spmv(self, x: np.ndarray) -> np.ndarray:
         """Warp-sliced product over the permuted rows, scattered back."""
-        x = self.check_x(x)
-        y_storage = SlicedELLMatrix.spmv(self, x)
+        y_storage = SlicedELLMatrix._reference_spmv(self, x)
         if self.diagonal_values is not None:
             y_storage = y_storage + self.diagonal_values * x[self.row_ids]
         y = np.empty(self.shape[0], dtype=np.float64)
         y[self.row_ids] = y_storage
         return y
 
-    def spmm(self, X: np.ndarray) -> np.ndarray:
+    def _reference_spmm(self, X: np.ndarray) -> np.ndarray:
         """Warp-sliced multi-RHS product over the permuted rows."""
-        X = self.check_X(X)
-        Y_storage = SlicedELLMatrix.spmm(self, X)
+        Y_storage = SlicedELLMatrix._reference_spmm(self, X)
         if self.diagonal_values is not None:
             Y_storage = (Y_storage
                          + self.diagonal_values[:, None] * X[self.row_ids, :])
@@ -175,7 +173,9 @@ class WarpedELLMatrix(SlicedELLMatrix):
         if np.any(self.diagonal_values == 0.0):
             raise SingularMatrixError("Jacobi step requires a nonzero diagonal")
         x = self.check_x(x)
-        off = SlicedELLMatrix.spmv(self, x)   # off-diagonal part, storage order
+        # Off-diagonal part in storage order (reference sliced kernel:
+        # the fused step is format-faithful by definition).
+        off = SlicedELLMatrix._reference_spmv(self, x)
         x_storage = -off / self.diagonal_values
         x_new = np.empty(self.shape[0], dtype=np.float64)
         x_new[self.row_ids] = x_storage

@@ -1,0 +1,235 @@
+"""Backend conformance: every registered backend × every format.
+
+Two layers of agreement are enforced for each available backend:
+
+* **correctness** — products match the SciPy ground truth to 1e-12;
+* **parity** — results match the ``numpy`` reference backend bitwise
+  (or within 1 ulp), the numerical contract of
+  :mod:`repro.backends.protocol` that makes backend selection invisible
+  to convergence behaviour.
+
+Edge cases: empty rows, all-zero matrices, non-contiguous inputs, and
+the solver primitives (``jacobi_sweep``, ``axpy``, ``residual``).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import backends
+from repro.sparse.base import as_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dia import DIAMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.ell_dia import ELLDIAMatrix
+from repro.sparse.ellr import ELLRMatrix
+from repro.sparse.sell_c_sigma import SellCSigmaMatrix
+from repro.sparse.sliced_ell import SlicedELLMatrix
+from repro.sparse.warped_ell import WarpedELLMatrix
+
+BUILDERS = [
+    ("coo", COOMatrix.from_scipy),
+    ("csr", CSRMatrix),
+    ("dia", DIAMatrix.from_scipy),
+    ("ell", ELLMatrix),
+    ("ellr", ELLRMatrix),
+    ("ell+dia", ELLDIAMatrix),
+    ("sell", lambda A: SlicedELLMatrix(A, slice_size=16)),
+    ("warped", lambda A: WarpedELLMatrix(A, reorder="local", block_size=64)),
+    ("warped+dia", lambda A: WarpedELLMatrix(A, separate_diagonal=True)),
+    ("sell-c-sigma", lambda A: SellCSigmaMatrix(A, chunk=16, sigma=64)),
+]
+IDS = [name for name, _ in BUILDERS]
+
+#: Every backend that can serve on this host, reference included; the
+#: suite runs the full matrix against each so a newly-registered
+#: backend is conformance-tested with zero test changes.
+BACKENDS = backends.available_backends()
+
+
+def random_system(n=97, density=0.06, seed=3):
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=density, random_state=seed, format="csr")
+    A = A + sp.diags(rng.random(n) + 0.5)
+    return as_csr(A)
+
+
+def ragged_system(n=90, seed=11):
+    """Wildly variable row lengths plus guaranteed empty rows."""
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        if i % 7 == 3:
+            continue                       # empty row
+        k = int(rng.integers(1, 30))
+        cs = rng.choice(n, size=min(k, n), replace=False)
+        for c in cs:
+            rows.append(i)
+            cols.append(int(c))
+            vals.append(float(rng.standard_normal()))
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    A = A + sp.diags(rng.random(n) + 0.5)  # nonzero diagonal for ell+dia
+    return as_csr(A)
+
+
+def assert_bitwise_or_1ulp(actual, expected):
+    if np.array_equal(actual, expected):
+        return
+    a = np.asarray(actual)
+    e = np.asarray(expected)
+    assert a.shape == e.shape
+    same = a == e
+    ulp = np.abs(a - e) <= np.spacing(np.maximum(np.abs(a), np.abs(e)))
+    bad = ~(same | ulp)
+    assert not bad.any(), (
+        f"{int(bad.sum())} entries differ by more than 1 ulp "
+        f"(max abs diff {np.abs(a - e).max():.3e})")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return backends.get_backend(request.param)
+
+
+@pytest.mark.parametrize("name,build", BUILDERS, ids=IDS)
+def test_spmv_matches_scipy_and_reference(name, build, backend):
+    A = random_system()
+    fmt = build(A)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(A.shape[1])
+    got = fmt.spmv(x, backend=backend)
+    np.testing.assert_allclose(got, A @ x, rtol=0.0, atol=1e-12)
+    assert_bitwise_or_1ulp(got, fmt.spmv(x, backend="numpy"))
+
+
+@pytest.mark.parametrize("name,build", BUILDERS, ids=IDS)
+def test_spmm_matches_scipy_and_reference(name, build, backend):
+    A = random_system()
+    fmt = build(A)
+    rng = np.random.default_rng(6)
+    X = rng.standard_normal((A.shape[1], 4))
+    got = fmt.spmm(X, backend=backend)
+    np.testing.assert_allclose(got, A @ X, rtol=0.0, atol=1e-12)
+    assert_bitwise_or_1ulp(got, fmt.spmm(X, backend="numpy"))
+
+
+@pytest.mark.parametrize("name,build", BUILDERS, ids=IDS)
+def test_empty_rows_and_ragged_lengths(name, build, backend):
+    A = ragged_system()
+    fmt = build(A)
+    rng = np.random.default_rng(8)
+    x = rng.standard_normal(A.shape[1])
+    X = rng.standard_normal((A.shape[1], 3))
+    np.testing.assert_allclose(fmt.spmv(x, backend=backend), A @ x,
+                               rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(fmt.spmm(X, backend=backend), A @ X,
+                               rtol=0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("name,build", BUILDERS, ids=IDS)
+def test_zero_nnz_matrix(name, build, backend):
+    n = 12
+    if name in ("ell+dia", "warped+dia"):
+        # These require a usable diagonal; "all-zero" here means an
+        # off-diagonal-free matrix, the sparsest system they accept.
+        A = as_csr(sp.diags(np.ones(n)).tocsr())
+        expect_zero = False
+    else:
+        A = as_csr(sp.csr_matrix((n, n)))
+        expect_zero = True
+    fmt = build(A)
+    x = np.ones(n)
+    y = fmt.spmv(x, backend=backend)
+    Y = fmt.spmm(np.ones((n, 2)), backend=backend)
+    if expect_zero:
+        assert not y.any() and not Y.any()
+    np.testing.assert_allclose(y, A @ x, rtol=0.0, atol=0.0)
+    np.testing.assert_allclose(Y[:, 0], A @ x, rtol=0.0, atol=0.0)
+
+
+@pytest.mark.parametrize("name,build", BUILDERS, ids=IDS)
+def test_non_contiguous_inputs(name, build, backend):
+    """Strided vectors and Fortran-order blocks go through unchanged."""
+    A = random_system()
+    n = A.shape[1]
+    rng = np.random.default_rng(9)
+    xx = rng.standard_normal(2 * n)
+    x_strided = xx[::2]
+    assert not x_strided.flags.c_contiguous
+    X_fortran = np.asfortranarray(rng.standard_normal((n, 3)))
+    assert not X_fortran.flags.c_contiguous
+    fmt = build(A)
+    assert_bitwise_or_1ulp(
+        fmt.spmv(x_strided, backend=backend),
+        fmt.spmv(np.ascontiguousarray(x_strided), backend=backend))
+    assert_bitwise_or_1ulp(
+        fmt.spmm(X_fortran, backend=backend),
+        fmt.spmm(np.ascontiguousarray(X_fortran), backend=backend))
+
+
+# -- solver primitives ------------------------------------------------------
+
+
+@pytest.mark.parametrize("shape", [(97,), (97, 6)], ids=["vec", "block"])
+@pytest.mark.parametrize("damping", [1.0, 0.85])
+def test_jacobi_sweep_parity(backend, shape, damping):
+    A = random_system()
+    diag = np.asarray(A.diagonal())
+    rng = np.random.default_rng(10)
+    X = rng.standard_normal(shape)
+    ref = backends.get_backend("numpy").jacobi_sweep(A, diag, X,
+                                                     damping=damping)
+    got = backend.jacobi_sweep(A, diag, X, damping=damping)
+    assert_bitwise_or_1ulp(got, ref)
+    # And with a caller-provided output buffer.
+    out = np.empty_like(X)
+    got2 = backend.jacobi_sweep(A, diag, X, damping=damping, out=out)
+    assert got2 is out
+    assert_bitwise_or_1ulp(out, ref)
+
+
+def test_axpy_parity(backend):
+    rng = np.random.default_rng(12)
+    x = rng.standard_normal(301)
+    y = rng.standard_normal(301)
+    ref = backends.get_backend("numpy")
+    assert_bitwise_or_1ulp(backend.axpy(0.3, x, y), ref.axpy(0.3, x, y))
+    assert_bitwise_or_1ulp(backend.axpy(-1.5, x, y, beta=0.25),
+                           ref.axpy(-1.5, x, y, beta=0.25))
+
+
+def test_residual_parity(backend):
+    rng = np.random.default_rng(13)
+    y = rng.standard_normal(257)
+    x = rng.standard_normal(257)
+    assert backend.residual(y, x) == \
+        backends.get_backend("numpy").residual(y, x)
+    assert backend.residual(np.zeros(0), np.zeros(0)) == (0.0, 0.0)
+
+
+def test_residual_non_contiguous_column_views(backend):
+    """The batched solver checks residuals on (n, k) column views."""
+    rng = np.random.default_rng(14)
+    M = rng.standard_normal((64, 4))
+    col = M[:, 1]
+    assert not col.flags.c_contiguous or M.shape[1] == 1
+    y_norm, x_norm = backend.residual(col, col)
+    assert y_norm == float(np.abs(col).max())
+    assert x_norm == y_norm
+
+
+def test_coo_always_served_by_reference():
+    """No JIT backend implements COO: the fallback path must engage."""
+    A = random_system(n=31)
+    fmt = COOMatrix.from_scipy(A)
+    for name in BACKENDS:
+        be = backends.get_backend(name)
+        if be.is_reference:
+            continue
+        assert not be.supports("coo", "spmv")
+        backends.reset_kernel_stats()
+        x = np.ones(31)
+        np.testing.assert_allclose(fmt.spmv(x, backend=name), A @ x,
+                                   rtol=0.0, atol=1e-12)
+        assert backends.kernel_stats()[("numpy", "coo", "spmv")] == 1

@@ -1,0 +1,243 @@
+"""Solver-level backend wiring: selection, parity, fast re-validation.
+
+The conformance suite proves kernel-level parity; these tests prove the
+*solvers* keep that parity end to end — same iterates, same residuals,
+same iteration counts — regardless of which backend serves the sweep,
+and that backend selection reaches every solver entry point (ctor arg,
+``use()`` context, batched modes, the resilient chain).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    GaussSeidelSolver,
+    JacobiSolver,
+    build_rate_matrix,
+    enumerate_state_space,
+    toggle_switch,
+)
+from repro import backends
+from repro.errors import ValidationError
+from repro.solvers.batched import BatchedJacobiSolver
+from repro.sparse.base import SparseFormat, as_csr
+from repro.sparse.csr import CSRMatrix
+
+#: Every available non-reference backend — each must reproduce the
+#: reference solve bit for bit.
+NATIVE = [n for n in backends.available_backends()
+          if not backends.get_backend(n).is_reference]
+
+
+def small_generator():
+    space = enumerate_state_space(toggle_switch(max_protein=6))
+    return build_rate_matrix(space)
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_jacobi_solve_bitwise_matches_reference(name):
+    # A bounded budget keeps this fast: parity means identical
+    # trajectories, so the capped runs must match exactly too.
+    A = small_generator()
+    kw = dict(tol=1e-10, max_iterations=3000, stagnation_tol=None)
+    ref = JacobiSolver(A, **kw).solve()
+    got = JacobiSolver(A, **kw, backend=name).solve()
+    assert got.iterations == ref.iterations
+    assert got.residual == ref.residual
+    assert np.array_equal(got.x, ref.x)
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_jacobi_damped_solve_bitwise_matches_reference(name):
+    A = small_generator()
+    ref = JacobiSolver(A, tol=1e-10, damping=0.9).solve()
+    got = JacobiSolver(A, tol=1e-10, damping=0.9, backend=name).solve()
+    assert got.iterations == ref.iterations
+    assert np.array_equal(got.x, ref.x)
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_use_context_reaches_solver_sweeps(name):
+    A = small_generator()
+    backends.reset_kernel_stats()
+    with backends.use(name):
+        JacobiSolver(A, tol=1e-10, max_iterations=500,
+                     stagnation_tol=None).solve()
+    stats = backends.kernel_stats()
+    assert stats.get((name, "", "jacobi_sweep"), 0) >= 1
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_batched_shared_matches_reference(name):
+    A = small_generator()
+    kw = dict(tol=1e-10, max_iterations=1000, stagnation_tol=None)
+    ref = BatchedJacobiSolver(A, **kw)
+    expected = ref.solve_many(k=3)
+    nat = BatchedJacobiSolver(A, **kw, backend=name)
+    got = nat.solve_many(k=3)
+    for a, b in zip(expected, got):
+        assert b.iterations == a.iterations
+        assert b.stop_reason is a.stop_reason
+        assert np.array_equal(b.x, a.x)
+    # Amortization accounting is backend-independent: the fused sweep
+    # counts its implicit product exactly like the materialized one.
+    assert nat.sweeps == ref.sweeps
+    assert nat.products == ref.products
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_batched_stacked_matches_reference(name):
+    A = small_generator()
+    systems = [A, A * 1.5]          # same steady state, distinct rates
+    kw = dict(tol=1e-10, max_iterations=1000, stagnation_tol=None)
+    expected = BatchedJacobiSolver.stacked(systems, **kw).solve_many()
+    got = BatchedJacobiSolver.stacked(
+        systems, **kw, backend=name).solve_many()
+    for a, b in zip(expected, got):
+        assert b.iterations == a.iterations
+        assert np.array_equal(b.x, a.x)
+
+
+@pytest.mark.parametrize("name", NATIVE)
+def test_gauss_seidel_accepts_backend(name):
+    # Gauss-Seidel has no fused sweep; the backend serves only the
+    # residual primitive, which is rounding-free — results must be
+    # bitwise independent of the selection.
+    A = small_generator()
+    ref = GaussSeidelSolver(A, tol=1e-10).solve()
+    got = GaussSeidelSolver(A, tol=1e-10, backend=name).solve()
+    assert got.iterations == ref.iterations
+    assert np.array_equal(got.x, ref.x)
+
+
+def test_unknown_backend_fails_at_construction():
+    A = small_generator()
+    from repro.errors import BackendError
+    with pytest.raises(BackendError):
+        JacobiSolver(A, backend="no-such-backend")
+    with pytest.raises(BackendError):
+        BatchedJacobiSolver(A, backend="no-such-backend")
+
+
+# -- warm-start re-validation ------------------------------------------------
+
+
+def test_validate_x0_true_rejects_bad_iterates():
+    A = small_generator()
+    solver = JacobiSolver(A, tol=1e-10)
+    n = A.shape[0]
+    bad = np.ones(n)
+    bad[3] = -1.0
+    with pytest.raises(ValidationError):
+        solver.solve(x0=bad)
+    nan = np.ones(n)
+    nan[3] = np.nan
+    with pytest.raises(ValidationError):
+        solver.solve(x0=nan)
+
+
+def test_validate_x0_false_preserves_results():
+    """Skipping the scans is a fast path, never a different answer."""
+    A = small_generator()
+    # Damping breaks the bipartite oscillation, so this converges in
+    # a handful of sweeps instead of running to the stagnation check.
+    solver = JacobiSolver(A, tol=1e-10, damping=0.9)
+    first = solver.solve()
+    again = solver.solve(x0=first.x)
+    fast = solver.solve(x0=first.x, validate_x0=False)
+    assert np.array_equal(fast.x, again.x)
+    assert fast.iterations == again.iterations
+
+
+def test_resilient_solver_forwards_backend_and_validate():
+    from repro.solvers import SOLVER_REGISTRY
+    A = small_generator()
+    cls = SOLVER_REGISTRY["resilient"]
+    be = NATIVE[0] if NATIVE else "numpy"
+    result = cls(A, tol=1e-10, damping=0.9, backend=be).solve()
+    assert result.converged
+    baseline = cls(A, tol=1e-10, damping=0.9).solve()
+    assert np.array_equal(result.x, baseline.x)
+
+
+# -- entry-point collapse ----------------------------------------------------
+
+
+def dense_system(n=60, seed=21):
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=0.08, random_state=seed, format="csr")
+    return as_csr(A + sp.diags(rng.random(n) + 0.5))
+
+
+def test_matvec_is_a_thin_alias_of_spmv():
+    A = dense_system()
+    fmt = CSRMatrix(A)
+    rng = np.random.default_rng(22)
+    x = rng.standard_normal(A.shape[1])
+    X = rng.standard_normal((A.shape[1], 3))
+    # Reference ambient: matvec runs the cached CSR product.
+    np.testing.assert_allclose(fmt.matvec(x), fmt.spmv(x),
+                               rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(fmt.matmat(X), fmt.spmm(X),
+                               rtol=0.0, atol=1e-12)
+    for name in NATIVE:
+        with backends.use(name):
+            assert np.array_equal(fmt.matvec(x), fmt.spmv(x))
+            assert np.array_equal(fmt.matmat(X), fmt.spmm(X))
+
+
+def test_direct_spmv_override_is_deprecated_and_adopted():
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        class LegacyDiag(SparseFormat):
+            format_name = "legacy-diag"
+
+            def __init__(self, d):
+                self.d = np.asarray(d, dtype=np.float64)
+                self.shape = (self.d.size, self.d.size)
+
+            def spmv(self, x):              # legacy direct override
+                return self.d * x
+
+            def to_scipy(self):
+                return sp.diags(self.d).tocsr()
+
+            def footprint(self):
+                return self.d.nbytes
+
+    m = LegacyDiag([1.0, 2.0, 3.0])
+    # The override became the reference kernel...
+    assert LegacyDiag._reference_spmv is LegacyDiag.__dict__["_reference_spmv"]
+    assert "spmv" not in LegacyDiag.__dict__
+    # ...and the base entry point still dispatches (with validation and
+    # the reference fallback, since no JIT backend knows this format).
+    got = m.spmv(np.array([1.0, 1.0, 1.0]))
+    assert np.array_equal(got, np.array([1.0, 2.0, 3.0]))
+    with pytest.raises(ValidationError):
+        m.spmv(np.ones(5))
+
+
+def test_modern_subclass_does_not_warn():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+
+        class ModernDiag(SparseFormat):
+            format_name = "modern-diag"
+
+            def __init__(self, d):
+                self.d = np.asarray(d, dtype=np.float64)
+                self.shape = (self.d.size, self.d.size)
+
+            def _reference_spmv(self, x):
+                return self.d * x
+
+            def to_scipy(self):
+                return sp.diags(self.d).tocsr()
+
+            def footprint(self):
+                return self.d.nbytes
+
+    m = ModernDiag([2.0, 4.0])
+    assert np.array_equal(m.spmv(np.ones(2)), np.array([2.0, 4.0]))

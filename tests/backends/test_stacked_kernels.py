@@ -1,0 +1,141 @@
+"""Conformance for the fused stacked kernels (``*_many`` + ``can_stack``).
+
+The stacked kernels operate on ``(n, m)`` system-interleaved blocks —
+column ``s`` belongs to ``systems[s]`` — and promise results bit-equal
+to ``m`` independent per-system calls.  These tests pin that contract
+for every backend that advertises the methods: SIMD-width batches
+(``m == 8``), generic widths, damped sweeps, the ``None`` fallback for
+inputs the fused path cannot serve, and the ``can_stack`` probe callers
+use to pick the interleaved layout up front.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import backends
+from repro.sparse.base import as_csr
+
+STACKED = [n for n in backends.available_backends()
+           if hasattr(backends.get_backend(n), "jacobi_sweep_many")]
+
+
+@pytest.fixture(params=STACKED)
+def backend(request):
+    return backends.get_backend(request.param)
+
+
+def shared_structure_systems(m, n=83, seed=7):
+    """``m`` CSR systems sharing one sparsity pattern, distinct values."""
+    rng = np.random.default_rng(seed)
+    base = sp.random(n, n, density=0.08, random_state=seed, format="csr")
+    base = as_csr(base + sp.diags(rng.random(n) + 1.0))
+    systems = []
+    for s in range(m):
+        A = base.copy()
+        # Scaling every value keeps the pattern; a nonzero scale keeps
+        # eliminate_zeros from perturbing it.
+        A.data = A.data * (0.5 + 0.25 * s)
+        systems.append(as_csr(A))
+    return systems
+
+
+@pytest.mark.parametrize("m", [1, 5, 8])
+@pytest.mark.parametrize("damping", [1.0, 0.9])
+def test_sweep_many_bitwise_matches_per_system(backend, m, damping):
+    systems = shared_structure_systems(m)
+    n = systems[0].shape[0]
+    rng = np.random.default_rng(13)
+    X = np.ascontiguousarray(rng.random((n, m)))
+    D = np.ascontiguousarray(np.stack(
+        [np.asarray(A.diagonal(), dtype=np.float64) for A in systems],
+        axis=1))
+    got = backend.jacobi_sweep_many(systems, D, X, damping=damping)
+    assert got is not None
+    assert got.shape == (n, m)
+    for s, A in enumerate(systems):
+        expected = np.empty(n)
+        backend.jacobi_sweep(A, np.ascontiguousarray(D[:, s]),
+                             np.ascontiguousarray(X[:, s]),
+                             damping=damping, out=expected)
+        assert np.array_equal(got[:, s], expected)
+
+
+@pytest.mark.parametrize("m", [1, 5, 8])
+def test_spmv_many_bitwise_matches_per_system(backend, m):
+    systems = shared_structure_systems(m, seed=19)
+    n = systems[0].shape[0]
+    rng = np.random.default_rng(23)
+    X = np.ascontiguousarray(rng.random((n, m)))
+    got = backend.spmv_many(systems, X)
+    assert got is not None
+    assert got.shape == (n, m)
+    for s, A in enumerate(systems):
+        # The documented contract: bit-equal to per-system products in
+        # scipy's CSR accumulation order.
+        expected = A @ np.ascontiguousarray(X[:, s])
+        assert np.array_equal(got[:, s], expected)
+
+
+def test_sweep_many_out_is_returned_and_filled(backend):
+    systems = shared_structure_systems(8)
+    n = systems[0].shape[0]
+    rng = np.random.default_rng(29)
+    X = np.ascontiguousarray(rng.random((n, 8)))
+    D = np.ascontiguousarray(np.stack(
+        [np.asarray(A.diagonal(), dtype=np.float64) for A in systems],
+        axis=1))
+    out = np.empty((n, 8))
+    got = backend.jacobi_sweep_many(systems, D, X, out=out)
+    assert got is out
+    assert np.array_equal(out, backend.jacobi_sweep_many(systems, D, X))
+
+
+def test_mismatched_sparsity_returns_none(backend):
+    systems = shared_structure_systems(3)
+    rng = np.random.default_rng(31)
+    n = systems[0].shape[0]
+    odd = as_csr(sp.random(n, n, density=0.11, random_state=99,
+                           format="csr") + sp.diags(rng.random(n) + 1.0))
+    mixed = systems[:2] + [odd]
+    X = np.ascontiguousarray(rng.random((n, 3)))
+    D = np.ones((n, 3))
+    assert backend.jacobi_sweep_many(mixed, D, X) is None
+    assert backend.spmv_many(mixed, X) is None
+    assert backend.can_stack(systems)
+    assert not backend.can_stack(mixed)
+
+
+def test_wrong_block_shape_returns_none(backend):
+    systems = shared_structure_systems(4)
+    n = systems[0].shape[0]
+    rng = np.random.default_rng(37)
+    good = np.ascontiguousarray(rng.random((n, 4)))
+    transposed = np.ascontiguousarray(rng.random((4, n)))
+    D = np.ones((n, 4))
+    assert backend.jacobi_sweep_many(systems, D, transposed) is None
+    assert backend.jacobi_sweep_many(systems, np.ones((4, n)), good) is None
+    assert backend.spmv_many(systems, transposed) is None
+    assert backend.can_stack(systems)  # the systems themselves are fine
+
+
+def test_non_csr_and_empty_lists_are_not_stackable(backend):
+    systems = shared_structure_systems(2)
+    dense = [np.asarray(A.todense()) for A in systems]
+    assert not backend.can_stack(dense)
+    assert not backend.can_stack([])
+    n = systems[0].shape[0]
+    X = np.ones((n, 2))
+    assert backend.jacobi_sweep_many(dense, np.ones((n, 2)), X) is None
+    assert backend.spmv_many(dense, X) is None
+
+
+def test_fresh_equal_lists_reuse_the_stacked_prep(backend):
+    """Re-listing the same matrices must not change results (or crash)."""
+    systems = shared_structure_systems(8, seed=41)
+    n = systems[0].shape[0]
+    rng = np.random.default_rng(43)
+    X = np.ascontiguousarray(rng.random((n, 8)))
+    first = backend.spmv_many(systems, X)
+    again = backend.spmv_many(list(systems), X)
+    assert np.array_equal(first, again)
