@@ -30,14 +30,27 @@ reference and JIT paths are tracked side by side:
 * ``fsp`` — adaptive Finite State Projection on phage lambda: final
   certified projection size vs. the full enumeration, rounds, and
   end-to-end time against the fixed-capacity full-space solve.
+* ``sharded`` — the domain-decomposed process-pool Jacobi
+  (:class:`~repro.distributed.ShardedJacobiSolver`): barrier-mode
+  solver-only scaling at 1/2/4 shards against a serial baseline
+  (fixed iteration budget, identical prebuilt system) plus — full mode
+  only — one phage-lambda capacity solve at a copy-number buffer
+  ``>= 10x`` the model's default, enumerated and solved end-to-end
+  through the chaotic (asynchronous) path.  Scaling numbers are only
+  meaningful when the machine has at least as many cores as shards;
+  the JSON records ``cpus`` next to them.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
-        --quick --check-memo-speedup 5 --check-fsp --check-spmm 1.0
+        --quick --check-memo-speedup 5 --check-fsp --check-spmm 1.0 \
+        --check-sharded
 
+``--check-sharded`` exits nonzero when 4-shard barrier scaling falls
+below 1.5× the 1-shard time — enforced only on machines with >= 4
+CPUs (elsewhere the efficiency is recorded but cannot be meaningful);
 ``--check-memo-speedup X`` exits nonzero when the memoized gpusim
 analysis is less than ``X``× faster than the cold one; ``--check-fsp``
 exits nonzero unless the adaptive phage-lambda solve certifies its
@@ -338,14 +351,113 @@ def bench_fsp(quick: bool) -> dict:
     }
 
 
+def bench_sharded(quick: bool) -> dict:
+    """Shard-scaling efficiency plus the full-mode capacity solve."""
+    from repro.distributed import ShardedJacobiSolver
+
+    # -- scaling: barrier mode, fixed budget, identical system --------
+    net = toggle_switch(max_protein=23 if quick else 63)
+    A = build_rate_matrix(enumerate_state_space(net))
+    iters = 80 if quick else 400
+    kwargs = dict(tol=1e-300, max_iterations=iters, stagnation_tol=None,
+                  check_interval=iters)
+
+    t0 = time.perf_counter()
+    JacobiSolver(A, **kwargs).solve()
+    serial_s = time.perf_counter() - t0
+
+    scaling = {}
+    for shards in (1, 2, 4):
+        solver = ShardedJacobiSolver(A, shards=shards, sync="barrier",
+                                     **kwargs)
+        t0 = time.perf_counter()
+        result = solver.solve()
+        elapsed = time.perf_counter() - t0
+        info = result.sharding
+        scaling[str(shards)] = {
+            "seconds": round(elapsed, 4),
+            "iterations": result.iterations,
+            "backend": info["backend"],
+            "start_method": info["start_method"],
+            "halo_bytes": sum(info["halo_bytes"]),
+            "vs_serial_x": round(serial_s / elapsed, 3),
+        }
+    t1 = scaling["1"]["seconds"]
+    for shards in (2, 4):
+        entry = scaling[str(shards)]
+        entry["speedup_vs_1shard_x"] = round(t1 / entry["seconds"], 3)
+        entry["efficiency"] = round(t1 / entry["seconds"] / shards, 3)
+
+    out = {
+        "scaling": {
+            "includes": "whole solve() wall clock — pool spawn, "
+                        f"{iters} barrier sweeps, shutdown — on one "
+                        "prebuilt system; serial row is a plain "
+                        "JacobiSolver on the same matrix",
+            "model": "toggle_switch",
+            "n": A.shape[0],
+            "iterations": iters,
+            "cpus": os.cpu_count(),
+            "serial_s": round(serial_s, 4),
+            "shards": scaling,
+        },
+    }
+    if quick:
+        return out
+
+    # -- capacity: >= 10x the default phage-lambda buffer, end-to-end --
+    big = phage_lambda(max_monomer=31, max_dimer=12)
+    default_bound = 1
+    for s in phage_lambda().species:
+        default_bound *= s.max_count + 1
+    bound = 1
+    for s in big.species:
+        bound *= s.max_count + 1
+    t0 = time.perf_counter()
+    space = enumerate_state_space(big, max_states=bound)
+    enum_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    A_big = build_rate_matrix(space)
+    assemble_s = time.perf_counter() - t0
+    solver = ShardedJacobiSolver(A_big, shards=2, sync="chaotic",
+                                 tol=1e-8, max_iterations=15_000,
+                                 stagnation_tol=None, check_interval=500)
+    t0 = time.perf_counter()
+    result = solver.solve()
+    solve_s = time.perf_counter() - t0
+    info = result.sharding
+    out["capacity"] = {
+        "model": "phage_lambda",
+        "max_monomer": 31,
+        "max_dimer": 12,
+        "buffer_bound": bound,
+        "default_buffer_bound": default_bound,
+        "capacity_ratio_x": round(bound / default_bound, 2),
+        "n": int(space.size),
+        "nnz": int(A_big.nnz),
+        "enumerate_s": round(enum_s, 2),
+        "assemble_s": round(assemble_s, 2),
+        "solve_s": round(solve_s, 2),
+        "stop_reason": result.stop_reason.value,
+        "iterations": result.iterations,
+        "residual": result.residual,
+        "sync": info["sync"],
+        "shards": info["shards"],
+        "sweeps": info["sweeps"],
+        "staleness": info["staleness"],
+        "halo_bytes": info["halo_bytes"],
+    }
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small systems and budgets (CI smoke)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
-                        / "BENCH_7.json",
-                        help="output path (default: BENCH_7.json at root)")
+                        / "BENCH_8.json",
+                        help="output path (default: BENCH_8.json at root)")
     parser.add_argument("--check-memo-speedup", type=float, default=None,
                         metavar="X",
                         help="exit nonzero if memoized gpusim analysis is "
@@ -359,6 +471,10 @@ def main(argv=None) -> int:
                         help="exit nonzero unless every format's multi-RHS "
                              "amortization under the best non-reference "
                              "backend reaches X (default 1.0)")
+    parser.add_argument("--check-sharded", action="store_true",
+                        help="exit nonzero unless 4-shard barrier scaling "
+                             "reaches 1.5x the 1-shard time (enforced only "
+                             "on machines with >= 4 CPUs)")
     args = parser.parse_args(argv)
 
     max_protein = 31 if args.quick else 127
@@ -375,7 +491,7 @@ def main(argv=None) -> int:
                  if not backends.get_backend(n).is_reference]
 
     report = {
-        "bench": "BENCH_7",
+        "bench": "BENCH_8",
         "quick": args.quick,
         "machine": {
             "python": platform.python_version(),
@@ -404,6 +520,9 @@ def main(argv=None) -> int:
     report["serve"] = bench_serve(args.quick)
     print("[bench] fsp: adaptive projection vs. full enumeration")
     report["fsp"] = bench_fsp(args.quick)
+    print("[bench] sharded: barrier scaling"
+          + ("" if args.quick else " + phage-lambda capacity solve"))
+    report["sharded"] = bench_sharded(args.quick)
 
     # The JIT backend the gates grade: the one with the best worst-case
     # spmm amortization (there is normally exactly one — "native").
@@ -427,7 +546,21 @@ def main(argv=None) -> int:
         "fsp_truncation_target": report["fsp"]["fsp_tol"],
         "fsp_projection_fraction": report["fsp"]["projection_fraction"],
         "fsp_projection_target": "< 1.0 (strictly below full enumeration)",
+        "sharded_4shard_speedup_x":
+            report["sharded"]["scaling"]["shards"]["4"]
+                  ["speedup_vs_1shard_x"],
+        "sharded_4shard_target_x":
+            "1.5 (only meaningful with >= 4 CPUs; this machine has "
+            f"{os.cpu_count()})",
     }
+    if "capacity" in report["sharded"]:
+        cap = report["sharded"]["capacity"]
+        report["acceptance"].update({
+            "sharded_capacity_ratio_x": cap["capacity_ratio_x"],
+            "sharded_capacity_target_x": 10.0,
+            "sharded_capacity_stop_reason": cap["stop_reason"],
+            "sharded_capacity_residual": cap["residual"],
+        })
     if gate_backend is not None:
         report["acceptance"].update({
             "gate_backend": gate_backend,
@@ -473,6 +606,23 @@ def main(argv=None) -> int:
               f"{fsp['fsp_tol']:.1e} on "
               f"{fsp['adaptive']['final_states']}/"
               f"{fsp['full']['states']} states")
+
+    if args.check_sharded:
+        measured = (report["sharded"]["scaling"]["shards"]["4"]
+                    ["speedup_vs_1shard_x"])
+        cpus = os.cpu_count() or 1
+        if cpus >= 4:
+            if measured < 1.5:
+                print(f"[bench] FAIL: sharded gate — 4-shard speedup "
+                      f"{measured}x < 1.5x on a {cpus}-cpu machine",
+                      file=sys.stderr)
+                return 1
+            print(f"[bench] sharded gate: 4-shard speedup {measured}x "
+                  f">= 1.5x")
+        else:
+            print(f"[bench] sharded gate: recorded {measured}x but not "
+                  f"enforced — {cpus} cpu(s) < 4 shards, scaling cannot "
+                  f"be meaningful here")
 
     if args.check_spmm is not None:
         if gate_backend is None:

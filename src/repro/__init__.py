@@ -130,8 +130,11 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
         A :class:`ReactionNetwork`, or the generator matrix itself.
     method:
         ``"jacobi"`` (the paper's solver), ``"gauss-seidel"``,
-        ``"power"`` or ``"resilient"`` (the self-healing
-        jacobi → gauss-seidel → gmres fallback chain).
+        ``"power"``, ``"resilient"`` (the self-healing
+        jacobi → gauss-seidel → gmres fallback chain) or ``"sharded"``
+        (domain-decomposed Jacobi across a process pool; accepts
+        ``shards=`` and ``sync="barrier"|"chaotic"`` via
+        ``solver_kwargs``/``options``).
     format:
         Optional device sparse format to hold the system in before
         solving — any :data:`~repro.sparse.conversion.FORMAT_REGISTRY`

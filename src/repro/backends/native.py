@@ -326,6 +326,36 @@ void csr_jacobi_sweep(int64_t n, int64_t kr, const int64_t *indptr,
     }
 }
 
+/* Row-block variant of the scalar sweep for the sharded solver: the
+ * caller owns rows [row0, row0 + m) of the global system as a
+ * rectangular (m, n) CSR slice and reads the full-length x.  Same
+ * accumulation order and update expression as csr_jacobi_sweep's
+ * kr == 1 path, so the owned block stays bitwise equal to the
+ * corresponding slice of a whole-matrix sweep. */
+void csr_jacobi_sweep_block(int64_t m, int64_t row0, const int64_t *indptr,
+                            const int32_t *cols, const double *vals,
+                            const double *diag, const double *x,
+                            double damping, double *out)
+{
+    const double om = 1.0 - damping;
+    int64_t i;
+    #pragma omp parallel for schedule(static)
+    for (i = 0; i < m; ++i) {
+        double sum = 0.0;
+        const double d = diag[i];
+        const double xi = x[row0 + i];
+        int64_t jj;
+        for (jj = indptr[i]; jj < indptr[i + 1]; ++jj)
+            sum += vals[jj] * x[cols[jj]];
+        if (damping == 1.0) {
+            out[i] = (d * xi - sum) / d;
+        } else {
+            const double t = (d * xi - sum) / d;
+            out[i] = om * xi + damping * t;
+        }
+    }
+}
+
 /* Fused kernels over m stacked systems sharing one sparsity pattern
  * (same indptr/cols, different values) — the parameter-sweep workload.
  *
@@ -727,6 +757,9 @@ def _bind(lib) -> None:
     lib.csr_jacobi_sweep.argtypes = [ctypes.c_int64, ctypes.c_int64, _I64,
                                      _I32, _F64, _F64, _F64,
                                      ctypes.c_double, _F64]
+    lib.csr_jacobi_sweep_block.argtypes = [ctypes.c_int64, ctypes.c_int64,
+                                           _I64, _I32, _F64, _F64, _F64,
+                                           ctypes.c_double, _F64]
     lib.csr_jacobi_sweep_stacked.argtypes = [
         ctypes.c_int64, ctypes.c_int64, _I64, _I32, _F64, _I64, _F64,
         _F64, ctypes.c_double, _F64]
@@ -740,6 +773,7 @@ def _bind(lib) -> None:
     for name in ("csr_spmv", "csr_spmm", "ell_spmv", "ell_spmm",
                  "ellr_spmv", "ellr_spmm", "sell_spmv", "sell_spmm",
                  "dia_spmv", "dia_spmm", "csr_jacobi_sweep",
+                 "csr_jacobi_sweep_block",
                  "csr_jacobi_sweep_stacked", "csr_spmv_stacked", "axpby"):
         getattr(lib, name).restype = None
 
@@ -1181,6 +1215,33 @@ class NativeBackend:
                              _cached_p64(ptrs, X),
                              float(damping),
                              _cached_p64(ptrs, out))
+        return out
+
+    def jacobi_sweep_block(self, local, diag: np.ndarray, x: np.ndarray,
+                           row_start: int,
+                           damping: float = 1.0) -> np.ndarray:
+        """Row-block sweep for the sharded solver (see the reference).
+
+        *local* is the owned rows' rectangular ``(m, n)`` CSR slice,
+        *x* the full-length iterate.  Falls back to the reference
+        formula for non-CSR slices.  An extension method discovered
+        via ``getattr`` (not part of the core protocol ops).
+        """
+        if not (sp.issparse(local) and local.format == "csr"):
+            from repro.backends.reference import NumpyBackend
+            return NumpyBackend().jacobi_sweep_block(
+                local, diag, x, row_start, damping)
+        lib = get_library()
+        _, _, _, pi, pc, pv = _csr_arrays(local)
+        diag = _f64(diag)
+        x = _f64(x)
+        out = np.empty(local.shape[0], dtype=np.float64)
+        ptrs = _vec_ptr_cache(local)
+        lib.csr_jacobi_sweep_block(local.shape[0], int(row_start),
+                                   pi, pc, pv,
+                                   _cached_p64(ptrs, diag),
+                                   _cached_p64(ptrs, x),
+                                   float(damping), _p64(out))
         return out
 
     def can_stack(self, systems) -> bool:

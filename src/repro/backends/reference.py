@@ -73,6 +73,26 @@ class NumpyBackend:
             np.add(B, S, out=S)
         return S
 
+    def jacobi_sweep_block(self, local, diag: np.ndarray, x: np.ndarray,
+                           row_start: int,
+                           damping: float = 1.0) -> np.ndarray:
+        """Row-block Jacobi sweep for the sharded solver.
+
+        *local* is the rectangular ``(m, n)`` slice of the generator
+        owning rows ``[row_start, row_start + m)``; *x* is the
+        full-length iterate and *diag* the owned rows' diagonal.
+        Returns the updated owned block.  Because elementwise ufuncs
+        are value-wise, the result is bitwise equal to the owned slice
+        of a full :meth:`jacobi_sweep` on the whole matrix — the
+        property the barrier-mode parity guarantee rests on.
+        """
+        y = local @ x
+        xb = x[row_start:row_start + diag.shape[0]]
+        new = -(y - diag * xb) / diag
+        if damping != 1.0:
+            new = (1.0 - damping) * xb + damping * new
+        return new
+
     def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray,
              beta: float = 1.0,
              out: np.ndarray | None = None) -> np.ndarray:

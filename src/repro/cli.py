@@ -75,6 +75,11 @@ def cmd_solve(args) -> int:
     kwargs = {}
     if args.damping is not None:
         kwargs["damping"] = args.damping
+    if args.method == "sharded":
+        kwargs["shards"] = args.shards if args.shards is not None else 2
+        kwargs["sync"] = args.sync if args.sync is not None else "barrier"
+    elif args.shards is not None or args.sync is not None:
+        print("note: --shards/--sync only apply to --method sharded")
 
     chaos = contextlib.nullcontext()
     if args.inject_faults:
@@ -396,9 +401,17 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iterations", type=int, default=200_000)
     p.add_argument("--damping", type=float, default=None)
     p.add_argument("--method", default="jacobi",
-                   choices=["jacobi", "gauss-seidel", "power", "resilient"],
+                   choices=["jacobi", "gauss-seidel", "power", "resilient",
+                            "sharded"],
                    help="solver method (resilient = jacobi -> gauss-seidel "
-                        "-> gmres fallback chain)")
+                        "-> gmres fallback chain; sharded = "
+                        "domain-decomposed Jacobi across a process pool)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker count for --method sharded (default 2)")
+    p.add_argument("--sync", choices=["barrier", "chaotic"], default=None,
+                   help="sharded sync mode: barrier is bitwise-equal to "
+                        "serial jacobi, chaotic relaxes asynchronously "
+                        "(default barrier)")
     p.add_argument("--inject-faults", metavar="PLAN.json", default=None,
                    help="run the solve under a seeded fault-injection plan")
     p.add_argument("--fault-seed", type=int, default=None,

@@ -74,7 +74,12 @@ class CSRDIABaseline:
         return self.dia.spmv(x) + self.csr.spmv(x)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Fast product path used by solver inner loops."""
+        """Fast product path used by solver inner loops.
+
+        Routes the CSR remainder through the ``matvec`` alias (cached
+        SciPy product under the reference backend, the dispatched
+        ``spmv`` kernel otherwise — see ``repro.sparse.base``).
+        """
         return self.dia.spmv(x) + self.csr.matvec(x)
 
     def jacobi_step(self, x: np.ndarray) -> np.ndarray:

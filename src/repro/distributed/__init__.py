@@ -1,0 +1,22 @@
+"""Domain-decomposed (sharded) steady-state solving.
+
+The executional counterpart of :mod:`repro.multigpu`'s analytic
+multi-device model: :class:`ShardedJacobiSolver` actually runs the
+partitioned Jacobi iteration across a pool of worker processes with
+shared-memory halo exchange, in either barrier (bitwise-serial) or
+chaotic (asynchronous) synchronization.  Registered as
+``method="sharded"`` in :data:`repro.solvers.SOLVER_REGISTRY`.
+
+See DESIGN.md §14 for the partition contract, the halo-exchange
+protocol and the barrier-vs-chaotic semantics.
+"""
+
+from repro.distributed.plan import WorkerSpec, build_specs
+from repro.distributed.sharded import SYNC_MODES, ShardedJacobiSolver
+
+__all__ = [
+    "SYNC_MODES",
+    "ShardedJacobiSolver",
+    "WorkerSpec",
+    "build_specs",
+]

@@ -8,6 +8,11 @@ warp-grained ELL+DIA kernel, and between iterations the devices exchange
 the halo entries of ``x`` their off-block columns reference.  The
 performance model combines the per-device kernel estimate with the
 measured halo volume over an interconnect bandwidth.
+
+This subpackage *models* the decomposition; :mod:`repro.distributed`
+*executes* it — the same :func:`partition_rows` blocks run in real
+worker processes over shared memory (``method="sharded"``), with
+barrier and chaotic sync modes (DESIGN.md §14).
 """
 
 from repro.multigpu.partition import Partition, partition_rows

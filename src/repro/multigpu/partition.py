@@ -4,6 +4,14 @@ The DFS ordering that gives single-GPU kernels their diagonal band also
 makes contiguous row blocks a good partition: most transitions stay
 within a block, and the halo — the ``x`` entries a block's off-diagonal
 columns reference on other devices — is small relative to the block.
+
+Both consumers share this one partitioner: the :mod:`repro.multigpu`
+cluster *model* and the :mod:`repro.distributed` sharded solver that
+runs the blocks in real worker processes.  The latter leans on two
+contracts verified in ``tests/multigpu/test_partition_edges.py``: no
+block is ever empty (even under skewed nonzero distributions), and
+``halo_columns`` is exactly the sorted set of out-of-block columns
+regardless of row ordering.
 """
 
 from __future__ import annotations
@@ -73,9 +81,13 @@ def partition_rows(A, n_devices: int) -> list[Partition]:
         target = total * d // n_devices
         cuts.append(int(np.searchsorted(nnz_prefix, target)))
     cuts.append(n)
-    # Guard degenerate empty blocks from skewed distributions.
-    for i in range(1, len(cuts)):
-        cuts[i] = max(cuts[i], cuts[i - 1] + 1) if cuts[i - 1] + 1 <= n else n
+    # Guard degenerate empty blocks from skewed distributions: each cut
+    # must leave at least one row behind it (a heavy *early* row pushes
+    # cuts forward) and at least one row per remaining block ahead of
+    # it (a heavy *late* row drags every prefix target to the end).
+    for i in range(1, n_devices):
+        cuts[i] = max(cuts[i], cuts[i - 1] + 1)
+        cuts[i] = min(cuts[i], n - (n_devices - i))
     cuts[-1] = n
 
     parts = []

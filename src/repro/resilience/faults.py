@@ -25,6 +25,16 @@ Injection sites
 ``serve.cache``
     Drop a cache read (kind ``miss``): the serving layer treats the
     lookup as a miss and recomputes.
+``shard.worker``
+    Kill (kind ``kill``) or stall (kind ``stall``) one shard worker of
+    the sharded Jacobi solver at the start of a sweep.  Indices match
+    the shard's cumulative *attempted* sweep counter, which lives in
+    shared memory and survives a respawn — a one-shot kill fires once,
+    not on every reincarnation.  The schedule is evaluated
+    independently per shard: ``at=30, count=1`` kills *every* shard
+    that reaches sweep 30, once each.  The plan travels to the worker
+    processes as JSON inside the worker spec, because the
+    process-global injector does not cross process boundaries.
 
 Install an injector process-wide with :func:`install`/:func:`uninstall`
 or the :func:`injecting` context manager (mirroring
@@ -56,7 +66,8 @@ from repro.telemetry import tracing
 from repro.telemetry.metrics import get_registry
 
 #: Every site an injector knows how to hit.
-SITES = ("solver.iterate", "gpusim.launch", "serve.worker", "serve.cache")
+SITES = ("solver.iterate", "gpusim.launch", "serve.worker", "serve.cache",
+         "shard.worker")
 
 #: Fault kinds accepted per site.
 SITE_KINDS = {
@@ -64,12 +75,14 @@ SITE_KINDS = {
     "gpusim.launch": ("raise",),
     "serve.worker": ("kill", "stall"),
     "serve.cache": ("miss",),
+    "shard.worker": ("kill", "stall"),
 }
 
 #: The error a failing site raises (kinds ``raise``/``kill``).
 SITE_ERRORS = {
     "gpusim.launch": KernelLaunchError,
     "serve.worker": WorkerCrashError,
+    "shard.worker": WorkerCrashError,
 }
 
 

@@ -36,6 +36,9 @@ from repro.solvers.result import SolverResult
 SOLVER_OPTION_KEYS = frozenset({
     "damping", "check_interval", "normalize_interval", "stagnation_tol",
     "step",
+    # method="sharded" knobs, rejected by the other solvers' ctors only
+    # if actually passed — the service forwards options verbatim.
+    "shards", "sync",
 })
 
 

@@ -189,9 +189,9 @@ class SolveService:
         retry, or a configured policy.
     method:
         Solver method (a :data:`repro.solvers.SOLVER_REGISTRY` key:
-        ``"jacobi"``, ``"gauss-seidel"``, ``"power"`` or
-        ``"resilient"``) — or ``"fsp"`` for adaptive Finite State
-        Projection.  FSP jobs never enumerate the full buffered space:
+        ``"jacobi"``, ``"gauss-seidel"``, ``"power"``, ``"resilient"``
+        or ``"sharded"``, the domain-decomposed process-pool Jacobi) —
+        or ``"fsp"`` for adaptive Finite State Projection.  FSP jobs never enumerate the full buffered space:
         each runs the :class:`repro.fsp.AdaptiveFspController`
         projection loop and answers with a landscape over the final
         projection plus a certified ``truncation_mass``; the full-space

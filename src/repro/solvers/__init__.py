@@ -19,6 +19,10 @@
 * :class:`~repro.resilience.resilient.ResilientSolver` — the
   self-healing fallback chain (jacobi → gauss-seidel → gmres),
   registered as ``"resilient"``.
+* :class:`~repro.distributed.sharded.ShardedJacobiSolver` — the
+  domain-decomposed Jacobi iteration across a pool of worker
+  processes with shared-memory halo exchange (barrier or chaotic
+  sync), registered as ``"sharded"``.  See DESIGN.md §14.
 """
 
 from repro.solvers.result import SolverResult, StopReason
@@ -41,13 +45,17 @@ SOLVER_REGISTRY = {
 }
 
 # Imported after the registry exists: the resilient solver's module
-# resolves its fallback chain through SOLVER_REGISTRY at solve time.
+# resolves its fallback chain through SOLVER_REGISTRY at solve time,
+# and the sharded solver imports the base/stopping machinery above.
 from repro.resilience.resilient import ResilientSolver  # noqa: E402
+from repro.distributed.sharded import ShardedJacobiSolver  # noqa: E402
 
 SOLVER_REGISTRY["resilient"] = ResilientSolver
+SOLVER_REGISTRY["sharded"] = ShardedJacobiSolver
 
 __all__ = [
     "ResilientSolver",
+    "ShardedJacobiSolver",
     "SolverResult",
     "StopReason",
     "StoppingCriterion",

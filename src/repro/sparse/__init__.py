@@ -17,10 +17,15 @@ uses or compares against:
                      format belongs to (ablation studies)
 ==================  =====================================================
 
-All formats share the :class:`SparseFormat` interface: a format-faithful
-``spmv`` (the exact arithmetic a GPU kernel would perform), a fast cached
-``matvec`` for solver inner loops, byte-exact device ``footprint``
-accounting, and lossless conversion to/from :mod:`scipy.sparse`.
+All formats share the :class:`SparseFormat` interface: ``spmv(x)`` and
+``spmm(X)`` are the two documented product entry points, each validating
+once and dispatching to the selected :mod:`repro.backends` kernel (the
+reference backend runs the format-faithful traversal — the exact
+arithmetic a GPU kernel would perform); ``matvec``/``matmat`` survive
+only as thin aliases of them (see :mod:`repro.sparse.base` for the
+alias and deprecation policy).  Every format also provides byte-exact
+device ``footprint`` accounting and lossless conversion to/from
+:mod:`scipy.sparse`.
 """
 
 from repro.sparse.base import SparseFormat

@@ -78,6 +78,13 @@ class SparseFormat(abc.ABC):
         they are deprecated: the shim warns once per class, installs the
         override as the class's reference kernel, and removes the
         shadowing name so base-class dispatch wins again.
+
+        Removal policy: the shim is kept for two release cycles after
+        the backend redesign (through the 0.x series) and is then
+        deleted — at that point a direct ``spmv``/``spmm`` override
+        raises ``TypeError`` at class-definition time instead of being
+        adopted.  New formats must implement ``_reference_spmv`` (and
+        optionally ``_reference_spmm``) from the start.
         """
         super().__init_subclass__(**kwargs)
         for legacy, target in (("spmv", "_reference_spmv"),

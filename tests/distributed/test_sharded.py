@@ -1,0 +1,229 @@
+"""The sharded (domain-decomposed) Jacobi solver.
+
+The load-bearing property is *barrier-mode bitwise parity*: with
+``sync="barrier"`` every iterate, residual and stop decision must equal
+the serial :class:`JacobiSolver`'s exactly — same partition-invariant
+floating-point operations in the same order (see DESIGN.md §14 for why
+the rectangular row-block product makes this possible).  Chaotic mode
+only promises *verified* convergence: whatever interleaving the workers
+ran, the reported residual is recomputed from a synchronized product.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cme.models.brusselator import brusselator
+from repro.cme.models.phage_lambda import phage_lambda
+from repro.cme.models.schnakenberg import schnakenberg
+from repro.cme.models.toggle_switch import toggle_switch
+from repro.cme.ratematrix import build_rate_matrix
+from repro.cme.statespace import enumerate_state_space
+from repro.distributed import ShardedJacobiSolver
+from repro.errors import ValidationError, WorkerCrashError
+from repro.resilience.faults import FaultPlan, FaultSpec, injecting
+from repro.resilience.guardrails import GuardrailPolicy
+from repro.solvers import SOLVER_REGISTRY, JacobiSolver, StopReason
+
+#: Pool width of the convergence tests — the CI sharded leg runs the
+#: suite at 2 and 4 workers via this knob; parity tests keep their own
+#: explicit shard counts (parity must hold at every width regardless).
+POOL = int(os.environ.get("REPRO_TEST_SHARDS", "2"))
+
+
+@pytest.fixture(scope="module")
+def toggle_matrix():
+    return build_rate_matrix(
+        enumerate_state_space(toggle_switch(max_protein=10)))
+
+
+def assert_identical(serial, sharded):
+    """Bitwise-identical solves: iterate, diagnostics and history."""
+    assert sharded.stop_reason == serial.stop_reason
+    assert sharded.iterations == serial.iterations
+    assert sharded.residual == serial.residual
+    assert sharded.residual_history == serial.residual_history
+    np.testing.assert_array_equal(sharded.x, serial.x)
+
+
+class TestBarrierParity:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_bitwise_equal_to_serial_jacobi(self, shards, toggle_matrix):
+        kw = dict(tol=1e-10, max_iterations=1000, check_interval=50,
+                  damping=0.9)
+        serial = JacobiSolver(toggle_matrix, **kw).solve()
+        sharded = ShardedJacobiSolver(toggle_matrix, shards=shards,
+                                      sync="barrier", **kw).solve()
+        assert serial.stop_reason is StopReason.CONVERGED
+        assert_identical(serial, sharded)
+
+    def test_fixed_budget_parity(self, toggle_matrix):
+        """Every iterate matches, not just the converged fixed point."""
+        kw = dict(tol=1e-300, max_iterations=60, check_interval=20,
+                  stagnation_tol=None)
+        serial = JacobiSolver(toggle_matrix, **kw).solve()
+        sharded = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                      sync="barrier", **kw).solve()
+        assert serial.stop_reason is StopReason.MAX_ITERATIONS
+        assert_identical(serial, sharded)
+
+    def test_undamped_parity(self, toggle_matrix):
+        kw = dict(tol=1e-300, max_iterations=40, check_interval=40,
+                  stagnation_tol=None)
+        serial = JacobiSolver(toggle_matrix, **kw).solve()
+        sharded = ShardedJacobiSolver(toggle_matrix, shards=3,
+                                      sync="barrier", **kw).solve()
+        assert_identical(serial, sharded)
+
+    def test_warm_start_converged_input_skips_the_pool(self, toggle_matrix):
+        kw = dict(tol=1e-10, max_iterations=1000, check_interval=50,
+                  damping=0.9)
+        donor = JacobiSolver(toggle_matrix, **kw).solve()
+        warm = ShardedJacobiSolver(toggle_matrix, shards=2, **kw).solve(
+            x0=donor.x)
+        assert warm.stop_reason is StopReason.CONVERGED
+        assert warm.iterations == 0
+
+    def test_warm_start_parity(self, toggle_matrix):
+        """A non-converged x0 goes through the pool, bitwise-serial."""
+        x0 = np.full(toggle_matrix.shape[0], 1.0)
+        x0[0] = 5.0
+        kw = dict(tol=1e-10, max_iterations=1000, check_interval=50,
+                  damping=0.9)
+        serial = JacobiSolver(toggle_matrix, **kw).solve(x0=x0)
+        sharded = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                      sync="barrier", **kw).solve(x0=x0)
+        assert_identical(serial, sharded)
+
+
+class TestChaotic:
+    @pytest.mark.parametrize("build", [
+        lambda: toggle_switch(max_protein=8),
+        lambda: brusselator(max_x=10, max_y=5),
+        lambda: schnakenberg(max_x=10, max_y=5),
+        lambda: phage_lambda(max_monomer=4, max_dimer=2),
+    ], ids=["toggle_switch", "brusselator", "schnakenberg", "phage_lambda"])
+    def test_converges_on_paper_models(self, build):
+        A = build_rate_matrix(enumerate_state_space(build()))
+        tol = 1e-8
+        result = ShardedJacobiSolver(
+            A, shards=POOL, sync="chaotic", tol=tol,
+            max_iterations=100_000, check_interval=100,
+            damping=0.8).solve()
+        assert result.stop_reason is StopReason.CONVERGED
+        # The residual is *verified*: recomputed from a synchronized
+        # product after the pause, never the workers' stale estimate.
+        assert result.residual <= tol
+        assert result.x.min() >= 0.0
+        assert np.isclose(result.x.sum(), 1.0)
+
+    def test_reports_staleness_and_traffic(self, toggle_matrix):
+        result = ShardedJacobiSolver(
+            toggle_matrix, shards=POOL, sync="chaotic", tol=1e-8,
+            max_iterations=100_000, check_interval=100,
+            damping=0.8).solve()
+        info = result.sharding
+        assert info["sync"] == "chaotic"
+        assert len(info["sweeps"]) == POOL
+        assert all(s > 0 for s in info["sweeps"])
+        assert all(b >= 0 for b in info["halo_bytes"])
+        assert all(s >= 0 for s in info["staleness"])
+
+
+class TestShardingDiagnostics:
+    def test_result_carries_partition_and_traffic(self, toggle_matrix):
+        result = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                     sync="barrier", tol=1e-10,
+                                     damping=0.9).solve()
+        info = result.sharding
+        n = toggle_matrix.shape[0]
+        assert info["shards"] == 2
+        assert info["sync"] == "barrier"
+        rows = info["rows"]
+        assert rows[0][0] == 0 and rows[-1][1] == n
+        assert all(a < b for a, b in rows)
+        # Both shards swept every iteration and moved halo bytes.
+        assert info["sweeps"] == [result.iterations] * 2
+        assert all(b > 0 for b in info["halo_bytes"])
+        assert info["respawns"] == 0
+
+    def test_emits_shard_spans(self, toggle_matrix):
+        from repro.telemetry import tracing
+        rec = tracing.TraceRecorder()
+        with tracing.recording(rec):
+            ShardedJacobiSolver(toggle_matrix, shards=2, tol=1e-10,
+                                damping=0.9).solve()
+        names = [e["name"] for e in rec.events]
+        assert "sharded.solve" in names
+        assert "shard.sweep" in names
+        assert "shard.halo_exchange" in names
+
+
+class TestFaults:
+    def test_worker_kill_is_recovered(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="kill",
+                                    at=20)])
+        kw = dict(tol=1e-10, max_iterations=5000, check_interval=50,
+                  damping=0.9)
+        serial = JacobiSolver(toggle_matrix, **kw).solve()
+        with injecting(plan):
+            result = ShardedJacobiSolver(
+                toggle_matrix, shards=2, sync="barrier", **kw).solve(
+                    guardrails=GuardrailPolicy(max_recoveries=4))
+        assert result.stop_reason is StopReason.CONVERGED
+        assert result.recovery is not None
+        assert result.recovery.rollbacks >= 1
+        assert result.sharding["respawns"] >= 1
+        # Recovery rolls back to a checkpoint but lands on the same
+        # fixed point.
+        np.testing.assert_allclose(result.x, serial.x, atol=1e-9)
+
+    def test_kill_without_guardrails_raises(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="kill",
+                                    at=5)])
+        with injecting(plan):
+            with pytest.raises(WorkerCrashError):
+                ShardedJacobiSolver(toggle_matrix, shards=2,
+                                    tol=1e-10, damping=0.9).solve(
+                                        guardrails=False)
+
+    def test_stall_only_delays(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="stall",
+                                    at=10, delay_s=0.05)])
+        kw = dict(tol=1e-10, max_iterations=1000, check_interval=50,
+                  damping=0.9)
+        serial = JacobiSolver(toggle_matrix, **kw).solve()
+        with injecting(plan):
+            result = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                         sync="barrier", **kw).solve()
+        # A stall is pure latency: the arithmetic is untouched.
+        assert_identical(serial, result)
+
+
+class TestValidationAndWiring:
+    def test_rejects_bad_options(self, toggle_matrix):
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, sync="eventually")
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, shards=0)
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix,
+                                shards=toggle_matrix.shape[0] + 1)
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, start_method="threads")
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, damping=0.0)
+
+    def test_registered_as_sharded(self):
+        assert SOLVER_REGISTRY["sharded"] is ShardedJacobiSolver
+
+    def test_solve_steady_state_method(self):
+        from repro import solve_steady_state
+        result = solve_steady_state(toggle_switch(max_protein=6),
+                                    "sharded", tol=1e-9, damping=0.9,
+                                    shards=2)
+        assert result.stop_reason is StopReason.CONVERGED
+        assert result.landscape is not None

@@ -1,0 +1,106 @@
+"""Edge cases of ``partition_rows`` the sharded solver leans on.
+
+The sharded solver (``repro.distributed``) trusts three properties
+beyond the basics covered in ``test_multigpu.py``: over-splitting is
+rejected (not silently padded with empty shards), skewed nonzero
+distributions never produce an empty block, and halos stay exact when
+the matrix ordering is permuted away from the DFS band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.multigpu.partition import distributed_jacobi_step, partition_rows
+from repro.sparse.base import as_csr
+
+
+def _diag_dominant(n, density=0.15, seed=5):
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=density, random_state=seed, format="csr")
+    A = A + sp.diags(rng.random(n) + 1.0)
+    return as_csr(A)
+
+
+class TestOverSplitting:
+    def test_more_devices_than_rows_rejected(self):
+        A = _diag_dominant(7)
+        with pytest.raises(ValidationError):
+            partition_rows(A, 8)
+
+    def test_one_device_per_row_is_fine(self):
+        A = _diag_dominant(7)
+        parts = partition_rows(A, 7)
+        assert [p.n_rows for p in parts] == [1] * 7
+        assert [p.row_start for p in parts] == list(range(7))
+
+
+class TestSkewedDistributions:
+    def test_dense_first_row_leaves_no_empty_shard(self):
+        """One row holding most nonzeros must not starve later cuts."""
+        n = 24
+        rows = [np.ones(n)] + [np.zeros(n) for _ in range(n - 1)]
+        A = sp.csr_matrix(np.vstack(rows)) + sp.eye(n, format="csr") * 2.0
+        parts = partition_rows(as_csr(A), 4)
+        assert all(p.n_rows >= 1 for p in parts)
+        assert parts[0].row_start == 0 and parts[-1].row_stop == n
+        for prev, nxt in zip(parts, parts[1:]):
+            assert prev.row_stop == nxt.row_start
+
+    def test_dense_last_row(self):
+        n = 24
+        rows = [np.zeros(n) for _ in range(n - 1)] + [np.ones(n)]
+        A = sp.csr_matrix(np.vstack(rows)) + sp.eye(n, format="csr") * 2.0
+        parts = partition_rows(as_csr(A), 4)
+        assert all(p.n_rows >= 1 for p in parts)
+        assert sum(p.n_rows for p in parts) == n
+
+
+class TestPermutedOrdering:
+    """Halo exactness must not depend on the DFS diagonal band."""
+
+    def _permuted(self, n=60, seed=9):
+        A = _diag_dominant(n, seed=seed)
+        perm = np.random.default_rng(seed).permutation(n)
+        return as_csr(A[perm][:, perm])
+
+    def test_halo_is_exactly_the_out_of_block_columns(self):
+        A = self._permuted()
+        for part in partition_rows(A, 3):
+            lo, hi = part.row_start, part.row_stop
+            cols = np.unique(part.local.indices)
+            outside = cols[(cols < lo) | (cols >= hi)]
+            np.testing.assert_array_equal(part.halo_columns, outside)
+            # Sorted, unique, in-range.
+            assert np.all(np.diff(part.halo_columns) > 0)
+            assert part.halo_columns.size == 0 or (
+                part.halo_columns.min() >= 0
+                and part.halo_columns.max() < A.shape[0])
+
+    def test_distributed_step_matches_serial_on_permuted_matrix(self):
+        A = self._permuted()
+        scipy_A = A
+        diag = scipy_A.diagonal()
+        x = np.random.default_rng(2).random(A.shape[0]) + 0.5
+        serial = -(scipy_A @ x - diag * x) / diag
+        for devices in (1, 2, 5):
+            parts = partition_rows(A, devices)
+            np.testing.assert_array_equal(
+                distributed_jacobi_step(parts, diag, x), serial)
+
+    def test_masking_halo_entries_changes_the_product(self):
+        """The halo is *necessary*: zeroing any halo entry of x breaks
+        the block product, so nothing listed is dead weight."""
+        A = self._permuted(n=40)
+        parts = partition_rows(A, 2)
+        x = np.random.default_rng(3).random(A.shape[0]) + 1.0
+        for part in parts:
+            if not part.halo_size:
+                continue
+            full = part.local @ x
+            masked = x.copy()
+            masked[part.halo_columns] = 0.0
+            assert not np.array_equal(part.local @ masked, full)

@@ -12,6 +12,7 @@ from repro.solvers import (
     JacobiSolver,
     PowerIterationSolver,
     ResilientSolver,
+    ShardedJacobiSolver,
     SolverResult,
     SteadyStateSolver,
     StopReason,
@@ -19,7 +20,7 @@ from repro.solvers import (
 from repro.telemetry import RecordingHooks
 
 ALL_SOLVERS = (JacobiSolver, GaussSeidelSolver, PowerIterationSolver,
-               ResilientSolver)
+               ResilientSolver, ShardedJacobiSolver)
 
 
 def make_solver(cls, matrix, **kwargs):
@@ -30,7 +31,7 @@ def make_solver(cls, matrix, **kwargs):
     API under test is identical either way.  (The resilient chain's
     first member is that same Jacobi, so it gets the damping too.)
     """
-    if cls in (JacobiSolver, ResilientSolver):
+    if cls in (JacobiSolver, ResilientSolver, ShardedJacobiSolver):
         kwargs.setdefault("damping", 0.8)
     return cls(matrix, **kwargs)
 
