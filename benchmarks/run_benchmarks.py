@@ -1,4 +1,4 @@
-"""Tracked benchmark baseline: write ``BENCH_7.json`` at the repo root.
+"""Tracked benchmark baseline: write ``BENCH_9.json`` at the repo root.
 
 Unlike the pytest-benchmark suites next door (which regenerate the
 paper's tables), this script times the *engineering* surfaces this
@@ -46,7 +46,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
     PYTHONPATH=src python benchmarks/run_benchmarks.py \
         --quick --check-memo-speedup 5 --check-fsp --check-spmm 1.0 \
-        --check-sharded
+        --check-sharded --check-checkpoint 5
 
 ``--check-sharded`` exits nonzero when 4-shard barrier scaling falls
 below 1.5× the 1-shard time — enforced only on machines with >= 4
@@ -450,14 +450,111 @@ def bench_sharded(quick: bool) -> dict:
     return out
 
 
+def bench_durability(quick: bool) -> dict:
+    """Checkpoint overhead at the default cadence, on phage lambda.
+
+    Two identical fixed-budget Jacobi solves on the full default
+    phage-lambda generator — one plain, one writing durable
+    checkpoints every 1000 iterations (the default
+    :class:`~repro.durability.CheckpointPolicy` cadence) — timed
+    best-of-N.  The acceptance number is the relative wall-time
+    overhead of the checkpointed run, which the ``--check-checkpoint``
+    gate holds under 5%.  A journal-append throughput sample rides
+    along for scale.
+    """
+    import tempfile
+
+    from repro.durability import (
+        CheckpointPolicy,
+        Checkpointer,
+        JobJournal,
+        system_signature,
+    )
+    from repro.sparse.conversion import to_scipy
+
+    net = phage_lambda()
+    A = build_rate_matrix(enumerate_state_space(net))
+    iters = 1200 if quick else 3000
+    cadence = 1000
+    repeats = 3
+    kwargs = dict(tol=1e-300, max_iterations=iters, stagnation_tol=None,
+                  check_interval=100)
+    signature = system_signature(as_csr(to_scipy(A)), method="jacobi",
+                                 tol=1e-300)
+
+    def best(run):
+        return min(_timed(run) for _ in range(repeats))
+
+    def _timed(run):
+        t0 = time.perf_counter()
+        run()
+        return time.perf_counter() - t0
+
+    plain_s = best(lambda: JacobiSolver(A, **kwargs).solve())
+
+    saves = 0
+    checkpoint_bytes = 0
+
+    def checkpointed():
+        nonlocal saves, checkpoint_bytes
+        with tempfile.TemporaryDirectory() as tmp:
+            ck = Checkpointer(
+                tmp, signature=signature,
+                policy=CheckpointPolicy(every_iterations=cadence,
+                                        keep_last=3))
+            JacobiSolver(A, **kwargs).solve(checkpointer=ck)
+            saves = ck.saves
+            checkpoint_bytes = max(
+                (p.stat().st_size for p in ck.files()), default=0)
+
+    checkpointed_s = best(checkpointed)
+    overhead_pct = max(0.0, (checkpointed_s - plain_s) / plain_s * 100.0)
+
+    appends = 2000
+    with tempfile.TemporaryDirectory() as tmp:
+        with JobJournal(Path(tmp) / "bench.journal", fsync=False) as j:
+            t0 = time.perf_counter()
+            for i in range(appends):
+                j.accepted(f"k{i}", {"i": i})
+            nofsync_s = time.perf_counter() - t0
+        with JobJournal(Path(tmp) / "fsync.journal", fsync=True) as j:
+            t0 = time.perf_counter()
+            for i in range(100):
+                j.accepted(f"k{i}", {"i": i})
+            fsync_s = time.perf_counter() - t0
+
+    return {
+        "includes": f"fixed {iters}-iteration Jacobi solves on one "
+                    "prebuilt system, best of "
+                    f"{repeats}; the checkpointed run writes durable "
+                    f"snapshots every {cadence} iterations into a "
+                    "fresh temp directory",
+        "model": "phage_lambda",
+        "n": A.shape[0],
+        "nnz": int(A.nnz),
+        "iterations": iters,
+        "cadence_iterations": cadence,
+        "repeats": repeats,
+        "plain_s": round(plain_s, 4),
+        "checkpointed_s": round(checkpointed_s, 4),
+        "saves_per_run": saves,
+        "checkpoint_bytes": checkpoint_bytes,
+        "overhead_pct": round(overhead_pct, 3),
+        "journal": {
+            "appends_per_s_nofsync": round(appends / nofsync_s, 1),
+            "appends_per_s_fsync": round(100 / fsync_s, 1),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small systems and budgets (CI smoke)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
-                        / "BENCH_8.json",
-                        help="output path (default: BENCH_8.json at root)")
+                        / "BENCH_9.json",
+                        help="output path (default: BENCH_9.json at root)")
     parser.add_argument("--check-memo-speedup", type=float, default=None,
                         metavar="X",
                         help="exit nonzero if memoized gpusim analysis is "
@@ -475,6 +572,11 @@ def main(argv=None) -> int:
                         help="exit nonzero unless 4-shard barrier scaling "
                              "reaches 1.5x the 1-shard time (enforced only "
                              "on machines with >= 4 CPUs)")
+    parser.add_argument("--check-checkpoint", type=float, nargs="?",
+                        const=5.0, default=None, metavar="PCT",
+                        help="exit nonzero if default-cadence checkpoint "
+                             "overhead on the phage-lambda solve exceeds "
+                             "PCT percent of wall time (default 5.0)")
     args = parser.parse_args(argv)
 
     max_protein = 31 if args.quick else 127
@@ -491,7 +593,7 @@ def main(argv=None) -> int:
                  if not backends.get_backend(n).is_reference]
 
     report = {
-        "bench": "BENCH_8",
+        "bench": "BENCH_9",
         "quick": args.quick,
         "machine": {
             "python": platform.python_version(),
@@ -523,6 +625,8 @@ def main(argv=None) -> int:
     print("[bench] sharded: barrier scaling"
           + ("" if args.quick else " + phage-lambda capacity solve"))
     report["sharded"] = bench_sharded(args.quick)
+    print("[bench] durability: checkpoint overhead at default cadence")
+    report["durability"] = bench_durability(args.quick)
 
     # The JIT backend the gates grade: the one with the best worst-case
     # spmm amortization (there is normally exactly one — "native").
@@ -552,6 +656,8 @@ def main(argv=None) -> int:
         "sharded_4shard_target_x":
             "1.5 (only meaningful with >= 4 CPUs; this machine has "
             f"{os.cpu_count()})",
+        "checkpoint_overhead_pct": report["durability"]["overhead_pct"],
+        "checkpoint_overhead_target_pct": 5.0,
     }
     if "capacity" in report["sharded"]:
         cap = report["sharded"]["capacity"]
@@ -623,6 +729,16 @@ def main(argv=None) -> int:
             print(f"[bench] sharded gate: recorded {measured}x but not "
                   f"enforced — {cpus} cpu(s) < 4 shards, scaling cannot "
                   f"be meaningful here")
+
+    if args.check_checkpoint is not None:
+        measured = report["durability"]["overhead_pct"]
+        if measured > args.check_checkpoint:
+            print(f"[bench] FAIL: checkpoint gate — default-cadence "
+                  f"overhead {measured}% > {args.check_checkpoint}%",
+                  file=sys.stderr)
+            return 1
+        print(f"[bench] checkpoint gate: overhead {measured}% <= "
+              f"{args.check_checkpoint}%")
 
     if args.check_spmm is not None:
         if gate_backend is None:

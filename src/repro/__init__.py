@@ -102,6 +102,12 @@ _FORMAT_ALIASES = {
 }
 
 
+#: Front-door methods whose solve loops accept a ``checkpointer=``
+#: (the resilient fallback chain switches solvers mid-flight and has
+#: no single loop state to snapshot).
+_CHECKPOINTABLE_METHODS = ("jacobi", "gauss-seidel", "power", "sharded")
+
+
 def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
                        format: str | None = None,
                        tol: float = 1e-8,
@@ -111,6 +117,11 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
                        hooks=None,
                        solver_kwargs: dict | None = None,
                        max_states: int = 5_000_000,
+                       checkpoint=None,
+                       resume: bool = False,
+                       checkpoint_every: int | None = 1000,
+                       checkpoint_seconds: float | None = None,
+                       checkpoint_keep: int = 3,
                        **options) -> SolverResult:
     """The steady-state front door: one call from model to answer.
 
@@ -155,6 +166,22 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
         ``options``.
     max_states:
         Enumeration safety cap.
+    checkpoint:
+        Optional directory for durable crash-safe checkpoints (see
+        DESIGN.md §15).  The solve writes versioned, checksummed
+        snapshot files there at residual-check boundaries; supported
+        for methods ``"jacobi"``, ``"gauss-seidel"``, ``"power"`` and
+        ``"sharded"``.
+    resume:
+        With ``checkpoint``, first look for the newest intact
+        checkpoint matching this exact system/method/tolerance and
+        continue from it (torn, corrupt or mismatched files are
+        skipped with a warning).  A resumed Jacobi or barrier-sharded
+        solve replays bitwise identically to the uninterrupted run.
+    checkpoint_every, checkpoint_seconds, checkpoint_keep:
+        Cadence (iterations and/or wall-clock seconds) and retention
+        for the checkpoint directory —
+        :class:`repro.durability.CheckpointPolicy`'s fields.
 
     Returns
     -------
@@ -175,6 +202,12 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
             f"unknown method {method!r}; expected one of "
             f"{sorted(SOLVER_REGISTRY)}")
     solver_cls = SOLVER_REGISTRY[method_key]
+    if resume and checkpoint is None:
+        raise ValidationError("resume=True needs a checkpoint directory")
+    if checkpoint is not None and method_key not in _CHECKPOINTABLE_METHODS:
+        raise ValidationError(
+            f"method {method!r} does not support checkpointing; "
+            f"expected one of {list(_CHECKPOINTABLE_METHODS)}")
 
     space = None
     with tracing.span("solve_steady_state", method=method_key):
@@ -208,11 +241,33 @@ def solve_steady_state(network_or_matrix, method: str = "jacobi", *,
         else:
             matrix = A
 
+        checkpointer = None
+        if checkpoint is not None:
+            from repro.durability import (
+                Checkpointer,
+                CheckpointPolicy,
+                system_signature,
+            )
+            from repro.sparse.base import as_csr
+            from repro.sparse.conversion import to_scipy
+            checkpointer = Checkpointer(
+                checkpoint,
+                signature=system_signature(as_csr(to_scipy(A)),
+                                           method=method_key, tol=tol),
+                policy=CheckpointPolicy(
+                    every_iterations=checkpoint_every,
+                    every_seconds=checkpoint_seconds,
+                    keep_last=checkpoint_keep),
+                resume=resume)
+
         merged = {**(solver_kwargs or {}), **options}
         solver = solver_cls(matrix, tol=tol, max_iterations=max_iterations,
                             **merged)
+        solve_kwargs = {}
+        if checkpointer is not None:
+            solve_kwargs["checkpointer"] = checkpointer
         result = solver.solve(x0=x0, time_budget_s=time_budget_s,
-                              hooks=hooks)
+                              hooks=hooks, **solve_kwargs)
     if space is not None:
         result.landscape = ProbabilityLandscape(space, result.x)
     return result

@@ -92,6 +92,14 @@ def cmd_solve(args) -> int:
               f"({len(plan.specs)} spec(s), seed {plan.seed})")
         chaos = injecting(plan)
 
+    if args.checkpoint:
+        kwargs["checkpoint"] = args.checkpoint
+        kwargs["resume"] = args.resume
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    elif args.resume:
+        print("--resume needs --checkpoint DIR", file=sys.stderr)
+        return 2
+
     with chaos:
         result = solve_steady_state(
             network, args.method, tol=args.tol,
@@ -138,6 +146,22 @@ def cmd_fsp(args) -> int:
     print(f"buffered state-space bound: {network.state_space_bound()}")
     solver_options = ({"damping": args.damping}
                       if args.damping is not None else {})
+    checkpointer = None
+    if args.checkpoint:
+        from repro.durability import (
+            Checkpointer,
+            CheckpointPolicy,
+            network_signature,
+        )
+        checkpointer = Checkpointer(
+            args.checkpoint,
+            signature=network_signature(
+                network, extra=f"fsp|{args.fsp_tol}|{args.tol}"),
+            policy=CheckpointPolicy(keep_last=3),
+            resume=args.resume)
+    elif args.resume:
+        print("--resume needs --checkpoint DIR", file=sys.stderr)
+        return 2
     controller = AdaptiveFspController(
         network, fsp_tol=args.fsp_tol, tol=args.tol,
         max_iterations=args.max_iterations, method=args.method,
@@ -145,7 +169,8 @@ def cmd_fsp(args) -> int:
         max_rounds=args.max_rounds, prune_mass=args.prune_mass,
         safety=args.safety, expand_depth=args.expand_depth,
         max_new_states=args.max_new_states)
-    result = controller.solve(time_budget_s=args.timeout)
+    result = controller.solve(time_budget_s=args.timeout,
+                              checkpointer=checkpointer)
 
     table = Table(["round", "states", "added", "pruned", "iters",
                    "residual", "outflux", "bound"],
@@ -269,7 +294,14 @@ def cmd_serve(args) -> int:
         warm_start=not args.cold, warm_audit_interval=args.audit_interval,
         queue_capacity=args.queue_capacity, timeout_s=args.timeout,
         retries=args.retries, tol=args.tol,
-        max_iterations=args.max_iterations, solver_options=kwargs)
+        max_iterations=args.max_iterations, solver_options=kwargs,
+        journal=args.journal)
+    if args.journal:
+        service.install_sigterm_handler(timeout_s=args.timeout)
+        replayed = service.snapshot()["journal_replayed"]
+        if replayed:
+            print(f"replayed {replayed} accepted-but-unfinished "
+                  f"journal entries")
     try:
         for pass_no in range(1, args.passes + 1):
             sweep = ParameterSweep(network, grid)
@@ -346,6 +378,16 @@ def cmd_profile(args) -> int:
     recorder.write(trace_path)
     with open(metrics_path, "w", encoding="utf-8") as fh:
         fh.write(registry.render_prometheus())
+        # The process-wide default registry carries the cross-cutting
+        # counters (durability checkpoint/journal, shard respawns,
+        # injected faults) that never see the profile's private
+        # registry — append them so one .prom file tells the whole
+        # story.
+        from repro.telemetry.metrics import get_registry
+        default = get_registry().render_prometheus()
+        if default.strip():
+            fh.write("\n")
+            fh.write(default)
 
     print(f"{network.name}: {len(space.states)} states, {A.nnz} nonzeros")
     print(f"{result.stop_reason.value} after {result.iterations} "
@@ -416,6 +458,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="run the solve under a seeded fault-injection plan")
     p.add_argument("--fault-seed", type=int, default=None,
                    help="override the fault plan's seed")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="write durable checkpoints to DIR during the "
+                        "solve (see DESIGN.md §15)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest intact checkpoint in "
+                        "--checkpoint DIR")
+    p.add_argument("--checkpoint-every", type=int, default=1000,
+                   help="checkpoint cadence in iterations")
     p.add_argument("--recovery-report", metavar="PATH", default=None,
                    help="write the solve's RecoveryReport JSON here")
     p.add_argument("--no-heatmap", action="store_true")
@@ -450,6 +500,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="certificate cushion multiplier")
     p.add_argument("--expand-depth", type=int, default=2,
                    help="frontier layers grown per round")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="durable per-round checkpoints to DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the projection loop from the newest "
+                        "intact round checkpoint in --checkpoint DIR")
     p.add_argument("--max-new-states", type=int, default=None,
                    help="cap on flux-ranked growth per round")
     p.add_argument("--timeout", type=float, default=None,
@@ -505,6 +560,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--passes", type=int, default=2,
                    help="sweep the grid this many times (later passes "
                         "exercise the cache)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write-ahead job journal: accepted jobs are "
+                        "durably recorded and replayed on restart")
     p.add_argument("--cache-dir", default=None,
                    help="persist solutions to this directory")
     p.add_argument("--queue-capacity", type=int, default=1024)

@@ -224,6 +224,19 @@ class ShardedJacobiSolver(IterativeSolverBase):
         Per-epoch watchdog; a pool that fails to acknowledge within
         this window raises :class:`~repro.errors.WorkerCrashError`
         instead of hanging the solve.
+    respawn_budget:
+        Elastic degradation: how many times any single shard may be
+        respawned before the solver stops trusting that slot and
+        **re-partitions onto one fewer shard** (from the last guardrail
+        checkpoint) instead of respawning forever — a host that keeps
+        OOM-killing one worker degrades to a smaller, working pool.
+        ``None`` (default) keeps the legacy respawn-until-guardrail-
+        budget behaviour; degradations stop at ``min_shards``, below
+        which a crashed worker raises
+        :class:`~repro.errors.WorkerCrashError`.
+    min_shards:
+        Floor of the degradation ladder (default 1: a single surviving
+        shard finishes the solve alone).
 
     ``result.sharding`` carries the distribution telemetry: per-shard
     attempted sweeps, halo traffic, staleness (chaotic), respawn count
@@ -244,7 +257,9 @@ class ShardedJacobiSolver(IterativeSolverBase):
                  damping: float = 1.0,
                  backend=None,
                  start_method: str | None = None,
-                 worker_timeout_s: float = 120.0):
+                 worker_timeout_s: float = 120.0,
+                 respawn_budget: int | None = None,
+                 min_shards: int = 1):
         if sync not in SYNC_MODES:
             raise ValidationError(
                 f"unknown sync mode {sync!r}; expected one of {SYNC_MODES}")
@@ -289,6 +304,17 @@ class ShardedJacobiSolver(IterativeSolverBase):
             backends.resolve(backend)  # fail fast on unknown names
         self.start_method = start_method
         self.worker_timeout_s = float(worker_timeout_s)
+        if respawn_budget is not None and int(respawn_budget) < 0:
+            raise ValidationError(
+                f"respawn_budget must be >= 0 (or None), got {respawn_budget}")
+        self.respawn_budget = (None if respawn_budget is None
+                               else int(respawn_budget))
+        min_shards = int(min_shards)
+        if not 1 <= min_shards <= shards:
+            raise ValidationError(
+                f"min_shards must be in [1, shards={shards}], "
+                f"got {min_shards}")
+        self.min_shards = min_shards
         self.supports_product_step = True
 
     def _select_backend(self):
@@ -299,11 +325,16 @@ class ShardedJacobiSolver(IterativeSolverBase):
 
     def solve(self, x0=None, *, time_budget_s: float | None = None,
               hooks=None, guardrails=None,
-              validate_x0: bool = True) -> SolverResult:
+              validate_x0: bool = True, checkpointer=None) -> SolverResult:
         """Solve on the shard pool (see :meth:`IterativeSolverBase.solve`).
 
         The pool is started lazily — a warm start already within
-        tolerance returns without spawning a single worker.
+        tolerance returns without spawning a single worker.  With a
+        ``checkpointer``, the *parent* writes durable epoch snapshots
+        at residual-check boundaries (iterate + loop state + shard
+        topology); a resumed barrier-mode solve replays bitwise
+        identically, whatever the shard count on either side, because
+        the partition only distributes arithmetic, never changes it.
         """
         from repro.resilience.faults import active_injector
         from repro.resilience.guardrails import (
@@ -354,6 +385,9 @@ class ShardedJacobiSolver(IterativeSolverBase):
         pool: _ShardPool | None = None
         cur = 0          # which iterate buffer holds the current x
         pending = False  # pool.state.y holds A @ x for the current x
+        requested_shards = self.shards
+        per_shard_respawns: dict[int, int] = {}
+        degradations: list[dict] = []
 
         def rollback(kind: str) -> np.ndarray:
             nonlocal recoveries
@@ -370,8 +404,61 @@ class ShardedJacobiSolver(IterativeSolverBase):
         def write_cur(values: np.ndarray) -> None:
             pool.state.x(cur)[:] = values
 
-        def handle_death(shard: int, *, rejoin_current: bool) -> None:
-            """Respawn a crashed worker or give up, per the policy."""
+        def degrade(dead_shard: int) -> None:
+            """Re-partition onto one fewer shard (elastic degradation).
+
+            The old pool is torn down and a fresh one built over
+            ``shards - 1`` nnz-balanced blocks, seeded from the last
+            guardrail checkpoint — the same iterate a plain respawn
+            rolls back to, so barrier-mode bitwise parity with the
+            serial solver survives the topology change (the partition
+            distributes arithmetic, it does not alter it).
+            """
+            nonlocal pool, cur, pending
+            old = pool
+            x_snapshot = (checkpoint.copy() if checkpoint is not None
+                          else old.state.x(cur).copy())
+            entry = {
+                "iteration": iteration,
+                "dead_shard": dead_shard,
+                "from_shards": old.shards,
+                "to_shards": old.shards - 1,
+                "sweeps": [int(v) for v in old.state.sweeps],
+                "halo_bytes": [int(v) for v in old.state.halo_bytes],
+            }
+            prior_respawns = old.respawns
+            old.shutdown()
+            self.shards = old.shards - 1
+            pool = _ShardPool(self, plan_json)
+            pool.respawns = prior_respawns
+            pool.state.x(0)[:] = x_snapshot
+            # Carry the chaos clock (per-shard attempted-sweep counters)
+            # across the topology change: fault schedules index it, and
+            # a degrade must not rewind it or one-shot kills would
+            # refire in the replacement pool.
+            pool.state.sweeps[:] = max(entry["sweeps"], default=0)
+            cur = 0
+            pending = False
+            per_shard_respawns.clear()
+            degradations.append(entry)
+            if report is not None:
+                report.record(iteration, "worker-crash", "degrade",
+                              detail=f"shard {dead_shard} exhausted its "
+                                     f"respawn budget; re-partitioned "
+                                     f"{entry['from_shards']} -> "
+                                     f"{entry['to_shards']} shards")
+            count_recovery("worker-crash", iteration)
+            get_registry().counter(
+                "shard_degradations_total",
+                "shard pools re-partitioned onto fewer shards after a "
+                "worker exhausted its respawn budget").inc()
+
+        def handle_death(shard: int, *, rejoin_current: bool) -> bool:
+            """Respawn a crashed worker, degrade the pool, or give up.
+
+            Returns whether the pool was *degraded* (replaced by a
+            smaller one) rather than respawned in place.
+            """
             if report is not None:
                 report.faults_seen += 1
             if policy is None or recoveries >= policy.max_recoveries:
@@ -379,10 +466,22 @@ class ShardedJacobiSolver(IterativeSolverBase):
                     f"shard {shard} worker died and "
                     + ("guardrails are disabled" if policy is None
                        else "the recovery budget is exhausted"))
+            if (self.respawn_budget is not None
+                    and per_shard_respawns.get(shard, 0)
+                    >= self.respawn_budget):
+                if pool.shards <= self.min_shards:
+                    raise WorkerCrashError(
+                        f"shard {shard} worker died, its respawn budget "
+                        f"({self.respawn_budget}) is exhausted and the "
+                        f"pool is already at min_shards={self.min_shards}")
+                degrade(shard)
+                return True
+            per_shard_respawns[shard] = per_shard_respawns.get(shard, 0) + 1
             pool.respawn(shard, rejoin_current=rejoin_current)
             get_registry().counter(
                 "shard_respawns_total",
                 "shard workers respawned after a crash").inc()
+            return False
 
         def product_epoch() -> bool:
             """Run ``y = A @ x`` on the pool; False if a shard died."""
@@ -529,6 +628,33 @@ class ShardedJacobiSolver(IterativeSolverBase):
                     checkpoint = x_cur().copy()
                     checkpoint_iteration = iteration
                     report.checkpoints += 1
+                durable_save()
+
+        def durable_save() -> None:
+            """Parent-side epoch snapshot + the ``shard.parent`` site.
+
+            Fires at residual-check boundaries — the only points where
+            the shared iterate is renormalized and globally consistent.
+            The kill site is consulted *after* the save so a scheduled
+            SIGKILL leaves an intact checkpoint at this very boundary,
+            which is exactly what the crash-recovery suite resumes.
+            """
+            if checkpointer is not None:
+                meta = self._checkpoint_meta(history, best_residual,
+                                             checks_done, recoveries,
+                                             criterion)
+                meta["sharding"] = {
+                    "shards": pool.shards,
+                    "requested_shards": requested_shards,
+                    "sync": self.sync,
+                    "epoch": pool._epoch,
+                    "rows": [[p.row_start, p.row_stop]
+                             for p in pool.parts],
+                    "degradations": len(degradations),
+                }
+                checkpointer.maybe_save(iteration, {"x": x_cur()}, meta)
+            if injector is not None:
+                injector.maybe_fail("shard.parent")
 
         def robust_epoch(cmd: int) -> None:
             """Chaotic-mode epoch: retry through worker deaths."""
@@ -555,23 +681,33 @@ class ShardedJacobiSolver(IterativeSolverBase):
             """
             nonlocal iteration, reason, residual, checkpoint, \
                 checkpoint_iteration, checks_done, best_residual
-            state = pool.state
             last_checked = 0
             robust_epoch(S.CMD_CHAOTIC)
             while True:
                 time.sleep(0.001)
+                degraded = False
                 for shard in pool.dead_shards():
-                    handle_death(shard, rejoin_current=True)
+                    if handle_death(shard, rejoin_current=True):
+                        degraded = True
+                        break  # the stale dead-shard list is meaningless
                     if report is not None:
                         report.record(iteration, "worker-crash",
                                       "respawn",
                                       detail=f"shard {shard} (chaotic)")
-                sweeps = state.sweeps
+                if degraded:
+                    # Fresh pool, fresh sweep counters: restart the
+                    # free-run and realign the check cadence.
+                    last_checked = 0
+                    robust_epoch(S.CMD_CHAOTIC)
+                    continue
+                # Always through pool.state (never a cached view):
+                # degradation replaces the pool and its shared buffers.
+                sweeps = pool.state.sweeps
                 floor = int(sweeps.min())
                 estimate = None
-                xn = float(state.xnorm.max())
+                xn = float(pool.state.xnorm.max())
                 if xn > 0 and self.matrix_inf_norm > 0 and floor > 0:
-                    estimate = float(state.ynorm.max()) / (
+                    estimate = float(pool.state.ynorm.max()) / (
                         self.matrix_inf_norm * xn)
                 timed_out = (time_budget_s is not None
                              and time.perf_counter() - t0 >= time_budget_s)
@@ -585,8 +721,8 @@ class ShardedJacobiSolver(IterativeSolverBase):
                                   mode="chaotic",
                                   sweeps=int(sweeps.max())):
                     robust_epoch(S.CMD_PAUSE)
-                iteration = max(iteration, int(state.sweeps.max()))
-                last_checked = int(state.sweeps.min())
+                iteration = max(iteration, int(pool.state.sweeps.max()))
+                last_checked = int(pool.state.sweeps.min())
                 xv = x_cur()
                 finite = bool(np.all(np.isfinite(xv)))
                 if finite:
@@ -603,7 +739,8 @@ class ShardedJacobiSolver(IterativeSolverBase):
                     reason, residual = StopReason.DIVERGED, float("inf")
                     return
                 robust_epoch(S.CMD_PRODUCT)
-                stop, residual = criterion.check(iteration, state.y, xv)
+                xv = x_cur()  # re-fetch: a degrade mid-epoch swaps pools
+                stop, residual = criterion.check(iteration, pool.state.y, xv)
                 history.append((iteration, residual))
                 if (policy is not None and stop is None
                         and np.isfinite(best_residual)
@@ -632,7 +769,37 @@ class ShardedJacobiSolver(IterativeSolverBase):
                     checkpoint = xv.copy()
                     checkpoint_iteration = iteration
                     report.checkpoints += 1
+                durable_save()
                 robust_epoch(S.CMD_CHAOTIC)
+
+        # Durable resume (parent-side): restore the exact loop state of
+        # a previous process before any worker spawns.  The iterate is
+        # taken verbatim — saved post-renormalization at a check
+        # boundary — so barrier mode stays bitwise-equal to both the
+        # uninterrupted sharded run and the serial solver.
+        resumed = None
+        if checkpointer is not None and checkpointer.resume:
+            resumed = checkpointer.load_latest(kind="solver")
+        if resumed is not None:
+            from repro.errors import CheckpointError
+            rx = np.asarray(resumed.arrays.get("x"), dtype=np.float64)
+            if rx.shape != (self.n,):
+                raise CheckpointError(
+                    f"checkpoint iterate has shape {rx.shape}, "
+                    f"system needs ({self.n},)")
+            x = rx.copy()
+            iteration = int(resumed.iteration)
+            meta = resumed.meta
+            history = [(int(i), float(r)) for i, r in meta.get("history", [])]
+            checks_done = int(meta.get("checks_done", 0))
+            saved_best = meta.get("best_residual")
+            best_residual = (float("inf") if saved_best is None
+                             else float(saved_best))
+            recoveries = int(meta.get("recoveries", 0))
+            criterion.load_state(meta.get("criterion", {}))
+            if policy is not None:
+                checkpoint = x.copy()
+                checkpoint_iteration = iteration
 
         span = tracing.span(f"{self.span_name}.solve", n=self.n,
                             method=type(self).__name__,
@@ -642,7 +809,13 @@ class ShardedJacobiSolver(IterativeSolverBase):
         try:
             with span:
                 pending_y0 = None
-                if x0 is not None:
+                if resumed is not None:
+                    span.set_attribute("resumed_iteration", iteration)
+                    # Deterministic SpMV on the restored iterate — the
+                    # same bits the uninterrupted run's product-reuse
+                    # step carried into its next batch.
+                    pending_y0 = self.A @ x
+                elif x0 is not None:
                     # Warm-start fast path, serial on purpose: within
                     # tolerance it returns before any worker spawns.
                     y0 = self.A @ x
@@ -685,8 +858,11 @@ class ShardedJacobiSolver(IterativeSolverBase):
         finally:
             sharding = None
             if pool is not None:
-                sharding = self._sharding_info(pool)
+                sharding = self._sharding_info(
+                    pool, degradations=degradations,
+                    requested_shards=requested_shards)
                 pool.shutdown()
+            self.shards = requested_shards  # degradation is per-solve
         runtime = time.perf_counter() - t0
         if hooks is not None:
             hooks.on_stop(reason)
@@ -699,7 +875,9 @@ class ShardedJacobiSolver(IterativeSolverBase):
         result.sharding = sharding
         return result
 
-    def _sharding_info(self, pool: _ShardPool) -> dict:
+    def _sharding_info(self, pool: _ShardPool, *,
+                       degradations: list[dict] = (),
+                       requested_shards: int | None = None) -> dict:
         """Distribution telemetry attached as ``result.sharding``."""
         state = pool.state
         sweeps = [int(v) for v in state.sweeps]
@@ -711,7 +889,10 @@ class ShardedJacobiSolver(IterativeSolverBase):
                     "halo bytes gathered by shard workers"
                     ).inc(sum(halo_bytes))
         return {
-            "shards": self.shards,
+            "shards": pool.shards,
+            "requested_shards": (self.shards if requested_shards is None
+                                 else requested_shards),
+            "degradations": list(degradations),
             "sync": self.sync,
             "backend": pool.backend_name,
             "start_method": pool.start_method,

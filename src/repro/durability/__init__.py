@@ -1,0 +1,42 @@
+"""Durable checkpoint/restart for long solves and the serving layer.
+
+Two building blocks:
+
+* :mod:`repro.durability.checkpoint` — versioned, CRC32-checksummed,
+  atomically-written checkpoint files plus the cadence/retention
+  :class:`CheckpointPolicy` and the :class:`Checkpointer` driver that
+  the solver, batched, FSP and sharded layers thread through their
+  loops (``checkpointer=`` keyword, ``solve_steady_state(...,
+  checkpoint=dir, resume=True)`` at the front door).
+* :mod:`repro.durability.journal` — the append-only write-ahead job
+  journal :class:`JobJournal` that lets a restarted
+  :class:`repro.serve.SolveService` replay accepted-but-unfinished
+  jobs exactly once per key.
+
+See DESIGN.md §15 for the file formats and the resume protocol.
+"""
+
+from repro.durability.checkpoint import (
+    CheckpointData,
+    CheckpointPolicy,
+    Checkpointer,
+    network_signature,
+    read_checkpoint,
+    system_signature,
+    write_checkpoint,
+)
+from repro.durability.journal import JobJournal
+from repro.errors import CheckpointError, JournalError
+
+__all__ = [
+    "CheckpointData",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "Checkpointer",
+    "JobJournal",
+    "JournalError",
+    "network_signature",
+    "read_checkpoint",
+    "system_signature",
+    "write_checkpoint",
+]

@@ -1,0 +1,230 @@
+"""Append-only write-ahead job journal for the serving layer.
+
+One journal file is a sequence of JSONL records, each line carrying its
+own CRC32 so replay can tell an intact record from a torn or flipped
+one::
+
+    crc32-hex <TAB> {"type":"accepted","key":"...","seq":3,"payload":{...}}
+
+``accepted`` is written *before* a job enters the scheduler (the
+write-ahead part); a terminal record (``completed``/``failed``/
+``cancelled``) is appended when the job leaves the system.  On restart,
+:meth:`JobJournal.open_entries` pairs them up: every key with more
+accepts than terminals is work the previous process promised but never
+finished, and is replayed **exactly once per key** (the serving layer's
+single-flight deduplication makes one replay per key the correct
+multiplicity even when a key was accepted repeatedly).
+
+Damage tolerance: a torn tail (the crash happened mid-append) and
+isolated corrupt lines are *expected* — they are skipped with a logged
+warning and counted, never raised.  The effect of losing a record is
+exactly the write-ahead contract: a lost ``accepted`` means the caller
+never had a durable acknowledgement; a lost terminal record means the
+job replays and completes again idempotently (same cache key, same
+answer).
+
+:meth:`JobJournal.compact` atomically rewrites the file keeping only
+open entries, bounding journal growth across restarts.  The
+``serve.journal`` fault site (kind ``truncate``) tears an append on
+schedule so tests exercise the skip-and-recover path deterministically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.telemetry.metrics import get_registry
+
+log = logging.getLogger("repro.durability")
+
+
+class JobJournal:
+    """A crash-safe append-only record of accepted serve jobs.
+
+    Thread-safe: the submit path and worker completion callbacks append
+    concurrently.  Appends are flushed (and by default fsynced) before
+    returning, so an acknowledged record survives an immediate kill.
+    """
+
+    def __init__(self, path, *, fsync: bool = True):
+        self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise JournalError(
+                f"cannot create journal directory for {self.path}: {exc}"
+            ) from exc
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._seq = 0
+        self.appended = 0
+        self.corrupt_skipped = 0
+        reg = get_registry()
+        self._appends = reg.counter(
+            "durability_journal_appends_total",
+            "records appended to the serve job journal")
+        self._corrupt = reg.counter(
+            "durability_journal_corrupt_total",
+            "torn/corrupt journal records skipped during replay")
+
+    # -- writing -------------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    @staticmethod
+    def _encode(record: dict) -> bytes:
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(payload.encode()) & 0xFFFFFFFF
+        return f"{crc:08x}\t{payload}\n".encode()
+
+    def append(self, type: str, key: str, payload: dict | None = None) -> dict:
+        """Durably append one record; returns the record written.
+
+        The encoded line passes through the ``serve.journal`` fault
+        site, so a chaos plan can tear it mid-write — replay treats the
+        damaged line as lost, exactly as a real crash would.
+        """
+        with self._lock:
+            self._seq += 1
+            record = {"type": str(type), "key": str(key), "seq": self._seq,
+                      "ts": round(time.time(), 3)}
+            if payload is not None:
+                record["payload"] = payload
+            blob = self._encode(record)
+            from repro.resilience.faults import active_injector
+            injector = active_injector()
+            if injector is not None:
+                blob, _ = injector.corrupt_blob("serve.journal", blob,
+                                                detail=f"{type}:{key[:12]}")
+            fh = self._open()
+            fh.write(blob)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            self.appended += 1
+            self._appends.inc()
+            return record
+
+    def accepted(self, key: str, payload: dict) -> dict:
+        return self.append("accepted", key, payload)
+
+    def completed(self, key: str) -> dict:
+        return self.append("completed", key)
+
+    def failed(self, key: str) -> dict:
+        return self.append("failed", key)
+
+    def cancelled(self, key: str) -> dict:
+        return self.append("cancelled", key)
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """Every intact record on disk, in append order.
+
+        Unparseable lines (torn tail, bit flips, a record sharing a
+        line with a torn predecessor) are skipped with a warning and
+        counted on ``durability_journal_corrupt_total``.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self.path}: {exc}") from exc
+        out = []
+        for lineno, line in enumerate(raw.split(b"\n"), start=1):
+            if not line.strip():
+                continue
+            try:
+                crc_hex, payload = line.split(b"\t", 1)
+                if int(crc_hex, 16) != zlib.crc32(payload) & 0xFFFFFFFF:
+                    raise ValueError("CRC mismatch")
+                record = json.loads(payload.decode())
+                if not isinstance(record, dict) or "type" not in record:
+                    raise ValueError("not a journal record")
+            except (ValueError, UnicodeDecodeError,
+                    json.JSONDecodeError) as exc:
+                log.warning("journal %s line %d skipped (%s)",
+                            self.path.name, lineno, exc)
+                self.corrupt_skipped += 1
+                self._corrupt.inc()
+                continue
+            out.append(record)
+        return out
+
+    def open_entries(self) -> list[dict]:
+        """Accepted-but-unfinished entries, one per key, oldest first.
+
+        Each entry is the *latest* accepted record of a key whose
+        accept count exceeds its terminal count — the work a restarted
+        service must replay exactly once per key.
+        """
+        opens: dict[str, int] = {}
+        latest: dict[str, dict] = {}
+        order: list[str] = []
+        for record in self.records():
+            key = record.get("key", "")
+            if record["type"] == "accepted":
+                if key not in opens:
+                    order.append(key)
+                opens[key] = opens.get(key, 0) + 1
+                latest[key] = record
+            elif record["type"] in ("completed", "failed", "cancelled"):
+                opens[key] = max(0, opens.get(key, 0) - 1)
+        return [latest[key] for key in order if opens.get(key, 0) > 0]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal keeping only open entries.
+
+        Returns the number of records dropped.  Safe to call on a live
+        journal — the lock serializes against concurrent appends and
+        the file handle is reopened on the rewritten file.
+        """
+        with self._lock:
+            keep = self.open_entries()
+            total = len(self.records())
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+            try:
+                with open(tmp, "wb") as fh:
+                    for record in keep:
+                        fh.write(self._encode(record))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            finally:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+            self._seq = max((r.get("seq", 0) for r in keep), default=0)
+            return total - len(keep)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

@@ -179,3 +179,22 @@ class CircuitOpenError(SolveJobError):
     failed repeatedly and the service is shedding load on this method
     until the reset timeout elapses (terminal, not retryable — retrying
     immediately is exactly what the breaker exists to prevent)."""
+
+
+class CheckpointError(ReproError):
+    """A durable checkpoint could not be read back intact.
+
+    Raised by :mod:`repro.durability` when a checkpoint file fails
+    validation — bad magic, unsupported version, CRC mismatch (torn or
+    bit-flipped write), truncated payload, or a signature that does not
+    match the system being resumed.  The resume path catches this per
+    file and falls back to the next-oldest checkpoint; it only escapes
+    to callers reading a single explicit file.
+    """
+
+
+class JournalError(ReproError):
+    """The serve write-ahead job journal is unusable (unwritable path,
+    or a corrupt record encountered where strict parsing was requested).
+    Torn tails and isolated corrupt records during replay are *not*
+    errors — they are skipped with a warning and counted."""

@@ -240,8 +240,18 @@ class AdaptiveFspController:
     # -- the loop ------------------------------------------------------------
 
     def solve(self, *, time_budget_s: float | None = None,
-              hooks=None) -> FspResult:
-        """Run the projection loop until certified (or a budget ends)."""
+              hooks=None, checkpointer=None) -> FspResult:
+        """Run the projection loop until certified (or a budget ends).
+
+        With a :class:`~repro.durability.Checkpointer` (signature from
+        :func:`~repro.durability.network_signature`), the controller
+        writes one durable snapshot per projection round (kind
+        ``"fsp"``, *unconditionally* — rounds are the natural coarse
+        granularity): the next round's projection, the carried iterate
+        and its source projection, and the round trajectory.  A resumed
+        solve re-enters the loop at the next round with the same warm
+        start the uninterrupted run would have used.
+        """
         if time_budget_s is not None and time_budget_s <= 0:
             raise ValidationError(
                 f"time_budget_s must be positive, got {time_budget_s}")
@@ -264,11 +274,55 @@ class AdaptiveFspController:
         bound = float("inf")
         converged = False
         reason = "max_rounds"
+        start_round = 1
+
+        if checkpointer is not None and checkpointer.resume:
+            resumed = checkpointer.load_latest(kind="fsp")
+            if resumed is not None:
+                meta = resumed.meta
+                space = StateSpace(network=self.network,
+                                   states=resumed.arrays["states"])
+                carried = resumed.arrays.get("prev")
+                prev = None if carried is None else carried.copy()
+                prev_states = resumed.arrays.get("prev_states")
+                if prev_states is not None:
+                    prev_space = StateSpace(network=self.network,
+                                            states=prev_states)
+                prev_sink = float(meta.get("prev_sink", 0.0))
+                rounds = [FspRound(**rec) for rec in meta.get("rounds", [])]
+                added = int(meta.get("added", 0))
+                pruned = int(meta.get("pruned", 0))
+                bound = float(meta.get("bound", float("inf")))
+                if prev is not None and prev.size == space.size:
+                    nu_c = prev.copy()
+                else:
+                    nu_c = np.full(space.size, 1.0 / space.size)
+                start_round = int(meta["round"]) + 1
+
+        def durable_save(r: int) -> None:
+            """One snapshot per round: everything the next round reads."""
+            if checkpointer is None:
+                return
+            arrays = {"states": space.states}
+            if prev is not None and prev_space is not None:
+                arrays["prev"] = prev
+                arrays["prev_states"] = prev_space.states
+            from dataclasses import asdict
+            checkpointer.save(r, arrays, {
+                "round": int(r),
+                "prev_sink": float(prev_sink),
+                "added": int(added),
+                "pruned": int(pruned),
+                "bound": float(bound),
+                "rounds": [asdict(rec) for rec in rounds],
+            }, kind="fsp")
 
         outer = tracing.span("fsp.solve", method=self.method,
                              fsp_tol=self.fsp_tol)
         with outer:
-            for r in range(1, self.max_rounds + 1):
+            if start_round > 1:
+                outer.set_attribute("resumed_round", start_round)
+            for r in range(start_round, self.max_rounds + 1):
                 remaining = None
                 if time_budget_s is not None:
                     remaining = time_budget_s - (time.perf_counter() - t0)
@@ -362,6 +416,7 @@ class AdaptiveFspController:
                         # carried iterate instead of growing.
                         prev, prev_space, prev_sink = nu_c, space, sink_mass
                         added = pruned = 0
+                        durable_save(r)
                         continue
 
                     # Uncertified: prune the abandoned tail, grow where
@@ -376,6 +431,7 @@ class AdaptiveFspController:
                     space, added, pruned = grown, n_added, n_pruned
                     added_ctr.inc(n_added)
                     pruned_ctr.inc(n_pruned)
+                    durable_save(r)
             outer.set_attribute("rounds", len(rounds))
             outer.set_attribute("final_states", space.size)
             outer.set_attribute("truncation_mass", bound)

@@ -11,6 +11,7 @@ reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 
@@ -49,6 +50,18 @@ class RetryPolicy:
         """The un-jittered delay before retry *attempt* (1-based)."""
         if attempt <= 0:
             raise ValidationError("attempt is 1-based")
+        if self.base_delay_s == 0.0 or self.multiplier == 1.0:
+            return min(self.max_delay_s, self.base_delay_s)
+        if self.base_delay_s >= self.max_delay_s:
+            return self.max_delay_s
+        # Clamp the exponent before exponentiating: Python float ``**``
+        # overflows near 2.0**1024, so a long-lived job asking for its
+        # thousandth delay would raise OverflowError instead of
+        # saturating at max_delay_s.
+        saturated = (math.log(self.max_delay_s / self.base_delay_s)
+                     / math.log(self.multiplier))
+        if attempt - 1 >= saturated:
+            return self.max_delay_s
         return min(self.max_delay_s,
                    self.base_delay_s * self.multiplier ** (attempt - 1))
 

@@ -35,6 +35,24 @@ Injection sites
     that reaches sweep 30, once each.  The plan travels to the worker
     processes as JSON inside the worker spec, because the
     process-global injector does not cross process boundaries.
+``checkpoint.write``
+    Damage a durable checkpoint as it is written: kind ``torn`` drops
+    the final ``fraction`` of the encoded bytes (a crash mid-write),
+    kind ``corrupt`` XOR-flips a seeded ``fraction`` of them (bitrot).
+    The damaged bytes still go through the atomic rename, so the
+    *reader's* CRC validation and fallback-to-older path is what gets
+    exercised (see :func:`FaultInjector.corrupt_blob`).
+``serve.journal``
+    Tear an append to the serve write-ahead job journal (kind
+    ``truncate``): only a prefix of the record reaches the file, as if
+    the process died mid-``write``.  Replay must skip the damaged
+    record and recover every intact one.
+``shard.parent``
+    Kill the *parent* process of the sharded solver with ``SIGKILL``
+    (kind ``kill``) — the crash no in-process guardrail can absorb.
+    Indices count parent-side checkpoint opportunities.  Only
+    meaningful in a sacrificial subprocess (the crash-recovery suite);
+    the process does not survive.
 
 Install an injector process-wide with :func:`install`/:func:`uninstall`
 or the :func:`injecting` context manager (mirroring
@@ -49,7 +67,9 @@ counted on the default metrics registry
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -67,7 +87,7 @@ from repro.telemetry.metrics import get_registry
 
 #: Every site an injector knows how to hit.
 SITES = ("solver.iterate", "gpusim.launch", "serve.worker", "serve.cache",
-         "shard.worker")
+         "shard.worker", "checkpoint.write", "serve.journal", "shard.parent")
 
 #: Fault kinds accepted per site.
 SITE_KINDS = {
@@ -76,6 +96,9 @@ SITE_KINDS = {
     "serve.worker": ("kill", "stall"),
     "serve.cache": ("miss",),
     "shard.worker": ("kill", "stall"),
+    "checkpoint.write": ("torn", "corrupt"),
+    "serve.journal": ("truncate",),
+    "shard.parent": ("kill",),
 }
 
 #: The error a failing site raises (kinds ``raise``/``kill``).
@@ -336,6 +359,11 @@ class FaultInjector:
         spec = state.spec
         index = self._hits[site] - 1
         self._record(spec, index, detail)
+        if site == "shard.parent" and spec.kind == "kill":
+            # The real thing: no exception to catch, no cleanup — the
+            # crash-recovery suite runs this in a sacrificial subprocess
+            # and asserts the *resumed* run completes.
+            os.kill(os.getpid(), signal.SIGKILL)
         if spec.kind in ("raise", "kill"):
             error_cls = SITE_ERRORS.get(site, RuntimeError)
             raise error_cls(
@@ -344,6 +372,42 @@ class FaultInjector:
         if spec.kind == "stall":
             time.sleep(spec.delay_s)
         return spec
+
+    def corrupt_blob(self, site: str, blob: bytes, *,
+                     detail: str = "") -> tuple[bytes, FaultSpec | None]:
+        """Damage an encoded record headed for disk, if scheduled.
+
+        Kind ``torn``/``truncate`` keeps only the leading
+        ``1 - fraction`` of *blob* (a write cut short mid-record); kind
+        ``corrupt`` XOR-flips a seeded ``fraction`` of its bytes.
+        Returns ``(blob, None)`` untouched when nothing fires.  Callers
+        (the checkpoint writer, the journal appender) persist whatever
+        comes back — validation happens on the *read* side.
+        """
+        if site not in self._by_site or not blob:
+            return blob, None
+        state = self._visit(site, None)
+        if state is None:
+            return blob, None
+        spec = state.spec
+        index = self._hits[site] - 1
+        n = len(blob)
+        if spec.kind in ("torn", "truncate"):
+            keep = min(n - 1, max(1, int(n * (1.0 - spec.fraction))))
+            out = blob[:keep]
+            self._record(spec, index,
+                         f"torn write: kept {keep}/{n} bytes"
+                         + (f" ({detail})" if detail else ""))
+        else:  # corrupt
+            k = min(n, max(1, int(np.ceil(spec.fraction * n))))
+            damaged = bytearray(blob)
+            for pos in state.rng.sample(range(n), k):
+                damaged[pos] ^= 0xFF
+            out = bytes(damaged)
+            self._record(spec, index,
+                         f"flipped {k}/{n} bytes"
+                         + (f" ({detail})" if detail else ""))
+        return out, spec
 
 
 #: The process-wide active injector (None = chaos disabled).

@@ -22,12 +22,18 @@ Two safety properties matter more than raw hit rate:
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import zipfile
+import zlib
 from collections import OrderedDict
+from contextlib import suppress
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
+
+log = logging.getLogger("repro.serve")
 
 from repro.errors import ValidationError
 from repro.solvers.result import SolverResult, StopReason
@@ -74,6 +80,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     stores: int = 0
+    disk_corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -186,6 +193,10 @@ class SolutionCache:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.npz"
 
+    @staticmethod
+    def _checksum(p: np.ndarray) -> int:
+        return zlib.crc32(np.ascontiguousarray(p).tobytes()) & 0xFFFFFFFF
+
     def _store_disk(self, entry: CacheEntry) -> None:
         meta = json.dumps({
             "key": entry.key,
@@ -194,6 +205,7 @@ class SolutionCache:
             "stop_reason": entry.stop_reason,
             "runtime_s": entry.runtime_s,
             "layout": entry.layout,
+            "crc32": self._checksum(entry.p),
         })
         path = self._path(entry.key)
         tmp = path.with_suffix(".tmp.npz")
@@ -202,6 +214,13 @@ class SolutionCache:
         tmp.replace(path)
 
     def _load_disk(self, key: str) -> CacheEntry | None:
+        """Read a persisted entry, validating its content checksum.
+
+        A vector whose bytes no longer match the stored CRC32 (torn
+        write, disk corruption, manual truncation) is *evicted* — the
+        file is deleted so the damage cannot be re-read — and the
+        lookup falls through to a miss.
+        """
         if self.disk_dir is None:
             return None
         path = self._path(key)
@@ -211,7 +230,16 @@ class SolutionCache:
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["meta"]))
                 p = np.asarray(data["p"], dtype=np.float64)
-        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            stored = meta.get("crc32")
+            if stored is not None and int(stored) != self._checksum(p):
+                raise ValueError("checksum mismatch")
+        except (OSError, EOFError, KeyError, ValueError,
+                json.JSONDecodeError, zipfile.BadZipFile) as exc:
+            log.warning("evicting corrupt cache file %s (%s)",
+                        path.name, exc)
+            self.stats.disk_corrupt += 1
+            with suppress(OSError):
+                path.unlink()
             return None
         return CacheEntry(
             key=key, p=p, iterations=int(meta["iterations"]),

@@ -45,6 +45,7 @@ COUNTER_NAMES = (
     "worker_faults",    # injected worker kills/stalls observed
     "fsp_solved",       # adaptive-FSP jobs answered with a certificate
     "cache_faults",     # injected cache misses observed
+    "journal_replayed", # accepted-but-unfinished jobs replayed on restart
 )
 
 #: Pipeline stages timed per job (see :class:`SolveService`).
@@ -119,8 +120,15 @@ class ServiceMetrics:
 
     # -- reads --------------------------------------------------------------
 
-    def snapshot(self, *, cache_stats=None) -> dict:
-        """A point-in-time dict of every counter, gauge and percentile."""
+    def snapshot(self, *, cache_stats=None, breaker=None,
+                 journal=None) -> dict:
+        """A point-in-time dict of every counter, gauge and percentile.
+
+        ``breaker`` merges a :meth:`CircuitBreaker.snapshot` dict as
+        ``breaker_state`` / ``breaker_failures`` / ``breaker_opened``;
+        ``journal`` merges a :class:`repro.durability.JobJournal`'s
+        append/corruption counters.
+        """
         out = {name: c.value for name, c in self._counters.items()}
         out["warm_start_audits"] = self._warm_audits.value
         out["warm_start_iterations_saved"] = self._warm_saved.value
@@ -137,12 +145,22 @@ class ServiceMetrics:
             out["cache_lookup_misses"] = cache_stats.misses
             out["cache_evictions"] = cache_stats.evictions
             out["cache_disk_hits"] = cache_stats.disk_hits
+            out["cache_disk_corrupt"] = cache_stats.disk_corrupt
             out["cache_hit_rate"] = round(cache_stats.hit_rate, 4)
+        if breaker is not None:
+            out["breaker_state"] = breaker.get("state")
+            out["breaker_failures"] = breaker.get("failures", 0)
+            out["breaker_opened"] = breaker.get("opened_count", 0)
+        if journal is not None:
+            out["journal_appended"] = journal.appended
+            out["journal_corrupt_skipped"] = journal.corrupt_skipped
         return out
 
-    def render(self, *, cache_stats=None, title: str = "serve metrics") -> str:
+    def render(self, *, cache_stats=None, breaker=None, journal=None,
+               title: str = "serve metrics") -> str:
         """The snapshot as a printable two-column table."""
-        snap = self.snapshot(cache_stats=cache_stats)
+        snap = self.snapshot(cache_stats=cache_stats, breaker=breaker,
+                             journal=journal)
         table = Table(["metric", "value"], title=title)
         for name in COUNTER_NAMES:
             table.add_row([name, snap[name]])
@@ -157,6 +175,15 @@ class ServiceMetrics:
         if cache_stats is not None:
             table.add_row(["cache_hit_rate", snap["cache_hit_rate"]])
             table.add_row(["cache_evictions", snap["cache_evictions"]])
+            table.add_row(["cache_disk_corrupt",
+                           snap["cache_disk_corrupt"]])
+        if breaker is not None:
+            table.add_row(["breaker_state", snap["breaker_state"]])
+            table.add_row(["breaker_opened", snap["breaker_opened"]])
+        if journal is not None:
+            table.add_row(["journal_appended", snap["journal_appended"]])
+            table.add_row(["journal_corrupt_skipped",
+                           snap["journal_corrupt_skipped"]])
         return table.render()
 
     def render_prometheus(self) -> str:

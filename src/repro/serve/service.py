@@ -31,13 +31,18 @@ Example
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import logging
+import signal
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.cme.landscape import ProbabilityLandscape
+from repro.durability.journal import JobJournal
 from repro.cme.network import ReactionNetwork
 from repro.cme.ratematrix import build_rate_matrix
 from repro.cme.statespace import StateSpace, enumerate_state_space
@@ -74,6 +79,8 @@ from repro.solvers import (
 )
 from repro.solvers.result import StopReason
 from repro.telemetry import tracing
+
+log = logging.getLogger("repro.serve")
 
 #: Assembled matrices memoized per service (CSR of a small sweep point
 #: is a few MB; 64 conditions bound the worst case while covering any
@@ -240,6 +247,15 @@ class SolveService:
         ``backend`` key in *solver_options* wins.
     reuse_state_space, max_states:
         State-space handling, as in :class:`repro.sweep.ParameterSweep`.
+    journal:
+        Optional write-ahead job journal (a
+        :class:`repro.durability.JobJournal` or a path to create one
+        at).  Every admitted job is durably recorded *before* it enters
+        the scheduler and marked off when it completes, fails or is
+        cancelled; a service constructed over an existing journal
+        **replays** the accepted-but-unfinished entries exactly once
+        per key, so a crash between acceptance and completion cannot
+        silently drop work (see DESIGN.md §15).
     metrics_registry:
         Optional shared :class:`repro.telemetry.MetricsRegistry` to
         register the service's counters/histograms in (one exposition
@@ -269,6 +285,7 @@ class SolveService:
                  fsp_options: Mapping | None = None,
                  reuse_state_space: bool = True,
                  max_states: int = 5_000_000,
+                 journal: JobJournal | str | Path | None = None,
                  metrics_registry=None):
         if timeout_s is not None and timeout_s <= 0:
             raise ValidationError("timeout_s must be positive")
@@ -355,6 +372,9 @@ class SolveService:
         self._lock = threading.Lock()
         self._job_seq = itertools.count(1)
         self._closed = False
+        if isinstance(journal, (str, Path)):
+            journal = JobJournal(journal)
+        self.journal = journal
         queue = BoundedPriorityQueue(queue_capacity, queue_policy,
                                      put_timeout=put_timeout)
         self._scheduler = SolveScheduler(
@@ -363,6 +383,8 @@ class SolveService:
             on_retry=lambda job, exc: self.metrics.incr("retried"),
             on_done=self._on_done)
         self.metrics.bind_queue_depth(lambda: self._scheduler.queue_depth)
+        if self.journal is not None:
+            self._replay_journal()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -373,12 +395,72 @@ class SolveService:
         self.close()
 
     def close(self, *, wait: bool = True) -> None:
-        """Stop workers; pending jobs are cancelled."""
+        """Stop workers; pending jobs are cancelled.
+
+        Cancelled-but-accepted jobs keep their journal entries open,
+        so a journal-backed service replays them on the next start —
+        use :meth:`drain` for a clean shutdown that finishes them.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         self._scheduler.close(wait=wait)
+        if self.journal is not None:
+            self.journal.close()
+
+    def drain(self, *, timeout_s: float | None = None) -> bool:
+        """Stop accepting work and wait for in-flight jobs to finish.
+
+        Returns ``True`` when every in-flight job reached a terminal
+        state inside the budget (a *clean* drain — the journal
+        compacts to empty), ``False`` when ``timeout_s`` expired
+        first; whatever did not finish stays open in the journal and
+        is replayed by the next process.
+        """
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+            pending = list(self._inflight.values())
+        deadline = (None if timeout_s is None
+                    else time.perf_counter() + timeout_s)
+        clean = True
+        for job in pending:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            with contextlib.suppress(SolveJobError):
+                job.result(timeout=remaining)
+            if not job.done():
+                clean = False
+        self._scheduler.close(wait=True)
+        if self.journal is not None:
+            self.journal.compact()
+            self.journal.close()
+        return clean
+
+    def install_sigterm_handler(self, *,
+                                timeout_s: float | None = None):
+        """Drain gracefully when the process receives ``SIGTERM``.
+
+        Main-thread only (the interpreter's signal rule).  The
+        previously-installed handler is chained after the drain and
+        also returned, so callers can restore it.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            raise ValidationError(
+                "install_sigterm_handler must run on the main thread")
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _handler(signum, frame):
+            log.info("SIGTERM received: draining solve service")
+            self.drain(timeout_s=timeout_s)
+            if callable(previous):
+                previous(signum, frame)
+
+        signal.signal(signal.SIGTERM, _handler)
+        return previous
 
     # -- submission ---------------------------------------------------------
 
@@ -450,6 +532,11 @@ class SolveService:
             if deadline_s is not None:
                 job.deadline_at = time.perf_counter() + deadline_s
             self._inflight[key] = job
+        if self.journal is not None:
+            # Write-ahead: the accept record is durable *before* the
+            # job can enter the scheduler, so a crash at any later
+            # point leaves an open entry the next process replays.
+            self.journal.accepted(key, self._journal_payload(req, priority))
         try:
             self._scheduler.submit(job)
         except SolveJobError:
@@ -462,7 +549,11 @@ class SolveService:
                 if outcome is not None:
                     self.metrics.incr("degraded")
                     job.finish(outcome)
+                    if self.journal is not None:
+                        self.journal.completed(key)
                     return job
+            if self.journal is not None:
+                self.journal.cancelled(key)
             job.cancel()
             raise
         self.metrics.incr("scheduled")
@@ -826,12 +917,119 @@ class SolveService:
         with self._lock:
             if self._inflight.get(job.key) is job:
                 del self._inflight[job.key]
+        if self.journal is not None:
+            # Terminal record: pairs with the job's (possibly
+            # previous-process) accept, closing the journal entry.
+            (self.journal.failed if error is not None
+             else self.journal.completed)(job.key)
         self.metrics.incr("failed" if error is not None else "completed")
         if job.started_at is not None and job.submitted_at is not None:
             self.metrics.observe_stage(
                 "queue", job.started_at - job.submitted_at)
         if job.started_at is not None and job.finished_at is not None:
             self.metrics.observe_latency(job.finished_at - job.started_at)
+
+    # -- journal replay ------------------------------------------------------
+
+    def _journal_payload(self, req: SolveRequest, priority: int) -> dict:
+        """Everything needed to rebuild *req* in a fresh process."""
+        return {
+            "network": self.network.canonical_signature(),
+            "overrides": dict(req.overrides),
+            "tol": req.tol,
+            "max_iterations": req.max_iterations,
+            "solver_options": dict(req.solver_options),
+            "priority": int(priority),
+        }
+
+    def _replay_journal(self) -> None:
+        """Re-admit accepted-but-unfinished jobs from a prior process.
+
+        Replayed jobs are scheduled **without** a new accept record:
+        the original durable accept pairs with the job's eventual
+        terminal record, keeping the open/closed bookkeeping exact.
+        Entries answered by the (disk-backed) cache are closed as
+        ``completed`` without a solve; entries that no longer make
+        sense — a different network, an unparseable payload, a key the
+        rebuilt request no longer reproduces — are closed as
+        ``cancelled`` with a logged warning.
+        """
+        assert self.journal is not None
+        entries = self.journal.open_entries()
+        if not entries:
+            return
+        net_sig = self.network.canonical_signature()
+        replayed = 0
+        for record in entries:
+            key = record.get("key", "")
+            payload = record.get("payload") or {}
+            if payload.get("network") != net_sig:
+                log.warning(
+                    "journal entry %s was accepted for a different "
+                    "network; cancelling instead of replaying", key[:12])
+                self.journal.cancelled(key)
+                continue
+            try:
+                req = self.request(
+                    payload.get("overrides") or None,
+                    tol=payload.get("tol"),
+                    max_iterations=payload.get("max_iterations"),
+                    solver_options=payload.get("solver_options"))
+            except ValidationError as exc:
+                log.warning("journal entry %s is not replayable (%s); "
+                            "cancelling", key[:12], exc)
+                self.journal.cancelled(key)
+                continue
+            priority = int(payload.get("priority", 0))
+            if req.cache_key() != key:
+                # The payload no longer reproduces the accepted key
+                # (request hashing changed between versions): close
+                # the stale entry and re-admit under the new key.
+                log.warning("journal entry %s rebuilds under a "
+                            "different key; re-admitting as a fresh "
+                            "submission", key[:12])
+                self.journal.cancelled(key)
+                with contextlib.suppress(SolveJobError):
+                    self.submit(payload.get("overrides") or None,
+                                priority=priority,
+                                tol=payload.get("tol"),
+                                max_iterations=payload.get(
+                                    "max_iterations"),
+                                solver_options=payload.get(
+                                    "solver_options"))
+                continue
+            if self.cache is not None and self.method != "fsp":
+                entry = self.cache.get(key,
+                                       layout=self._workspace.layout())
+                if entry is not None:
+                    # The previous process (or its disk cache) already
+                    # holds the answer: the promise is kept without a
+                    # new solve.
+                    self.journal.completed(key)
+                    replayed += 1
+                    continue
+            with self._lock:
+                if key in self._inflight:
+                    continue
+                job = self._new_job(req, priority)
+                self._inflight[key] = job
+            try:
+                self._scheduler.submit(job)
+            except SolveJobError as exc:
+                with self._lock:
+                    if self._inflight.get(key) is job:
+                        del self._inflight[key]
+                log.warning("journal entry %s could not be re-admitted "
+                            "(%s); cancelling", key[:12], exc)
+                self.journal.cancelled(key)
+                job.cancel()
+                continue
+            replayed += 1
+        if replayed:
+            self.metrics.incr("journal_replayed", replayed)
+            log.info("replayed %d accepted-but-unfinished journal "
+                     "entries", replayed)
+        self.journal.compact()
 
     # -- helpers -------------------------------------------------------------
 
@@ -877,12 +1075,18 @@ class SolveService:
         return None
 
     def snapshot(self) -> dict:
-        """Metrics snapshot with cache stats merged in."""
+        """Metrics snapshot with cache, breaker and journal merged in."""
         return self.metrics.snapshot(
-            cache_stats=self.cache.stats if self.cache is not None else None)
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            breaker=(self._breaker.snapshot()
+                     if self._breaker is not None else None),
+            journal=self.journal)
 
     def render_metrics(self) -> str:
         """Printable metrics table (the CLI's ``serve`` output)."""
         return self.metrics.render(
             cache_stats=self.cache.stats if self.cache is not None else None,
+            breaker=(self._breaker.snapshot()
+                     if self._breaker is not None else None),
+            journal=self.journal,
             title=f"serve metrics · {self.network.name}")

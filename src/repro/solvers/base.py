@@ -225,6 +225,19 @@ class IterativeSolverBase:
 
     # -- the unified solve loop ----------------------------------------------
 
+    @staticmethod
+    def _checkpoint_meta(history, best_residual, checks_done, recoveries,
+                         criterion) -> dict:
+        """JSON-serializable loop state for a durable checkpoint."""
+        return {
+            "history": [[int(i), float(r)] for i, r in history],
+            "best_residual": (None if not np.isfinite(best_residual)
+                              else float(best_residual)),
+            "checks_done": int(checks_done),
+            "recoveries": int(recoveries),
+            "criterion": criterion.state_dict(),
+        }
+
     def _initial_iterate(self, x0, *, validate: bool = True) -> np.ndarray:
         """Validate *x0* and project it onto the probability simplex.
 
@@ -250,7 +263,7 @@ class IterativeSolverBase:
 
     def solve(self, x0=None, *, time_budget_s: float | None = None,
               hooks=None, guardrails=None,
-              validate_x0: bool = True) -> SolverResult:
+              validate_x0: bool = True, checkpointer=None) -> SolverResult:
         """Iterate from *x0* (uniform by default) until a criterion fires.
 
         Parameters
@@ -289,6 +302,19 @@ class IterativeSolverBase:
             Only safe when *x0* is an iterate a previous solve returned
             (the FSP controller's warm restarts); the shape check and
             renormalization still run.
+        checkpointer:
+            Optional :class:`~repro.durability.Checkpointer`.  The loop
+            writes a durable checkpoint (iterate, iteration count,
+            residual history, stopping-criterion state) whenever the
+            checkpointer's policy says one is due — always at a
+            residual-check boundary, where the iterate is renormalized
+            and consistent.  When ``checkpointer.resume`` is set and an
+            intact checkpoint matching the signature exists, the solve
+            restores it (ignoring *x0*) and continues **bitwise
+            identically** to the uninterrupted run: the iterate is
+            taken verbatim (no re-renormalization), the stopping
+            criterion's stagnation state is reloaded, and the reusable
+            residual product is recomputed deterministically.
         """
         # Lazy imports: repro.resilience imports repro.solvers (for the
         # registry and result types), so a module-level import here
@@ -363,12 +389,47 @@ class IterativeSolverBase:
                 return self.step_from_product(x, y)
             return self.step_once(x)
 
+        # Durable resume: restore the exact mid-solve state a previous
+        # process persisted.  The iterate is taken verbatim — it was
+        # saved post-renormalization, and renormalizing again would
+        # break bitwise parity with the uninterrupted run.
+        resumed = None
+        if checkpointer is not None and checkpointer.resume:
+            resumed = checkpointer.load_latest(kind="solver")
+        if resumed is not None:
+            from repro.errors import CheckpointError
+            rx = np.asarray(resumed.arrays.get("x"), dtype=np.float64)
+            if rx.shape != (self.n,):
+                raise CheckpointError(
+                    f"checkpoint iterate has shape {rx.shape}, "
+                    f"system needs ({self.n},)")
+            x = rx.copy()
+            iteration = int(resumed.iteration)
+            meta = resumed.meta
+            history = [(int(i), float(r))
+                       for i, r in meta.get("history", [])]
+            checks_done = int(meta.get("checks_done", 0))
+            saved_best = meta.get("best_residual")
+            best_residual = (float("inf") if saved_best is None
+                             else float(saved_best))
+            recoveries = int(meta.get("recoveries", 0))
+            criterion.load_state(meta.get("criterion", {}))
+            if policy is not None:
+                checkpoint = x.copy()
+                checkpoint_iteration = iteration
+
         span = tracing.span(f"{self.span_name}.solve", n=self.n,
                             method=type(self).__name__)
         if self._active_backend is not None:
             span.set_attribute("backend", self._active_backend.name)
         with span:
-            if x0 is not None:
+            if resumed is not None:
+                span.set_attribute("resumed_iteration", iteration)
+                if reuse:
+                    # Deterministic SpMV on the restored iterate: the
+                    # same bits the uninterrupted loop carried forward.
+                    pending_y = self.A @ x
+            elif x0 is not None:
                 # A warm start may already satisfy the tolerance (e.g. a
                 # cached neighbor with identical dynamics); charge one
                 # residual evaluation instead of a full check interval.
@@ -501,6 +562,12 @@ class IterativeSolverBase:
                     checkpoint = x.copy()
                     checkpoint_iteration = iteration
                     report.checkpoints += 1
+                if checkpointer is not None:
+                    checkpointer.maybe_save(
+                        iteration, {"x": x},
+                        self._checkpoint_meta(history, best_residual,
+                                              checks_done, recoveries,
+                                              criterion))
             span.set_attribute("iterations", iteration)
             span.set_attribute("residual", residual)
             span.set_attribute("stop_reason", reason.value)

@@ -43,6 +43,7 @@ import scipy.sparse as sp
 
 from repro import backends
 from repro.errors import (
+    CheckpointError,
     IterateSizeError,
     SingularSystemError,
     ValidationError,
@@ -222,7 +223,8 @@ class BatchedJacobiSolver:
 
     def solve_many(self, x0s=None, *, k: int | None = None,
                    tols=None,
-                   time_budget_s: float | None = None) -> list[SolverResult]:
+                   time_budget_s: float | None = None,
+                   checkpointer=None) -> list[SolverResult]:
         """Solve all K columns; returns results in input order.
 
         Parameters
@@ -240,6 +242,13 @@ class BatchedJacobiSolver:
         time_budget_s:
             Wall-clock budget for the whole batch; on expiry every
             still-active column returns ``TIMED_OUT``.
+        checkpointer:
+            Optional :class:`~repro.durability.Checkpointer` writing
+            durable snapshots (kind ``"batched"``) at residual-check
+            boundaries: the whole block — retired columns' final
+            answers plus the live iterates — with per-column histories,
+            criterion states and retirement records, so a resumed batch
+            continues with the same retirements and iterates.
         """
         if x0s is None and k is None and self.mode == "stacked":
             k = len(self._systems)
@@ -354,29 +363,110 @@ class BatchedJacobiSolver:
                 stop_reason=reason, residual_history=histories[j],
                 runtime_s=time.perf_counter() - t0)
 
+        def durable_save() -> None:
+            """Snapshot the whole block (kind ``"batched"``).
+
+            Taken at the residual-check boundary, after retirement and
+            compaction — the same state the loop itself carries into
+            the next batch, so a resume recomputing the seeding product
+            from the saved block replays the sweeps bitwise.
+            """
+            if checkpointer is None:
+                return
+            X_all = np.zeros((self.n, total), dtype=np.float64)
+            retired: dict[str, dict] = {}
+            for j, r in enumerate(results):
+                if r is None:
+                    continue
+                X_all[:, j] = r.x
+                retired[str(j)] = {
+                    "iterations": int(r.iterations),
+                    "residual": (None if not np.isfinite(r.residual)
+                                 else float(r.residual)),
+                    "stop_reason": r.stop_reason.value,
+                    "runtime_s": float(r.runtime_s),
+                }
+            for c, j in enumerate(active):
+                X_all[:, j] = col(X, c)
+            meta = {
+                "iteration": int(iteration),
+                "active": [int(j) for j in active],
+                "histories": [[[int(i), float(r)] for i, r in h]
+                              for h in histories],
+                "criteria": [criteria[j].state_dict() for j in active],
+                "retired": retired,
+            }
+            checkpointer.maybe_save(iteration, {"X": X_all}, meta,
+                                    kind="batched")
+
         span = tracing.span(f"{self.span_name}.solve_many", n=self.n,
                             k=total, mode=self.mode)
         span.set_attribute("backend", be.name)
+        resumed = (checkpointer.load_latest(kind="batched")
+                   if checkpointer is not None and checkpointer.resume
+                   else None)
         with span:
-            # The initial product doubles as the warm-start residual
-            # test and the seed of the first sweep (product reuse).
-            Y = block_product(X)
-            for j in list(active):
-                if not warm[j]:
-                    continue
-                res = criteria[j].normalized_residual(col(Y, j), col(X, j))
-                histories[j].append((0, res))
-                if res <= criteria[j].tol:
-                    retire(j, col(X, j).copy(), StopReason.CONVERGED, res, 0)
-                    active.remove(j)
-            if len(active) < total and active:
-                mask = [j in active for j in range(total)]
-                X = take(X, mask)
-                Y = take(Y, mask)
-                if self.mode == "stacked":
-                    D = take(D, mask)
-                    stack = None
-            pending_Y = Y if active else None
+            if resumed is not None:
+                meta = resumed.meta
+                X_all = resumed.arrays.get("X")
+                if X_all is None or X_all.shape != (self.n, total):
+                    shape = None if X_all is None else X_all.shape
+                    raise CheckpointError(
+                        f"batched checkpoint block has shape {shape}, "
+                        f"expected {(self.n, total)}")
+                iteration = int(meta["iteration"])
+                span.set_attribute("resumed_iteration", iteration)
+                histories = [[(int(i), float(r)) for i, r in h]
+                             for h in meta.get("histories", [])]
+                while len(histories) < total:
+                    histories.append([])
+                for key, info in meta.get("retired", {}).items():
+                    j = int(key)
+                    res = info.get("residual")
+                    results[j] = SolverResult(
+                        x=X_all[:, j].copy(),
+                        iterations=int(info["iterations"]),
+                        residual=(float("inf") if res is None
+                                  else float(res)),
+                        stop_reason=StopReason(info["stop_reason"]),
+                        residual_history=histories[j],
+                        runtime_s=float(info.get("runtime_s", 0.0)))
+                active = [int(j) for j in meta.get("active", [])]
+                for j, state in zip(active, meta.get("criteria", [])):
+                    criteria[j].load_state(state)
+                if active:
+                    X = (np.ascontiguousarray(X_all[:, active])
+                         if shared or interleaved
+                         else np.ascontiguousarray(X_all[:, active].T))
+                    if self.mode == "stacked":
+                        D = take(D, active)
+                        stack = None
+                # The seeding product is recomputed from the restored
+                # block on the first sweep — same bits the uninterrupted
+                # loop carried as pending_Y.
+                pending_Y = None
+            else:
+                # The initial product doubles as the warm-start residual
+                # test and the seed of the first sweep (product reuse).
+                Y = block_product(X)
+                for j in list(active):
+                    if not warm[j]:
+                        continue
+                    res = criteria[j].normalized_residual(col(Y, j),
+                                                          col(X, j))
+                    histories[j].append((0, res))
+                    if res <= criteria[j].tol:
+                        retire(j, col(X, j).copy(), StopReason.CONVERGED,
+                               res, 0)
+                        active.remove(j)
+                if len(active) < total and active:
+                    mask = [j in active for j in range(total)]
+                    X = take(X, mask)
+                    Y = take(Y, mask)
+                    if self.mode == "stacked":
+                        D = take(D, mask)
+                        stack = None
+                pending_Y = Y if active else None
             norm_every = self.normalize_interval
             while active:
                 budget = min(self.check_interval,
@@ -529,6 +619,7 @@ class BatchedJacobiSolver:
                         D = take(D, keep)
                         stack = None
                 pending_Y = Y
+                durable_save()
             span.set_attribute("iterations", iteration)
             span.set_attribute("products", self.products)
         return results  # type: ignore[return-value]

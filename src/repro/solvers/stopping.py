@@ -124,3 +124,22 @@ class StoppingCriterion:
         self._best_residual = None
         self._checks = 0
         self._stagnant_streak = 0
+
+    def state_dict(self) -> dict:
+        """The mutable criterion state, JSON-serializable.
+
+        Captured into durable checkpoints so a resumed solve makes the
+        *same* stagnation decisions the uninterrupted one would — the
+        test compares against the best residual seen so far, which
+        would otherwise restart empty.
+        """
+        return {"best_residual": self._best_residual,
+                "checks": self._checks,
+                "stagnant_streak": self._stagnant_streak}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (checkpoint resume)."""
+        best = state.get("best_residual")
+        self._best_residual = None if best is None else float(best)
+        self._checks = int(state.get("checks", 0))
+        self._stagnant_streak = int(state.get("stagnant_streak", 0))

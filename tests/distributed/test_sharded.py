@@ -227,3 +227,111 @@ class TestValidationAndWiring:
                                     shards=2)
         assert result.stop_reason is StopReason.CONVERGED
         assert result.landscape is not None
+
+
+class TestElasticDegradation:
+    """Respawn budget exhaustion re-partitions onto fewer shards."""
+
+    KW = dict(tol=1e-10, max_iterations=5000, check_interval=50,
+              damping=0.9)
+
+    def test_exhausted_budget_degrades_and_converges(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="kill",
+                                    at=30, count=1)], seed=0)
+        serial = JacobiSolver(toggle_matrix, **self.KW).solve()
+        solver = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                     sync="barrier", respawn_budget=0,
+                                     **self.KW)
+        with injecting(plan):
+            result = solver.solve(
+                guardrails=GuardrailPolicy(max_recoveries=4))
+        assert result.stop_reason is StopReason.CONVERGED
+        assert result.sharding["shards"] == 1
+        assert result.sharding["requested_shards"] == 2
+        assert len(result.sharding["degradations"]) == 1
+        # Degradation is per-solve: the solver asks for 2 shards again.
+        assert solver.shards == 2
+        # The degraded run rolled back to a guardrail checkpoint, so
+        # its trajectory differs from serial — but the fixed point
+        # does not.
+        np.testing.assert_allclose(result.x, serial.x, atol=1e-9)
+
+    def test_chaotic_mode_degrades_too(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="kill",
+                                    at=30, count=1)], seed=0)
+        serial = JacobiSolver(toggle_matrix, **self.KW).solve()
+        with injecting(plan):
+            result = ShardedJacobiSolver(
+                toggle_matrix, shards=2, sync="chaotic",
+                respawn_budget=0, **self.KW).solve(
+                    guardrails=GuardrailPolicy(max_recoveries=4))
+        assert result.stop_reason is StopReason.CONVERGED
+        assert len(result.sharding["degradations"]) == 1
+        np.testing.assert_allclose(result.x, serial.x, atol=1e-7)
+
+    def test_min_shards_floor_raises(self, toggle_matrix):
+        plan = FaultPlan([FaultSpec(site="shard.worker", kind="kill",
+                                    at=30, count=1)], seed=0)
+        with injecting(plan):
+            with pytest.raises(WorkerCrashError, match="min_shards"):
+                ShardedJacobiSolver(
+                    toggle_matrix, shards=2, sync="barrier",
+                    respawn_budget=0, min_shards=2, **self.KW).solve(
+                        guardrails=GuardrailPolicy(max_recoveries=4))
+
+    def test_rejects_bad_degradation_options(self, toggle_matrix):
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, respawn_budget=-1)
+        with pytest.raises(ValidationError):
+            ShardedJacobiSolver(toggle_matrix, shards=2, min_shards=3)
+
+
+class TestDurableResume:
+    """Parent-side epoch checkpoints resume bitwise in barrier mode."""
+
+    KW = dict(tol=1e-10, check_interval=50, damping=0.9)
+
+    def make_ck(self, tmp_path, matrix, *, resume=False):
+        from repro.durability import (
+            CheckpointPolicy,
+            Checkpointer,
+            system_signature,
+        )
+        from repro.sparse.base import as_csr
+        from repro.sparse.conversion import to_scipy
+        return Checkpointer(
+            tmp_path, resume=resume,
+            signature=system_signature(as_csr(to_scipy(matrix)),
+                                       method="sharded", tol=1e-10),
+            policy=CheckpointPolicy(every_iterations=100, keep_last=3))
+
+    def test_resume_is_bitwise_across_shard_counts(self, toggle_matrix,
+                                                   tmp_path):
+        reference = ShardedJacobiSolver(toggle_matrix, shards=2,
+                                        sync="barrier", **self.KW).solve()
+        ck = self.make_ck(tmp_path, toggle_matrix)
+        ShardedJacobiSolver(toggle_matrix, shards=2, sync="barrier",
+                            max_iterations=200, **self.KW).solve(
+            checkpointer=ck)
+        assert ck.saves >= 1
+        # Resume on a *different* shard count: the partition only
+        # distributes arithmetic, so parity survives re-sharding.
+        ck2 = self.make_ck(tmp_path, toggle_matrix, resume=True)
+        resumed = ShardedJacobiSolver(toggle_matrix, shards=3,
+                                      sync="barrier", **self.KW).solve(
+            checkpointer=ck2)
+        assert ck2.resumed_from is not None
+        assert_identical(reference, resumed)
+
+    def test_checkpoint_meta_carries_topology(self, toggle_matrix,
+                                              tmp_path):
+        ck = self.make_ck(tmp_path, toggle_matrix)
+        ShardedJacobiSolver(toggle_matrix, shards=2, sync="barrier",
+                            max_iterations=200, **self.KW).solve(
+            checkpointer=ck)
+        data = self.make_ck(tmp_path, toggle_matrix,
+                            resume=True).load_latest(kind="solver")
+        sharding = data.meta["sharding"]
+        assert sharding["shards"] == 2
+        assert sharding["sync"] == "barrier"
+        assert len(sharding["rows"]) == 2

@@ -1,0 +1,137 @@
+"""Write-ahead job journal: append, pairing, damage tolerance, compaction."""
+
+from __future__ import annotations
+
+import logging
+import zlib
+
+import pytest
+
+from repro.durability import JobJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    with JobJournal(tmp_path / "jobs.journal") as j:
+        yield j
+
+
+class TestAppend:
+    def test_records_round_trip_in_order(self, journal):
+        journal.accepted("k1", {"tol": 1e-8})
+        journal.accepted("k2", {"tol": 1e-6})
+        journal.completed("k1")
+        records = journal.records()
+        assert [(r["type"], r["key"]) for r in records] == [
+            ("accepted", "k1"), ("accepted", "k2"), ("completed", "k1")]
+        assert records[0]["payload"] == {"tol": 1e-8}
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert journal.appended == 3
+
+    def test_each_line_carries_its_crc(self, journal):
+        journal.accepted("k", {})
+        line = journal.path.read_bytes().splitlines()[0]
+        crc_hex, payload = line.split(b"\t", 1)
+        assert int(crc_hex, 16) == zlib.crc32(payload) & 0xFFFFFFFF
+
+
+class TestOpenEntries:
+    def test_pairs_accepts_with_terminals(self, journal):
+        journal.accepted("done", {})
+        journal.accepted("failed", {})
+        journal.accepted("open", {"n": 1})
+        journal.completed("done")
+        journal.failed("failed")
+        opens = journal.open_entries()
+        assert [r["key"] for r in opens] == ["open"]
+        assert opens[0]["payload"] == {"n": 1}
+
+    def test_repeated_accepts_need_one_replay(self, journal):
+        """Single-flight makes one replay per key the right
+        multiplicity however often the key was accepted."""
+        journal.accepted("k", {"v": 1})
+        journal.accepted("k", {"v": 2})
+        opens = journal.open_entries()
+        assert len(opens) == 1
+        assert opens[0]["payload"] == {"v": 2}  # the latest accept wins
+        journal.completed("k")
+        journal.completed("k")
+        assert journal.open_entries() == []
+
+    def test_cancelled_closes_an_entry(self, journal):
+        journal.accepted("k", {})
+        journal.cancelled("k")
+        assert journal.open_entries() == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        j = JobJournal(tmp_path / "never-written.journal")
+        assert j.records() == []
+        assert j.open_entries() == []
+
+
+class TestDamage:
+    def test_torn_tail_is_skipped_with_warning(self, journal, caplog):
+        journal.accepted("k1", {})
+        journal.completed("k1")
+        journal.accepted("k2", {})
+        blob = journal.path.read_bytes()
+        journal.path.write_bytes(blob[:-7])  # crash mid-append
+        with caplog.at_level(logging.WARNING, logger="repro.durability"):
+            records = journal.records()
+        assert [r["key"] for r in records] == ["k1", "k1"]
+        assert journal.corrupt_skipped == 1
+        assert any("skipped" in rec.message for rec in caplog.records)
+
+    def test_flipped_line_is_skipped_others_survive(self, journal):
+        journal.accepted("k1", {})
+        journal.accepted("k2", {})
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        damaged = bytearray(lines[0])
+        damaged[12] ^= 0xFF
+        journal.path.write_bytes(bytes(damaged) + b"".join(lines[1:]))
+        records = journal.records()
+        assert [r["key"] for r in records] == ["k2"]
+
+    def test_lost_terminal_reopens_the_entry(self, journal):
+        """The write-ahead contract: losing a terminal record means
+        the job replays (idempotently) — never that it is dropped."""
+        journal.accepted("k", {})
+        journal.completed("k")
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        journal.path.write_bytes(lines[0] + lines[1][:5])
+        assert [r["key"] for r in journal.open_entries()] == ["k"]
+
+
+class TestCompact:
+    def test_drops_closed_keeps_open(self, journal):
+        journal.accepted("done", {})
+        journal.completed("done")
+        journal.accepted("open", {"x": 1})
+        dropped = journal.compact()
+        assert dropped == 2
+        records = journal.records()
+        assert [(r["type"], r["key"]) for r in records] == [
+            ("accepted", "open")]
+        assert records[0]["payload"] == {"x": 1}
+
+    def test_appends_continue_after_compaction(self, journal):
+        journal.accepted("open", {})
+        journal.compact()
+        journal.completed("open")
+        assert journal.open_entries() == []
+        seqs = [r["seq"] for r in journal.records()]
+        assert seqs == sorted(seqs)
+
+
+class TestFaultSite:
+    def test_truncate_fault_tears_one_append(self, tmp_path):
+        from repro.resilience.faults import FaultPlan, injecting
+        plan = FaultPlan([{"site": "serve.journal", "kind": "truncate",
+                           "at": 1, "count": 1}], seed=0)
+        with JobJournal(tmp_path / "j.journal") as journal:
+            with injecting(plan) as injector:
+                journal.accepted("k", {})      # index 0: intact
+                journal.completed("k")         # index 1: torn
+                assert injector.fired("serve.journal") == 1
+            assert [r["type"] for r in journal.records()] == ["accepted"]
+            assert [r["key"] for r in journal.open_entries()] == ["k"]

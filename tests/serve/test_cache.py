@@ -108,3 +108,57 @@ class TestDiskPersistence:
         result = got.to_result()
         result.x[0] = 9.0
         assert cache.get("a").p[0] != 9.0
+
+
+class TestChecksumEviction:
+    """Damaged disk entries are evicted, counted, and never re-read."""
+
+    def flip_payload_byte(self, path):
+        """Flip one byte inside the stored vector so the npz still
+        parses but the content CRC no longer matches."""
+        import zipfile
+
+        with zipfile.ZipFile(path) as zf:
+            names = zf.namelist()
+            blobs = {name: bytearray(zf.read(name)) for name in names}
+        # npy member layout: 128-byte header, then raw float64 payload.
+        blobs["p.npy"][-1] ^= 0xFF
+        with zipfile.ZipFile(path, "w") as zf:
+            for name in names:
+                zf.writestr(name, bytes(blobs[name]))
+
+    def test_flipped_byte_evicts_and_counts(self, tmp_path, caplog):
+        import logging
+
+        first = SolutionCache(disk_dir=tmp_path)
+        first.put(entry("a", fill=0.25))
+        path = tmp_path / "a.npz"
+        self.flip_payload_byte(path)
+
+        second = SolutionCache(disk_dir=tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            assert second.get("a", layout="L") is None
+        assert second.stats.disk_corrupt == 1
+        assert not path.exists()  # evicted, not left to re-fail
+        assert any("evicting corrupt" in rec.message
+                   for rec in caplog.records)
+        # The miss is permanent: nothing resurrects the bad entry.
+        assert second.get("a", layout="L") is None
+        assert second.stats.disk_corrupt == 1
+
+    def test_bad_zip_evicts_file(self, tmp_path):
+        cache = SolutionCache(disk_dir=tmp_path)
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an npz")
+        assert cache.get("bad") is None
+        assert cache.stats.disk_corrupt == 1
+        assert not bad.exists()
+
+    def test_intact_entry_unaffected(self, tmp_path):
+        first = SolutionCache(disk_dir=tmp_path)
+        first.put(entry("good", fill=0.5))
+        second = SolutionCache(disk_dir=tmp_path)
+        got = second.get("good", layout="L")
+        assert got is not None
+        np.testing.assert_array_equal(got.p, np.full(8, 0.5))
+        assert second.stats.disk_corrupt == 0
