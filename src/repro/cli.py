@@ -289,8 +289,12 @@ def cmd_serve(args) -> int:
     kwargs = {"damping": args.damping} if args.damping is not None else {}
     cache = (SolutionCache(disk_dir=args.cache_dir)
              if args.cache_dir else True)
+    if args.processes:
+        executor, workers = "process", args.processes
+    else:
+        executor, workers = "thread", args.workers
     service = SolveService(
-        network, workers=args.workers, cache=cache,
+        network, workers=workers, executor=executor, cache=cache,
         warm_start=not args.cold, warm_audit_interval=args.audit_interval,
         queue_capacity=args.queue_capacity, timeout_s=args.timeout,
         retries=args.retries, tol=args.tol,
@@ -371,6 +375,23 @@ def cmd_profile(args) -> int:
             result = solve_steady_state(
                 A, method=args.method, tol=args.tol,
                 max_iterations=args.max_iterations, hooks=hooks, **kwargs)
+            if args.serve_sample:
+                # Route a few jobs through the serve layer on the same
+                # registry so the exported metrics include the
+                # end-to-end solve_latency_seconds histogram (and its
+                # derivable p50/p99), not just solver-loop counters.
+                from repro.serve import SolveService
+                rxn = network.reactions[0]
+                with tracing.span("serve-sample", jobs=args.serve_sample):
+                    with SolveService(
+                            network, workers=1, tol=args.tol,
+                            max_iterations=args.max_iterations,
+                            solver_options=kwargs,
+                            metrics_registry=registry) as sample:
+                        for i in range(args.serve_sample):
+                            sample.submit(
+                                {rxn.name: rxn.rate * (1.0 + 0.05 * i)}
+                            ).result(timeout=600)
 
     os.makedirs(args.out, exist_ok=True)
     trace_path = os.path.join(args.out, "trace.json")
@@ -552,6 +573,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iterations", type=int, default=200_000)
     p.add_argument("--damping", type=float, default=None)
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--processes", type=int, default=None, metavar="N",
+                   help="dispatch solves to a pool of N worker "
+                        "processes instead of threads (true multi-core "
+                        "parallelism for native solves)")
     p.add_argument("--cold", action="store_true",
                    help="disable warm starting")
     p.add_argument("--audit-interval", type=int, default=8,
@@ -605,6 +630,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--damping", type=float, default=0.8)
     p.add_argument("--trace-every", type=int, default=25,
                    help="emit a solver-iteration span every N iterations")
+    p.add_argument("--serve-sample", type=int, default=1, metavar="N",
+                   help="also serve N jobs through SolveService on the "
+                        "same registry so metrics.prom carries the "
+                        "solve_latency_seconds histogram (0 disables)")
     p.add_argument("--out", default="profile-out",
                    help="directory for trace.json and metrics.prom")
     p.set_defaults(func=cmd_profile)

@@ -25,6 +25,18 @@ Injection sites
 ``serve.cache``
     Drop a cache read (kind ``miss``): the serving layer treats the
     lookup as a miss and recomputes.
+``serve.pool``
+    Kill (kind ``kill``) or stall (kind ``stall``) one worker
+    *process* of the serve :class:`~repro.serve.pool.ProcessSolverPool`
+    at a solve dispatch.  Indices count parent-side dispatches; the
+    parent consumes the schedule via :meth:`FaultInjector.scheduled`
+    and ships the directive inside the task, so the worker actually
+    ``os._exit``\\ s (a kill no in-process handler can absorb) and the
+    parent's death-detection/respawn path is what gets exercised.
+``serve.admission``
+    Force the admission controller to reject a submission (kind
+    ``reject``) — a synthetic over-rate burst, independent of any
+    configured token bucket.
 ``shard.worker``
     Kill (kind ``kill``) or stall (kind ``stall``) one shard worker of
     the sharded Jacobi solver at the start of a sweep.  Indices match
@@ -87,7 +99,8 @@ from repro.telemetry.metrics import get_registry
 
 #: Every site an injector knows how to hit.
 SITES = ("solver.iterate", "gpusim.launch", "serve.worker", "serve.cache",
-         "shard.worker", "checkpoint.write", "serve.journal", "shard.parent")
+         "shard.worker", "checkpoint.write", "serve.journal", "shard.parent",
+         "serve.pool", "serve.admission")
 
 #: Fault kinds accepted per site.
 SITE_KINDS = {
@@ -99,6 +112,8 @@ SITE_KINDS = {
     "checkpoint.write": ("torn", "corrupt"),
     "serve.journal": ("truncate",),
     "shard.parent": ("kill",),
+    "serve.pool": ("kill", "stall"),
+    "serve.admission": ("reject",),
 }
 
 #: The error a failing site raises (kinds ``raise``/``kill``).
@@ -106,6 +121,7 @@ SITE_ERRORS = {
     "gpusim.launch": KernelLaunchError,
     "serve.worker": WorkerCrashError,
     "shard.worker": WorkerCrashError,
+    "serve.pool": WorkerCrashError,
 }
 
 
@@ -371,6 +387,25 @@ class FaultInjector:
                 + (f" ({detail})" if detail else ""))
         if spec.kind == "stall":
             time.sleep(spec.delay_s)
+        return spec
+
+    def scheduled(self, site: str, *, detail: str = "") -> FaultSpec | None:
+        """Match and consume a fault at *site* without executing it here.
+
+        For sites whose effect must land in *another process*: the
+        serve pool's parent consults the schedule on dispatch, records
+        the firing on this (parent-side) injector — so one-shot kills
+        survive worker respawns — and ships the directive to the worker
+        process, which carries it out.  Returns the matched spec, or
+        ``None`` when nothing is scheduled at the current hit index.
+        """
+        if site not in self._by_site:
+            return None
+        state = self._visit(site, None)
+        if state is None:
+            return None
+        spec = state.spec
+        self._record(spec, self._hits[site] - 1, detail)
         return spec
 
     def corrupt_blob(self, site: str, blob: bytes, *,

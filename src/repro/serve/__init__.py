@@ -3,11 +3,22 @@
 Turns the paper's exploratory workload (Section I: thousands of rate
 conditions of one network) into a job-serving layer with
 content-addressed caching, nearest-neighbor warm starting, and a
-bounded, backpressured worker pool.  See DESIGN.md §8 and
-:mod:`repro.serve.service` for the architecture.
+bounded, backpressured worker pool.  Production-traffic machinery —
+an asyncio front door (:class:`AsyncSolveService`), a multi-process
+solver pool (:class:`ProcessSolverPool`), weighted fair queuing and
+token-bucket admission control (:mod:`repro.serve.fairness`), and
+hash-sharded cache/warm-start state (:mod:`repro.serve.sharding`) —
+layers on top of the same :class:`SolveService`.  See DESIGN.md §8
+and §16 and :mod:`repro.serve.service` for the architecture.
 """
 
+from repro.serve.async_service import AsyncSolveService
 from repro.serve.cache import CacheEntry, SolutionCache, state_space_layout
+from repro.serve.fairness import (
+    AdmissionController,
+    FairPriorityQueue,
+    TokenBucket,
+)
 from repro.serve.jobs import (
     JobState,
     SolveJob,
@@ -15,26 +26,35 @@ from repro.serve.jobs import (
     SolveRequest,
 )
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.pool import ProcessSolverPool
 from repro.serve.scheduler import (
     BoundedPriorityQueue,
     QueuePolicy,
     SolveScheduler,
 )
 from repro.serve.service import SolveService
+from repro.serve.sharding import ShardedSolutionCache, ShardedWarmStartIndex
 from repro.serve.warmstart import WarmStartHint, WarmStartIndex
 
 __all__ = [
+    "AdmissionController",
+    "AsyncSolveService",
     "BoundedPriorityQueue",
     "CacheEntry",
+    "FairPriorityQueue",
     "JobState",
+    "ProcessSolverPool",
     "QueuePolicy",
     "ServiceMetrics",
+    "ShardedSolutionCache",
+    "ShardedWarmStartIndex",
     "SolutionCache",
     "SolveJob",
     "SolveOutcome",
     "SolveRequest",
     "SolveScheduler",
     "SolveService",
+    "TokenBucket",
     "WarmStartHint",
     "WarmStartIndex",
     "state_space_layout",

@@ -1,0 +1,328 @@
+"""Multi-tenant admission control and weighted fair queuing.
+
+Two mechanisms sit in front of the scheduler when one service carries
+traffic for several tenants:
+
+*   :class:`AdmissionController` — per-tenant :class:`TokenBucket`
+    rate limits at the front door.  A tenant over its configured rate
+    sees :class:`~repro.errors.JobRejectedError` *before* any cache or
+    queue work happens, so an abusive client cannot consume shared
+    capacity it will be refused anyway.
+*   :class:`FairPriorityQueue` — a drop-in replacement for
+    :class:`~repro.serve.scheduler.BoundedPriorityQueue` running
+    deficit round robin (DRR) across per-tenant priority heaps.  Jobs
+    have unit cost (one solve), so DRR reduces to weighted round
+    robin with per-tenant credit counters: each scheduling round a
+    tenant may be served up to ``weight`` jobs, and the round
+    replenishes only when every backlogged tenant has exhausted its
+    credit.  A tenant with weight ``w`` therefore gets at least
+    ``w / sum(weights of backlogged tenants)`` of the service no
+    matter how much load its neighbors offer — the starvation bound
+    the fairness tests assert.
+
+Within a tenant, ordering is exactly the single-tenant queue's:
+lowest ``priority`` first, FIFO within a priority.  Capacity and the
+``reject``/``block`` backpressure policies are global (shared across
+tenants), matching the bounded queue's semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import OrderedDict
+from typing import Mapping
+
+from repro.errors import JobRejectedError, ValidationError
+from repro.serve.jobs import JobState, SolveJob, _QueueItem
+from repro.serve.scheduler import QueuePolicy
+
+__all__ = ["AdmissionController", "FairPriorityQueue", "TokenBucket"]
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s up to ``burst``.
+
+    The bucket starts full, so a fresh tenant can burst immediately;
+    refill is continuous (fractional tokens accumulate between
+    acquisitions).
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if not rate > 0.0:
+            raise ValidationError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None \
+            else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValidationError(
+                f"burst must admit at least one job, got {self.burst}")
+        self._tokens = self.burst
+        self._last = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take *amount* tokens if available; never blocks."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current (refilled) token balance — diagnostics only."""
+        with self._lock:
+            now = time.monotonic()
+            return min(self.burst,
+                       self._tokens + (now - self._last) * self.rate)
+
+
+class AdmissionController:
+    """Per-tenant token buckets gating submissions.
+
+    ``limits`` maps a tenant id to a rate in jobs/s, or to a
+    ``(rate, burst)`` pair.  The special tenant ``"*"`` sets the
+    default for unlisted tenants (each unlisted tenant gets its *own*
+    bucket at that limit); without a ``"*"`` entry, unlisted tenants
+    are unthrottled.
+    """
+
+    def __init__(self, limits: Mapping):
+        self._lock = threading.Lock()
+        self._limits: dict[str, tuple[float, float | None]] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        for tenant, limit in dict(limits or {}).items():
+            self._limits[str(tenant)] = self._parse(tenant, limit)
+        # Fail fast on bad numbers (TokenBucket validates), tenant by
+        # tenant, before any traffic arrives.
+        for tenant, (rate, burst) in self._limits.items():
+            if tenant != "*":
+                self._buckets[tenant] = TokenBucket(rate, burst)
+            else:
+                TokenBucket(rate, burst)
+
+    @staticmethod
+    def _parse(tenant, limit) -> tuple[float, float | None]:
+        if isinstance(limit, (tuple, list)):
+            if len(limit) != 2:
+                raise ValidationError(
+                    f"admission limit for {tenant!r} must be a rate or "
+                    f"a (rate, burst) pair, got {limit!r}")
+            return float(limit[0]), float(limit[1])
+        return float(limit), None
+
+    def admit(self, tenant: str) -> bool:
+        """Whether *tenant* may submit one more job right now."""
+        tenant = str(tenant)
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                default = self._limits.get("*")
+                if default is None:
+                    return True
+                bucket = TokenBucket(*default)
+                self._buckets[tenant] = bucket
+        return bucket.try_acquire()
+
+    def snapshot(self) -> dict:
+        """Per-tenant token balances (diagnostics)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: round(b.tokens, 3) for tenant, b in buckets.items()}
+
+
+class _TenantLane:
+    """One tenant's backlog: a priority heap plus its DRR credit."""
+
+    __slots__ = ("heap", "credit")
+
+    def __init__(self) -> None:
+        self.heap: list[_QueueItem] = []
+        self.credit = 0
+
+
+class FairPriorityQueue:
+    """A bounded queue serving tenants by deficit round robin.
+
+    Interface-compatible with
+    :class:`~repro.serve.scheduler.BoundedPriorityQueue` (``put`` /
+    ``get`` / ``drain_matching`` / ``close`` / ``len``), so the
+    scheduler does not know it exists.  Jobs are routed to per-tenant
+    heaps by ``job.tenant``; ``get`` serves lanes in round-robin order,
+    up to ``weight`` jobs per lane per round (see module docstring).
+
+    ``weights`` maps tenant ids to integer weights ``>= 1``; unlisted
+    tenants get ``default_weight``.  Batch draining
+    (:meth:`drain_matching`) charges no credit: the companions are
+    answered by the primary's single solve, which already consumed one
+    serve from its tenant's quantum.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 policy: QueuePolicy | str = QueuePolicy.REJECT,
+                 *, put_timeout: float | None = None,
+                 weights: Mapping[str, int] | None = None,
+                 default_weight: int = 1):
+        if capacity <= 0:
+            raise ValidationError(
+                f"queue capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.policy = QueuePolicy(policy)
+        self.put_timeout = put_timeout
+        self.weights = {str(t): int(w) for t, w in dict(weights or {}).items()}
+        for tenant, w in self.weights.items():
+            if w < 1:
+                raise ValidationError(
+                    f"tenant weight for {tenant!r} must be >= 1, got {w}")
+        if default_weight < 1:
+            raise ValidationError(
+                f"default_weight must be >= 1, got {default_weight}")
+        self.default_weight = int(default_weight)
+        self._lanes: OrderedDict[str, _TenantLane] = OrderedDict()
+        self._order: list[str] = []
+        self._cursor = 0
+        self._size = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def _weight(self, tenant: str) -> int:
+        return self.weights.get(tenant, self.default_weight)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depths(self) -> dict[str, int]:
+        """Queued jobs per tenant (diagnostics/metrics)."""
+        with self._lock:
+            return {t: len(lane.heap) for t, lane in self._lanes.items()
+                    if lane.heap}
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, job: SolveJob) -> None:
+        """Enqueue *job* in its tenant's lane; global backpressure."""
+        tenant = str(getattr(job, "tenant", "default") or "default")
+        with self._lock:
+            if self._closed:
+                raise JobRejectedError("queue is closed", key=job.key)
+            if self._size >= self.capacity:
+                if self.policy is QueuePolicy.REJECT:
+                    raise JobRejectedError(
+                        f"queue full ({self.capacity} pending jobs)",
+                        key=job.key)
+                deadline = (None if self.put_timeout is None
+                            else time.monotonic() + self.put_timeout)
+                while self._size >= self.capacity and not self._closed:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0:
+                        raise JobRejectedError(
+                            f"queue still full after {self.put_timeout}s",
+                            key=job.key)
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise JobRejectedError("queue is closed", key=job.key)
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = _TenantLane()
+                lane.credit = self._weight(tenant)
+                self._lanes[tenant] = lane
+                self._order.append(tenant)
+            self._seq += 1
+            heapq.heappush(lane.heap,
+                           _QueueItem(job.priority, self._seq, job))
+            self._size += 1
+            self._not_empty.notify()
+
+    # -- consumer side -------------------------------------------------------
+
+    def _pop_locked(self) -> SolveJob | None:
+        """One DRR serve: next backlogged lane with credit, under lock."""
+        while self._size:
+            n = len(self._order)
+            for step in range(n):
+                i = (self._cursor + step) % n
+                lane = self._lanes[self._order[i]]
+                if not lane.heap or lane.credit <= 0:
+                    continue
+                lane.credit -= 1
+                item = heapq.heappop(lane.heap)
+                self._size -= 1
+                # Serve a lane's whole quantum contiguously (DRR), then
+                # move on; an exhausted or drained lane yields the turn.
+                self._cursor = i if (lane.credit > 0 and lane.heap) \
+                    else (i + 1) % n
+                return item.job
+            # Every backlogged lane is out of credit: a new DRR round.
+            for tenant, lane in self._lanes.items():
+                lane.credit = self._weight(tenant)
+        return None
+
+    def get(self, timeout: float | None = None) -> SolveJob | None:
+        """Pop per DRR order; ``None`` on timeout or closed-and-empty."""
+        with self._lock:
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            while not self._size:
+                if self._closed:
+                    return None
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            job = self._pop_locked()
+            if job is not None:
+                self._not_full.notify()
+            return job
+
+    def drain_matching(self, predicate, limit: int) -> list[SolveJob]:
+        """Atomically remove up to *limit* queued jobs passing *predicate*.
+
+        Lanes are scanned in the current round-robin order, each in
+        its own priority/FIFO order, so batching respects the order a
+        worker would have served.  No DRR credit is charged — the
+        drained companions ride the primary's single solve.
+        """
+        matched: list[SolveJob] = []
+        if limit <= 0:
+            return matched
+        with self._lock:
+            if not self._size:
+                return matched
+            n = len(self._order)
+            for step in range(n):
+                if len(matched) >= limit:
+                    break
+                lane = self._lanes[self._order[(self._cursor + step) % n]]
+                kept: list[_QueueItem] = []
+                while lane.heap and len(matched) < limit:
+                    item = heapq.heappop(lane.heap)
+                    if (item.job.state is JobState.PENDING
+                            and predicate(item.job)):
+                        matched.append(item.job)
+                    else:
+                        kept.append(item)
+                for item in kept:
+                    heapq.heappush(lane.heap, item)
+            if matched:
+                self._size -= len(matched)
+                self._not_full.notify_all()
+        return matched
+
+    def close(self) -> None:
+        """Stop accepting jobs and wake all waiters."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

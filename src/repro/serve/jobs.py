@@ -35,7 +35,7 @@ from repro.solvers.result import SolverResult
 #: so typos do not silently fork the cache-key space.
 SOLVER_OPTION_KEYS = frozenset({
     "damping", "check_interval", "normalize_interval", "stagnation_tol",
-    "step",
+    "step", "backend",
     # method="sharded" knobs, rejected by the other solvers' ctors only
     # if actually passed — the service forwards options verbatim.
     "shards", "sync",
@@ -213,14 +213,18 @@ class SolveJob:
     """A submitted request: a small thread-safe future.
 
     Lower ``priority`` values are served first; ties break by
-    submission order (FIFO).
+    submission order (FIFO).  ``tenant`` identifies the submitter for
+    admission control and weighted fair queuing; it never participates
+    in the cache key (two tenants asking the same question share one
+    answer).
     """
 
     def __init__(self, request: SolveRequest, *, job_id: int,
-                 priority: int = 0):
+                 priority: int = 0, tenant: str = "default"):
         self.request = request
         self.id = int(job_id)
         self.priority = int(priority)
+        self.tenant = str(tenant) or "default"
         self.key = request.cache_key()
         self.attempts = 0
         self.submitted_at: float | None = None
@@ -235,6 +239,7 @@ class SolveJob:
         self._state = JobState.PENDING
         self._outcome: SolveOutcome | None = None
         self._error: SolveJobError | None = None
+        self._callbacks: list = []
 
     # -- queries ------------------------------------------------------------
 
@@ -266,6 +271,36 @@ class SolveJob:
         """The structured failure payload of a failed job ({} otherwise)."""
         return dict(self._error.failure) if self._error is not None else {}
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(job)`` once the job reaches a terminal state.
+
+        Fires immediately (on the calling thread) when already
+        terminal; otherwise on whichever thread completes the job — a
+        worker thread, or the submitter for cache hits and
+        cancellations.  Callbacks must be cheap and never block; the
+        asyncio façade bridges into the event loop with
+        ``loop.call_soon_threadsafe``.  Callback exceptions are
+        swallowed so one bad observer cannot fail the completion path.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        self._invoke(fn)
+
+    def _invoke(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - observer must not break completion
+            pass
+
+    def _fire_callbacks(self) -> None:
+        """Drain and invoke callbacks (call *without* the lock held)."""
+        with self._lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke(fn)
+
     # -- transitions (scheduler/service only) --------------------------------
 
     def cancel(self) -> bool:
@@ -278,7 +313,8 @@ class SolveJob:
                 f"job {self.id} cancelled before execution",
                 key=self.key, attempts=self.attempts)
             self._done.set()
-            return True
+        self._fire_callbacks()
+        return True
 
     def mark_running(self) -> bool:
         with self._lock:
@@ -308,6 +344,7 @@ class SolveJob:
             self._state = JobState.DONE
             self._outcome = outcome
             self._done.set()
+        self._fire_callbacks()
 
     def fail(self, error: SolveJobError) -> None:
         with self._lock:
@@ -316,6 +353,7 @@ class SolveJob:
             self._state = JobState.FAILED
             self._error = error
             self._done.set()
+        self._fire_callbacks()
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"SolveJob(id={self.id}, state={self._state.value}, "

@@ -15,6 +15,9 @@ independent.
 
 from __future__ import annotations
 
+import re
+import threading
+
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -24,8 +27,17 @@ from repro.telemetry.metrics import (
 from repro.telemetry.metrics import SAMPLE_WINDOW as LATENCY_WINDOW
 from repro.utils.tables import Table
 
-__all__ = ["COUNTER_NAMES", "LATENCY_WINDOW", "STAGE_NAMES",
-           "ServiceMetrics", "percentile"]
+__all__ = ["COUNTER_NAMES", "LATENCY_WINDOW", "SOLVE_LATENCY_BUCKETS",
+           "STAGE_NAMES", "ServiceMetrics", "percentile"]
+
+#: Fixed bucket bounds of the ``solve_latency_seconds`` histogram
+#: (end-to-end submit→terminal).  Finer than :data:`DEFAULT_BUCKETS`
+#: in the serving sweet spot (1 ms – 1 s) so bucket-derived p50/p99
+#: stay meaningful for interactive workloads; Prometheus-compatible
+#: (cumulative ``le`` buckets, implicit ``+Inf``).
+SOLVE_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 COUNTER_NAMES = (
     "submitted",        # jobs admitted (including coalesced + cache hits)
@@ -46,6 +58,8 @@ COUNTER_NAMES = (
     "fsp_solved",       # adaptive-FSP jobs answered with a certificate
     "cache_faults",     # injected cache misses observed
     "journal_replayed", # accepted-but-unfinished jobs replayed on restart
+    "admission_rejected",  # submissions refused by the token buckets
+    "pool_respawns",    # dead pool worker processes replaced
 )
 
 #: Pipeline stages timed per job (see :class:`SolveService`).
@@ -79,6 +93,16 @@ class ServiceMetrics:
         self._latency = self.registry.histogram(
             f"{prefix}_latency_seconds",
             "job latency from worker start to finish")
+        # Deliberately unprefixed: services sharing one registry (one
+        # service per model behind one pool) aggregate into a single
+        # end-to-end latency distribution, which is what a load test
+        # and an operator dashboard both want.
+        self._solve_latency = self.registry.histogram(
+            "solve_latency_seconds",
+            "end-to-end job latency from submission to terminal state",
+            buckets=SOLVE_LATENCY_BUCKETS)
+        self._tenant_lock = threading.Lock()
+        self._tenant_counters: dict[tuple[str, str], object] = {}
         self._stages = {
             stage: self.registry.histogram(
                 f"{prefix}_stage_{stage}_seconds",
@@ -103,6 +127,40 @@ class ServiceMetrics:
 
     def observe_latency(self, seconds: float) -> None:
         self._latency.observe(seconds)
+
+    def observe_solve_latency(self, seconds: float) -> None:
+        """Record one end-to-end (submit → terminal) job latency."""
+        self._solve_latency.observe(seconds)
+
+    def incr_tenant(self, tenant: str, name: str, amount: int = 1) -> None:
+        """Increment a per-tenant counter (created lazily).
+
+        Counters register as
+        ``<prefix>_tenant_<sanitized tenant>_<name>_total``; tenant
+        ids are sanitized to ``[A-Za-z0-9_]`` for the metric name but
+        the snapshot keys keep the original id.
+        """
+        key = (str(tenant), str(name))
+        counter = self._tenant_counters.get(key)
+        if counter is None:
+            with self._tenant_lock:
+                counter = self._tenant_counters.get(key)
+                if counter is None:
+                    safe = re.sub(r"[^A-Za-z0-9_]", "_", key[0]) or "default"
+                    counter = self.registry.counter(
+                        f"{self.prefix}_tenant_{safe}_{key[1]}_total",
+                        f"serve jobs {key[1]} for tenant {key[0]}")
+                    self._tenant_counters[key] = counter
+        counter.inc(amount)
+
+    def tenant_snapshot(self) -> dict:
+        """``{tenant: {counter: value}}`` for every tenant seen so far."""
+        with self._tenant_lock:
+            items = list(self._tenant_counters.items())
+        out: dict[str, dict[str, int]] = {}
+        for (tenant, name), counter in items:
+            out.setdefault(tenant, {})[name] = counter.value
+        return out
 
     def observe_stage(self, stage: str, seconds: float) -> None:
         """Record one *stage* duration (a key of :data:`STAGE_NAMES`)."""
@@ -137,6 +195,13 @@ class ServiceMetrics:
         for name, q in (("latency_p50_s", 0.50), ("latency_p90_s", 0.90),
                         ("latency_p99_s", 0.99)):
             out[name] = self._latency.quantile(q)
+        # End-to-end percentiles derived from the fixed cumulative
+        # buckets (not the bounded sample window), exactly as a
+        # Prometheus histogram_quantile() over the exposition would
+        # compute them.
+        out["solve_latency_count"] = self._solve_latency.count
+        out["solve_latency_p50_s"] = self._solve_latency.bucket_quantile(0.50)
+        out["solve_latency_p99_s"] = self._solve_latency.bucket_quantile(0.99)
         for stage, hist in self._stages.items():
             out[f"stage_{stage}_p50_s"] = hist.quantile(0.50)
             out[f"stage_{stage}_count"] = hist.count

@@ -159,7 +159,13 @@ class BoundedPriorityQueue:
 
 
 class SolveScheduler:
-    """A worker pool draining a :class:`BoundedPriorityQueue`.
+    """A worker pool draining a bounded priority queue.
+
+    The queue is duck-typed: anything with the
+    :class:`BoundedPriorityQueue` surface (``put`` / ``get`` /
+    ``drain_matching`` / ``close`` / ``__len__``) works — the service
+    substitutes a :class:`repro.serve.fairness.FairPriorityQueue` when
+    tenant weights are configured.
 
     Parameters
     ----------
@@ -167,7 +173,10 @@ class SolveScheduler:
         ``execute(job) -> SolveOutcome`` — provided by the service; runs
         one attempt and may raise.
     workers:
-        Thread count.
+        Thread count.  With a thread executor these threads *run* the
+        solves; with ``SolveService(executor="process")`` they only
+        dispatch to the process pool and block on results, so the
+        count should match the pool's worker-process count.
     retries:
         Extra attempts after the first, consumed only by
         :data:`RETRYABLE_ERRORS`.
@@ -182,7 +191,7 @@ class SolveScheduler:
     """
 
     def __init__(self, execute, *, workers: int = 1,
-                 queue: BoundedPriorityQueue | None = None,
+                 queue=None,
                  retries: int = 0, retry_policy=None,
                  on_retry=None, on_done=None,
                  name: str = "solve"):

@@ -32,6 +32,7 @@ Example
 from __future__ import annotations
 
 import contextlib
+import functools
 import itertools
 import logging
 import signal
@@ -59,6 +60,7 @@ from repro.resilience.backoff import RetryPolicy
 from repro.resilience.circuit import CircuitBreaker
 from repro.resilience.faults import active_injector
 from repro.serve.cache import CacheEntry, SolutionCache, state_space_layout
+from repro.serve.fairness import AdmissionController, FairPriorityQueue
 from repro.serve.jobs import (
     SolveJob,
     SolveOutcome,
@@ -66,16 +68,17 @@ from repro.serve.jobs import (
     matrix_signature,
 )
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.pool import ProcessSolverPool
 from repro.serve.scheduler import (
     BoundedPriorityQueue,
     QueuePolicy,
     SolveScheduler,
 )
+from repro.serve.sharding import ShardedSolutionCache, ShardedWarmStartIndex
 from repro.serve.warmstart import WarmStartIndex, blend_donors
 from repro.solvers import (
     SOLVER_REGISTRY,
     BatchedJacobiSolver,
-    JacobiSolver,
 )
 from repro.solvers.result import StopReason
 from repro.telemetry import tracing
@@ -261,6 +264,58 @@ class SolveService:
         register the service's counters/histograms in (one exposition
         across services and solver/gpusim telemetry); a private
         registry by default.
+    executor:
+        ``"thread"`` (default) runs solves on the scheduler's worker
+        threads; ``"process"`` dispatches each solve to a
+        :class:`~repro.serve.pool.ProcessSolverPool` of ``workers``
+        worker *processes*, so K workers run K native solve loops with
+        no shared GIL.  Matrices ship to a worker once per linear
+        system (content-keyed) and stay resident, so repeated
+        conditions pay no re-pickling.  ``"process"`` does not combine
+        with ``method="fsp"`` (the projection loop is not
+        pool-shippable) or ``method="sharded"`` (itself a process
+        pool).
+    pool:
+        A preconstructed (possibly shared) pool to dispatch to;
+        implies ``executor="process"``.  The service never closes a
+        pool it did not create, so several services (one per model)
+        can serve through one pool.
+    pool_start:
+        Multiprocessing start method for a service-owned pool
+        (``"fork"``/``"spawn"``/``"forkserver"``); default per
+        :class:`~repro.serve.pool.ProcessSolverPool` (spawn under
+        native/OpenMP backends).
+    tenant_weights:
+        ``tenant -> weight`` map enabling weighted fair queuing: the
+        bounded priority queue becomes a
+        :class:`~repro.serve.fairness.FairPriorityQueue` running
+        deficit round robin over per-tenant lanes, so a heavy tenant
+        cannot starve a light one regardless of arrival rates.
+        Unlisted tenants queue at weight 1.
+    admission:
+        Per-tenant token-bucket admission control: an
+        :class:`~repro.serve.fairness.AdmissionController`, or its
+        ``limits`` mapping (``tenant -> rate`` or ``tenant -> (rate,
+        burst)``; key ``"*"`` sets the default for unlisted tenants).
+        Over-rate submissions raise
+        :class:`~repro.errors.JobRejectedError` at the front door —
+        before the cache, the journal and the queue.
+    cache_shards:
+        When > 1, the solution cache (if service-created) and the
+        warm-start index are hash-sharded into this many independently
+        locked slices (see :mod:`repro.serve.sharding`), removing the
+        single cache lock as a completion-path serialization point
+        under many workers.
+    default_damping:
+        Serve-level Jacobi damping applied when a request does not
+        spell out ``damping`` itself (``None`` disables).  Undamped
+        Jacobi stagnates on bipartite-structured systems — the toggle
+        switch at symmetric rate points oscillates between its two
+        modes for >100k iterations where ``damping=0.9`` converges in
+        a few hundred — which made ``toggle_switch`` the serve
+        latency outlier.  Only applies to ``method="jacobi"`` /
+        ``"sharded"``; explicit ``damping`` (including ``1.0``) always
+        wins.
     """
 
     def __init__(self, network: ReactionNetwork, *, workers: int = 1,
@@ -286,16 +341,33 @@ class SolveService:
                  reuse_state_space: bool = True,
                  max_states: int = 5_000_000,
                  journal: JobJournal | str | Path | None = None,
-                 metrics_registry=None):
+                 metrics_registry=None,
+                 executor: str = "thread",
+                 pool: ProcessSolverPool | None = None,
+                 pool_start: str | None = None,
+                 tenant_weights: Mapping[str, int] | None = None,
+                 admission: AdmissionController | Mapping | None = None,
+                 cache_shards: int = 1,
+                 default_damping: float | None = 0.9):
         if timeout_s is not None and timeout_s <= 0:
             raise ValidationError("timeout_s must be positive")
         self.network = network
-        if isinstance(cache, SolutionCache):
-            self.cache: SolutionCache | None = cache
-        elif cache:
-            self.cache = SolutionCache()
-        else:
+        if cache_shards < 1:
+            raise ValidationError(
+                f"cache_shards must be >= 1, got {cache_shards}")
+        self.cache_shards = int(cache_shards)
+        if cache is None or cache is False:
             self.cache = None
+        elif cache is True:
+            self.cache = (ShardedSolutionCache(self.cache_shards)
+                          if self.cache_shards > 1 else SolutionCache())
+        else:
+            # Any cache-shaped object (SolutionCache,
+            # ShardedSolutionCache, or a compatible wrapper) is used
+            # as-is — sharding a caller-provided cache is the caller's
+            # decision.  Identity checks, not truthiness: an *empty*
+            # cache instance is len()==0 and must still count.
+            self.cache = cache
         self.warm_start = bool(warm_start)
         if self.warm_start and self.cache is None:
             raise ValidationError(
@@ -341,6 +413,26 @@ class SolveService:
                 f"unknown solver method {method!r}; expected 'fsp' or "
                 f"one of {sorted(SOLVER_REGISTRY)}")
         self.fsp_options = dict(fsp_options or {})
+        executor = str(executor).lower()
+        if executor not in ("thread", "process"):
+            raise ValidationError(
+                f"executor must be 'thread' or 'process', got {executor!r}")
+        if pool is not None:
+            executor = "process"
+        if executor == "process" and self.method in ("fsp", "sharded"):
+            raise ValidationError(
+                f"executor='process' does not combine with "
+                f"method={self.method!r}: FSP's projection loop is not "
+                f"pool-shippable and the sharded solver is itself a "
+                f"process pool")
+        self.executor = executor
+        if default_damping is not None:
+            default_damping = float(default_damping)
+            if not 0.0 < default_damping <= 1.0:
+                raise ValidationError(
+                    f"default_damping must be in (0, 1], "
+                    f"got {default_damping}")
+        self.default_damping = default_damping
         if breaker_threshold < 0:
             raise ValidationError("breaker_threshold must be >= 0")
         self._breaker = None if breaker_threshold == 0 else CircuitBreaker(
@@ -367,7 +459,27 @@ class SolveService:
         self._workspace = _Workspace(network,
                                      reuse_state_space=reuse_state_space,
                                      max_states=max_states)
-        self._warm_index = WarmStartIndex() if self.warm_start else None
+        if not self.warm_start:
+            self._warm_index = None
+        elif self.cache_shards > 1:
+            self._warm_index = ShardedWarmStartIndex(self.cache_shards)
+        else:
+            self._warm_index = WarmStartIndex()
+        if admission is None or isinstance(admission, AdmissionController):
+            self._admission = admission
+        else:
+            self._admission = AdmissionController(admission)
+        self._own_pool = False
+        self._pool = pool
+        if self.executor == "process" and self._pool is None:
+            self._pool = ProcessSolverPool(
+                workers=workers,
+                backend=self.solver_options.get("backend"),
+                start_method=pool_start,
+                name=f"serve-{network.name}",
+                on_respawn=lambda: self.metrics.incr("pool_respawns"))
+            self._own_pool = True
+        self.tenant_weights = dict(tenant_weights or {})
         self._inflight: dict[str, SolveJob] = {}
         self._lock = threading.Lock()
         self._job_seq = itertools.count(1)
@@ -375,8 +487,13 @@ class SolveService:
         if isinstance(journal, (str, Path)):
             journal = JobJournal(journal)
         self.journal = journal
-        queue = BoundedPriorityQueue(queue_capacity, queue_policy,
-                                     put_timeout=put_timeout)
+        if self.tenant_weights:
+            queue = FairPriorityQueue(queue_capacity, queue_policy,
+                                      put_timeout=put_timeout,
+                                      weights=self.tenant_weights)
+        else:
+            queue = BoundedPriorityQueue(queue_capacity, queue_policy,
+                                         put_timeout=put_timeout)
         self._scheduler = SolveScheduler(
             self._execute, workers=workers, queue=queue, retries=retries,
             retry_policy=retry_policy,
@@ -406,6 +523,8 @@ class SolveService:
                 return
             self._closed = True
         self._scheduler.close(wait=wait)
+        if self._own_pool and self._pool is not None:
+            self._pool.close()
         if self.journal is not None:
             self.journal.close()
 
@@ -435,6 +554,8 @@ class SolveService:
             if not job.done():
                 clean = False
         self._scheduler.close(wait=True)
+        if self._own_pool and self._pool is not None:
+            self._pool.close()
         if self.journal is not None:
             self.journal.compact()
             self.journal.close()
@@ -467,20 +588,32 @@ class SolveService:
     def request(self, overrides: Mapping[str, float] | None = None, *,
                 tol: float | None = None, max_iterations: int | None = None,
                 solver_options: Mapping | None = None) -> SolveRequest:
-        """Build a request with this service's defaults filled in."""
+        """Build a request with this service's defaults filled in.
+
+        ``default_damping`` is folded in here — *only* when the
+        effective solver options do not carry a ``damping`` of their
+        own — so it participates in the cache key like any other
+        option and identical requests keep colliding onto one line.
+        """
+        options = dict(self.solver_options if solver_options is None
+                       else solver_options)
+        if (self.default_damping is not None
+                and self.method in ("jacobi", "sharded")
+                and "damping" not in options):
+            options["damping"] = self.default_damping
         return SolveRequest(
             self.network, overrides,
             tol=self.tol if tol is None else tol,
             max_iterations=(self.max_iterations if max_iterations is None
                             else max_iterations),
-            solver_options=(self.solver_options if solver_options is None
-                            else solver_options))
+            solver_options=options)
 
     def submit(self, overrides: Mapping[str, float] | None = None, *,
                priority: int = 0, tol: float | None = None,
                max_iterations: int | None = None,
                solver_options: Mapping | None = None,
-               deadline_s: float | None = None) -> SolveJob:
+               deadline_s: float | None = None,
+               tenant: str = "default") -> SolveJob:
         """Admit one solve; returns a job to block on.
 
         Cache hits complete the returned job synchronously; a submit
@@ -491,12 +624,35 @@ class SolveService:
         approximate answer instead.  ``deadline_s`` propagates an
         end-to-end deadline into the worker: whatever remains of it
         when an attempt starts caps the solver's ``time_budget_s``.
+
+        ``tenant`` identifies the submitter for admission control and
+        fair queuing; an over-rate tenant is refused at the front door
+        (before the cache and the journal) with
+        :class:`~repro.errors.JobRejectedError`, never served a
+        degraded answer.  The tenant does not participate in the cache
+        key, so tenants asking the same question share one answer.
         """
         if self._closed:
             raise SolveJobError("service is closed")
         if deadline_s is not None and deadline_s <= 0:
             raise ValidationError(
                 f"deadline_s must be positive, got {deadline_s}")
+        tenant = str(tenant) or "default"
+        injector = active_injector()
+        forced = (injector is not None
+                  and injector.active_for("serve.admission")
+                  and injector.maybe_fail(
+                      "serve.admission", detail=tenant) is not None)
+        if forced or (self._admission is not None
+                      and not self._admission.admit(tenant)):
+            self.metrics.incr("admission_rejected")
+            self.metrics.incr("rejected")
+            self.metrics.incr_tenant(tenant, "admission_rejected")
+            raise JobRejectedError(
+                f"tenant {tenant!r} refused admission"
+                + (" (injected fault)" if forced
+                   else ": token bucket empty"),
+                failure={"tenant": tenant, "reason": "admission"})
         req = self.request(overrides, tol=tol, max_iterations=max_iterations,
                            solver_options=solver_options)
         key = req.cache_key()
@@ -517,10 +673,12 @@ class SolveService:
             else:
                 entry = self.cache.get(key, layout=self._workspace.layout())
                 if entry is not None:
-                    job = self._new_job(req, priority)
+                    job = self._new_job(req, priority, tenant)
                     job.finish(self._outcome_from_entry(req, entry))
                     self.metrics.incr("cache_hits")
                     self.metrics.observe_latency(0.0)
+                    self.metrics.observe_solve_latency(0.0)
+                    self.metrics.incr_tenant(tenant, "completed")
                     return job
 
         with self._lock:
@@ -528,7 +686,7 @@ class SolveService:
             if inflight is not None and not inflight.done():
                 self.metrics.incr("coalesced")
                 return inflight
-            job = self._new_job(req, priority)
+            job = self._new_job(req, priority, tenant)
             if deadline_s is not None:
                 job.deadline_at = time.perf_counter() + deadline_s
             self._inflight[key] = job
@@ -536,7 +694,8 @@ class SolveService:
             # Write-ahead: the accept record is durable *before* the
             # job can enter the scheduler, so a crash at any later
             # point leaves an open entry the next process replays.
-            self.journal.accepted(key, self._journal_payload(req, priority))
+            self.journal.accepted(
+                key, self._journal_payload(req, priority, tenant))
         try:
             self._scheduler.submit(job)
         except SolveJobError:
@@ -549,6 +708,8 @@ class SolveService:
                 if outcome is not None:
                     self.metrics.incr("degraded")
                     job.finish(outcome)
+                    self.metrics.observe_solve_latency(0.0)
+                    self.metrics.incr_tenant(tenant, "completed")
                     if self.journal is not None:
                         self.journal.completed(key)
                     return job
@@ -671,11 +832,36 @@ class SolveService:
             # system, not of this attempt — surface it as a terminal
             # SolveJobError (with the offending matrix's signature in
             # the failure payload) so the scheduler never burns retries
-            # on it.
+            # on it.  The pool raises the same SingularSystemError from
+            # the worker-side solver construction.
             try:
-                solver = self._solver_cls(A, tol=req.tol,
-                                          max_iterations=req.max_iterations,
-                                          **req.solver_options)
+                if self._pool is not None:
+                    solve_t0 = time.perf_counter()
+                    with tracing.span("serve.solve", warm=warm,
+                                      executor="process"):
+                        result = self._pool.solve(
+                            system_key=req.matrix_key(), matrix=A,
+                            method=self.method, tol=req.tol,
+                            max_iterations=req.max_iterations,
+                            options=req.solver_options, x0=x0,
+                            time_budget_s=time_budget_s)
+                    cold_solve = functools.partial(
+                        self._pool.solve, system_key=req.matrix_key(),
+                        matrix=A, method=self.method, tol=req.tol,
+                        max_iterations=req.max_iterations,
+                        options=req.solver_options,
+                        time_budget_s=self.timeout_s)
+                else:
+                    solver = self._solver_cls(
+                        A, tol=req.tol,
+                        max_iterations=req.max_iterations,
+                        **req.solver_options)
+                    solve_t0 = time.perf_counter()
+                    with tracing.span("serve.solve", warm=warm):
+                        result = solver.solve(x0=x0,
+                                              time_budget_s=time_budget_s)
+                    cold_solve = functools.partial(
+                        solver.solve, time_budget_s=self.timeout_s)
             except SingularSystemError as exc:
                 raise SolveJobError(
                     f"job {job.id} is unsolvable: {exc}",
@@ -684,9 +870,6 @@ class SolveService:
                              "rows": list(exc.rows),
                              "matrix_signature": matrix_signature(A)},
                 ) from exc
-            solve_t0 = time.perf_counter()
-            with tracing.span("serve.solve", warm=warm):
-                result = solver.solve(x0=x0, time_budget_s=time_budget_s)
             self.metrics.observe_stage(
                 "solve", time.perf_counter() - solve_t0)
             ex_span.set_attribute("iterations", result.iterations)
@@ -699,7 +882,7 @@ class SolveService:
 
             if warm:
                 self.metrics.incr("warm_started")
-                self._maybe_audit(solver, result)
+                self._maybe_audit(cold_solve, result)
             else:
                 self.metrics.incr("cold_started")
 
@@ -817,17 +1000,28 @@ class SolveService:
         jobs = [job] + companions
         self.metrics.incr("batched", len(companions))
         try:
-            solver = BatchedJacobiSolver(
-                A, tol=req.tol, max_iterations=req.max_iterations,
-                **{k: v for k, v in req.solver_options.items()
-                   if k != "step"})
             tols = [j.request.tol for j in jobs]
-            x0s = None if x0 is None else [x0] * len(jobs)
-            solve_t0 = time.perf_counter()
-            with tracing.span("serve.solve_batched", k=len(jobs),
-                              warm=warm):
-                results = solver.solve_many(x0s, k=len(jobs), tols=tols,
-                                            time_budget_s=time_budget_s)
+            if self._pool is not None:
+                solve_t0 = time.perf_counter()
+                with tracing.span("serve.solve_batched", k=len(jobs),
+                                  warm=warm, executor="process"):
+                    results = self._pool.solve_batched(
+                        system_key=req.matrix_key(), matrix=A,
+                        tol=req.tol, max_iterations=req.max_iterations,
+                        options=req.solver_options, tols=tols,
+                        x0=x0, k=len(jobs),
+                        time_budget_s=time_budget_s)
+            else:
+                solver = BatchedJacobiSolver(
+                    A, tol=req.tol, max_iterations=req.max_iterations,
+                    **{k: v for k, v in req.solver_options.items()
+                       if k != "step"})
+                x0s = None if x0 is None else [x0] * len(jobs)
+                solve_t0 = time.perf_counter()
+                with tracing.span("serve.solve_batched", k=len(jobs),
+                                  warm=warm):
+                    results = solver.solve_many(x0s, k=len(jobs), tols=tols,
+                                                time_budget_s=time_budget_s)
         except Exception:
             # The batch never produced answers: release the companions
             # back to the queue for individual attempts, then let the
@@ -893,20 +1087,25 @@ class SolveService:
                 j.fail(error)
                 self._on_done(j, error)
 
-    def _maybe_audit(self, solver: JacobiSolver, warm_result) -> None:
+    def _maybe_audit(self, cold_solve, warm_result) -> None:
         """Measure one warm start against the uniform start, sampled.
 
-        Runs the cold solve on the *same* system and records the
-        observed iteration difference — a measurement, not a model, so
-        the savings metric stays honest even though cold cost varies
-        across the grid.  The audit result is discarded; it cannot
-        affect the job's answer.
+        ``cold_solve()`` runs the uniform-start solve on the *same*
+        system (locally, or on the process pool when one is attached)
+        and the observed iteration difference is recorded — a
+        measurement, not a model, so the savings metric stays honest
+        even though cold cost varies across the grid.  The audit
+        result is discarded and an audit failure swallowed; neither
+        can affect the job's answer.
         """
         if self.warm_audit_interval == 0:
             return
         if next(self._warm_count) % self.warm_audit_interval != 0:
             return
-        cold = solver.solve(time_budget_s=self.timeout_s)
+        try:
+            cold = cold_solve()
+        except SolveJobError:
+            return
         if cold.stop_reason is StopReason.TIMED_OUT:
             return
         self.metrics.record_warm_audit(
@@ -923,15 +1122,23 @@ class SolveService:
             (self.journal.failed if error is not None
              else self.journal.completed)(job.key)
         self.metrics.incr("failed" if error is not None else "completed")
+        self.metrics.incr_tenant(
+            job.tenant, "failed" if error is not None else "completed")
         if job.started_at is not None and job.submitted_at is not None:
             self.metrics.observe_stage(
                 "queue", job.started_at - job.submitted_at)
         if job.started_at is not None and job.finished_at is not None:
             self.metrics.observe_latency(job.finished_at - job.started_at)
+        if job.submitted_at is not None and job.finished_at is not None:
+            # End-to-end: queue wait + every attempt, the latency a
+            # caller actually experiences (solve_latency_seconds).
+            self.metrics.observe_solve_latency(
+                job.finished_at - job.submitted_at)
 
     # -- journal replay ------------------------------------------------------
 
-    def _journal_payload(self, req: SolveRequest, priority: int) -> dict:
+    def _journal_payload(self, req: SolveRequest, priority: int,
+                         tenant: str = "default") -> dict:
         """Everything needed to rebuild *req* in a fresh process."""
         return {
             "network": self.network.canonical_signature(),
@@ -940,6 +1147,7 @@ class SolveService:
             "max_iterations": req.max_iterations,
             "solver_options": dict(req.solver_options),
             "priority": int(priority),
+            "tenant": str(tenant),
         }
 
     def _replay_journal(self) -> None:
@@ -981,6 +1189,7 @@ class SolveService:
                 self.journal.cancelled(key)
                 continue
             priority = int(payload.get("priority", 0))
+            tenant = str(payload.get("tenant", "default"))
             if req.cache_key() != key:
                 # The payload no longer reproduces the accepted key
                 # (request hashing changed between versions): close
@@ -996,7 +1205,8 @@ class SolveService:
                                 max_iterations=payload.get(
                                     "max_iterations"),
                                 solver_options=payload.get(
-                                    "solver_options"))
+                                    "solver_options"),
+                                tenant=tenant)
                 continue
             if self.cache is not None and self.method != "fsp":
                 entry = self.cache.get(key,
@@ -1011,7 +1221,7 @@ class SolveService:
             with self._lock:
                 if key in self._inflight:
                     continue
-                job = self._new_job(req, priority)
+                job = self._new_job(req, priority, tenant)
                 self._inflight[key] = job
             try:
                 self._scheduler.submit(job)
@@ -1033,10 +1243,12 @@ class SolveService:
 
     # -- helpers -------------------------------------------------------------
 
-    def _new_job(self, req: SolveRequest, priority: int) -> SolveJob:
+    def _new_job(self, req: SolveRequest, priority: int,
+                 tenant: str = "default") -> SolveJob:
         # next() on itertools.count is atomic in CPython, so this is
         # safe to call both with and without the service lock held.
-        return SolveJob(req, job_id=next(self._job_seq), priority=priority)
+        return SolveJob(req, job_id=next(self._job_seq), priority=priority,
+                        tenant=tenant)
 
     def _outcome_from_entry(self, req: SolveRequest,
                             entry: CacheEntry) -> SolveOutcome:
@@ -1075,12 +1287,26 @@ class SolveService:
         return None
 
     def snapshot(self) -> dict:
-        """Metrics snapshot with cache, breaker and journal merged in."""
-        return self.metrics.snapshot(
+        """Metrics snapshot with cache, breaker and journal merged in.
+
+        Services running concurrency machinery get extra sections:
+        ``pool`` (dispatch/respawn accounting), ``admission``
+        (per-tenant token-bucket levels) and ``tenants`` (per-tenant
+        completion counters) appear when configured.
+        """
+        out = self.metrics.snapshot(
             cache_stats=self.cache.stats if self.cache is not None else None,
             breaker=(self._breaker.snapshot()
                      if self._breaker is not None else None),
             journal=self.journal)
+        if self._pool is not None:
+            out["pool"] = self._pool.stats
+        if self._admission is not None:
+            out["admission"] = self._admission.snapshot()
+        tenants = self.metrics.tenant_snapshot()
+        if tenants:
+            out["tenants"] = tenants
+        return out
 
     def render_metrics(self) -> str:
         """Printable metrics table (the CLI's ``serve`` output)."""

@@ -1,0 +1,161 @@
+"""Hash-sharded cache and warm-start index for many-worker services.
+
+The solution cache and the warm-start index each guard their state
+with one lock; with a handful of worker threads that lock is invisible
+next to the solve, but a process-pool service dispatching from many
+threads (and several services sharing one cache) turns every
+completion into a serialization point.  Sharding by the content hash
+of the cache key splits the structures into ``shards`` independently
+locked instances, so concurrent completions contend only when they
+land on the same shard (probability ``1/shards``).
+
+Both wrappers are API-compatible with the singletons they shard
+(:class:`~repro.serve.cache.SolutionCache`,
+:class:`~repro.serve.warmstart.WarmStartIndex`), so the service code
+does not branch on them.  Point lookups route to exactly one shard;
+the warm-start *queries* (``suggest`` / ``select_donors``) fan out to
+every shard and merge — nearest-neighbor answers must be global.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.serve.cache import CacheEntry, CacheStats, SolutionCache
+from repro.serve.warmstart import (
+    WarmStartHint,
+    WarmStartIndex,
+    centered_selection,
+)
+
+__all__ = ["ShardedSolutionCache", "ShardedWarmStartIndex", "shard_index"]
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Stable shard assignment of a cache key (CRC32 of its bytes)."""
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+class ShardedSolutionCache:
+    """``shards`` independently locked :class:`SolutionCache` tiers.
+
+    The byte budget is split evenly across shards; because keys are
+    content hashes the split is balanced in expectation.  A shared
+    ``disk_dir`` is safe: each key maps to exactly one shard, so no
+    two shards ever touch the same ``.npz`` file.
+    """
+
+    def __init__(self, shards: int = 4, *,
+                 max_bytes: int = 256 * 1024 * 1024,
+                 disk_dir: str | Path | None = None):
+        if shards < 1:
+            raise ValidationError(
+                f"shards must be >= 1, got {shards}")
+        per_shard = max(1, int(max_bytes) // int(shards))
+        self.max_bytes = per_shard * int(shards)
+        self.shards = tuple(
+            SolutionCache(per_shard, disk_dir) for _ in range(int(shards)))
+
+    def _shard(self, key: str) -> SolutionCache:
+        return self.shards[shard_index(key, len(self.shards))]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(s.current_bytes for s in self.shards)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss accounting across all shards."""
+        total = CacheStats()
+        for s in self.shards:
+            total.hits += s.stats.hits
+            total.misses += s.stats.misses
+            total.evictions += s.stats.evictions
+            total.disk_hits += s.stats.disk_hits
+            total.stores += s.stats.stores
+            total.disk_corrupt += s.stats.disk_corrupt
+        return total
+
+    def get(self, key: str, *, layout: str | None = None) -> CacheEntry | None:
+        return self._shard(key).get(key, layout=layout)
+
+    def peek(self, key: str, *,
+             layout: str | None = None) -> CacheEntry | None:
+        return self._shard(key).peek(key, layout=layout)
+
+    def put(self, entry: CacheEntry) -> None:
+        self._shard(entry.key).put(entry)
+
+    def clear(self) -> None:
+        for s in self.shards:
+            s.clear()
+
+
+class ShardedWarmStartIndex:
+    """``shards`` independently locked :class:`WarmStartIndex` slices.
+
+    ``add`` routes by key hash (one lock); ``suggest`` and
+    ``select_donors`` query every shard and merge, so donor answers
+    are identical in *content* to the unsharded index — candidate
+    pools may differ at the pool-size boundary, which only matters for
+    the greedy stencil's tie-breaking.
+    """
+
+    def __init__(self, shards: int = 4, *, max_points: int = 10_000):
+        if shards < 1:
+            raise ValidationError(
+                f"shards must be >= 1, got {shards}")
+        per_shard = max(1, int(max_points) // int(shards))
+        self.shards = tuple(
+            WarmStartIndex(max_points=per_shard) for _ in range(int(shards)))
+
+    def _shard(self, key: str) -> WarmStartIndex:
+        return self.shards[shard_index(key, len(self.shards))]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def add(self, key: str, log_rates: np.ndarray, iterations: int) -> None:
+        self._shard(key).add(key, log_rates, iterations)
+
+    def coords_for(self, keys) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for s in self.shards:
+            out.update(s.coords_for(keys))
+        return out
+
+    def suggest(self, log_rates: np.ndarray, *, k: int = 1,
+                exclude_key: str | None = None) -> list[WarmStartHint]:
+        """Global k-nearest: per-shard top-k merged, closest first."""
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        merged: list[WarmStartHint] = []
+        for s in self.shards:
+            merged.extend(s.suggest(log_rates, k=k,
+                                    exclude_key=exclude_key))
+        merged.sort(key=lambda h: h.distance)
+        return merged[:k]
+
+    def select_donors(self, log_rates: np.ndarray, *, k: int = 2,
+                      exclude_key: str | None = None,
+                      pool: int | None = None) -> list[WarmStartHint]:
+        """Centered-stencil donors over a globally merged candidate pool."""
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        pool = 4 * k if pool is None else pool
+        hints = self.suggest(log_rates, k=max(pool, k),
+                             exclude_key=exclude_key)
+        if len(hints) <= 1 or k == 1:
+            return hints[:k]
+        query = np.asarray(log_rates, dtype=np.float64).ravel()
+        coords = self.coords_for([h.key for h in hints])
+        offsets = {h.key: coords[h.key] - query for h in hints
+                   if h.key in coords}
+        return centered_selection(hints, offsets, k)

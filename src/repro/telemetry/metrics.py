@@ -192,6 +192,35 @@ class Histogram:
             window = sorted(self._window)
         return percentile(window, q)
 
+    def bucket_quantile(self, q: float) -> float:
+        """Quantile estimated from the exact cumulative bucket counts.
+
+        The Prometheus ``histogram_quantile`` estimator: find the
+        bucket containing the ``q``-th observation and interpolate
+        linearly inside it.  Unlike :meth:`quantile` this covers the
+        histogram's *entire* history (bucket counts are unbounded),
+        at bucket-boundary resolution.  Returns 0 when empty; a target
+        landing in the implicit ``+Inf`` bucket clamps to the highest
+        finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        target = q * total
+        acc = 0.0
+        lo = 0.0
+        for bound, n in zip(self.bounds, counts):
+            if n > 0 and acc + n >= target:
+                frac = min(1.0, max(0.0, (target - acc) / n))
+                return lo + (bound - lo) * frac
+            acc += n
+            lo = bound
+        return self.bounds[-1]
+
     def sample_lines(self) -> list[str]:
         with self._lock:
             counts = list(self._bucket_counts)

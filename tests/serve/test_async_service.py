@@ -1,0 +1,133 @@
+"""The asyncio front door: awaitable submit/result over the sync service.
+
+The bridge contract: every sync admission behavior (cache hits,
+rejections, coalescing) is preserved; completion reaches the event
+loop through ``add_done_callback`` + ``call_soon_threadsafe`` with no
+polling; the facade closes only services it constructed.
+
+Tests drive the loop with ``asyncio.run`` from sync test functions —
+no pytest-asyncio dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cme.models import toggle_switch
+from repro.errors import JobRejectedError, SolveJobError
+from repro.serve import AsyncSolveService, SolveService
+from repro.solvers.result import StopReason
+
+
+@pytest.fixture
+def network():
+    return toggle_switch(max_protein=6)
+
+
+class TestSolve:
+    def test_solve_and_map(self, network):
+        async def main():
+            async with AsyncSolveService(network, workers=2) as svc:
+                out = await svc.solve({"degA": 0.5})
+                assert out.result.stop_reason is StopReason.CONVERGED
+                outs = await svc.map([{"degA": 0.6}, {"degA": 0.7},
+                                      {"degA": 0.6}])
+                return out, outs
+
+        out, outs = asyncio.run(main())
+        assert len(outs) == 3
+        # Input-order outcomes; the duplicate condition coalesced or
+        # cached onto the first.
+        assert outs[0].key == outs[2].key
+
+    def test_cache_hit_resolves_immediately(self, network):
+        async def main():
+            async with AsyncSolveService(network, workers=1) as svc:
+                first = await svc.solve({"degA": 0.5})
+                second = await svc.solve({"degA": 0.5})
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert not first.cached
+        assert second.cached
+
+    def test_submit_returns_job_result_awaits(self, network):
+        async def main():
+            async with AsyncSolveService(network, workers=1) as svc:
+                job = await svc.submit({"degA": 0.9}, tenant="t")
+                assert job.tenant == "t"
+                return await svc.result(job)
+
+        out = asyncio.run(main())
+        assert out.result.stop_reason is StopReason.CONVERGED
+
+
+class TestErrors:
+    def test_admission_rejection_propagates(self, network):
+        async def main():
+            async with AsyncSolveService(
+                    network, workers=1,
+                    admission={"limited": (0.001, 1)}) as svc:
+                await svc.solve({"degA": 0.5}, tenant="limited")
+                with pytest.raises(JobRejectedError):
+                    await svc.submit({"degA": 0.6}, tenant="limited")
+
+        asyncio.run(main())
+
+    def test_solve_failure_raises_at_await(self, network):
+        # An out-of-range damping passes admission (solver options are
+        # validated by the solver, not the front door) and fails the
+        # job terminally at execute time; the failure must reach the
+        # awaiter as the job's SolveJobError.
+        async def main():
+            async with AsyncSolveService(network, workers=1, retries=0,
+                                         cache=False) as svc:
+                job = await svc.submit({"degA": 0.5},
+                                       solver_options={"damping": 5.0})
+                with pytest.raises(SolveJobError):
+                    await svc.result(job)
+
+        asyncio.run(main())
+
+    def test_needs_network_or_service(self):
+        with pytest.raises(SolveJobError):
+            AsyncSolveService()
+
+
+class TestOwnership:
+    def test_wrapped_service_survives_facade_close(self, network):
+        with SolveService(network, workers=1) as svc:
+            async def main():
+                async with AsyncSolveService(service=svc) as facade:
+                    assert facade.service is svc
+                    await facade.solve({"degA": 0.5})
+                # __aexit__ ran: must NOT have closed the wrapped svc.
+
+            asyncio.run(main())
+            out = svc.solve({"degA": 0.6})
+            assert out.result.stop_reason is StopReason.CONVERGED
+
+    def test_owned_service_closes_with_facade(self, network):
+        async def main():
+            facade = AsyncSolveService(network, workers=1)
+            await facade.solve({"degA": 0.5})
+            await facade.close()
+            return facade.service
+
+        svc = asyncio.run(main())
+        with pytest.raises(SolveJobError):
+            svc.submit({"degA": 0.7})
+
+    def test_drain(self, network):
+        async def main():
+            async with AsyncSolveService(network, workers=2) as svc:
+                jobs = [await svc.submit({"degA": 0.4 + 0.1 * i})
+                        for i in range(3)]
+                assert await svc.drain(timeout_s=120)
+                return [await svc.result(j) for j in jobs]
+
+        outs = asyncio.run(main())
+        assert all(o.result.stop_reason is StopReason.CONVERGED
+                   for o in outs)

